@@ -1,0 +1,315 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Sec 6) plus the ablations of DESIGN.md, at bench-friendly scales, and
+// micro-benchmarks of the load-bearing primitives.
+//
+//	go test -bench=. -benchmem
+//
+// cmd/dancebench runs the same experiments at larger scales with full
+// sweeps and renders the tables for EXPERIMENTS.md.
+package dance_test
+
+import (
+	"testing"
+
+	dance "github.com/dance-db/dance"
+	"github.com/dance-db/dance/internal/experiments"
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/infotheory"
+	"github.com/dance-db/dance/internal/joingraph"
+	"github.com/dance-db/dance/internal/pricing"
+	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/sampling"
+	"github.com/dance-db/dance/internal/search"
+	"github.com/dance-db/dance/internal/tpch"
+)
+
+// --- One bench per paper table/figure -------------------------------------
+
+func BenchmarkTable5DatasetDescription(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(experiments.Table5Options{Scale: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec61FDCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FDCounts("tpch", experiments.Table5Options{Scale: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4TimeVsInstances(b *testing.B) {
+	opts := experiments.Fig4Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{5, 8}, Iterations: 30}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5aTPCEScalability(b *testing.B) {
+	opts := experiments.Fig5Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{10, 29}, Iterations: 20}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig5ab(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5cBudgetSweep(b *testing.B) {
+	opts := experiments.Fig5Options{Scale: 1, Seed: 1, Rate: 0.6,
+		Ratios: []float64{0.04, 0.12, 1.0}, Iterations: 20}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5c(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6CorrelationDifference(b *testing.B) {
+	opts := experiments.Fig6Options{Scale: 1, Seed: 1, Rates: []float64{0.5, 1.0}, Iterations: 20}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7CorrelationVsBudget(b *testing.B) {
+	opts := experiments.Fig7Options{Scale: 1, Seed: 1, Rate: 0.6,
+		Ratios: []float64{0.5, 1.0}, Iterations: 20}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Resampling(b *testing.B) {
+	opts := experiments.Fig8Options{Scale: 1, Seed: 1, Rate: 0.7,
+		ResampleRates: []float64{0.5}, Eta: 200, Iterations: 20}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6DanceVsDirect(b *testing.B) {
+	opts := experiments.Table6Options{Scale: 1, Seed: 1, Rate: 0.6, BudgetRatio: 0.8, Iterations: 20}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) --------------------
+
+func BenchmarkAblationSteiner(b *testing.B) {
+	opts := experiments.AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSteiner(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMCMC(b *testing.B) {
+	opts := experiments.AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMCMC(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPricing(b *testing.B) {
+	opts := experiments.AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPricing(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEta(b *testing.B) {
+	opts := experiments.AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEta(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the load-bearing primitives -----------------------
+
+func benchDataset(b *testing.B) *tpch.Dataset {
+	b.Helper()
+	return tpch.Generate(tpch.Config{Scale: 4, Seed: 1, DirtyFraction: 0.3})
+}
+
+func BenchmarkEquiJoin(b *testing.B) {
+	d := benchDataset(b)
+	orders, customer := d.Table("orders"), d.Table("customer")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relation.EquiJoin(orders, customer, []string{"custkey"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullOuterJoinPairCounts(b *testing.B) {
+	d := benchDataset(b)
+	orders, customer := d.Table("orders"), d.Table("customer")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relation.OuterJoinPairCounts(orders, customer, []string{"custkey"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrelation(b *testing.B) {
+	d := benchDataset(b)
+	j, err := relation.EquiJoin(d.Table("orders"), d.Table("customer"), []string{"custkey"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := infotheory.Correlation(j, []string{"totalprice"}, []string{"nationkey"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinInformativeness(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := infotheory.JoinInformativeness(d.Table("orders"), d.Table("customer"), []string{"custkey"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQualitySet(b *testing.B) {
+	d := benchDataset(b)
+	j, err := relation.EquiJoin(d.Table("orders"), d.Table("customer"), []string{"custkey"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fds := append(d.FDs["orders"], d.FDs["customer"]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fd.QualitySet(j, fds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFDDiscovery(b *testing.B) {
+	d := benchDataset(b)
+	orders := d.Table("orders")
+	opts := fd.DiscoveryOptions{MaxError: 0.1, MaxLHS: 2, MaxRows: 300}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fd.Discover(orders, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrelatedSample(b *testing.B) {
+	d := benchDataset(b)
+	lineitem := d.Table("lineitem")
+	h := sampling.NewHasher(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.CorrelatedSample(lineitem, []string{"orderkey"}, 0.5, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinGraphBuild(b *testing.B) {
+	d := benchDataset(b)
+	model := pricing.Cached(pricing.DefaultEntropyModel())
+	quoter := benchQuoter{model: model, d: d}
+	var instances []*joingraph.Instance
+	for _, t := range d.Tables {
+		instances = append(instances, &joingraph.Instance{
+			Name: t.Name, Sample: t, FullRows: t.NumRows(), FDs: d.FDs[t.Name],
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := joingraph.Build(instances, joingraph.Config{MaxJoinAttrs: 2, Quoter: quoter}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchQuoter struct {
+	model pricing.Model
+	d     *tpch.Dataset
+}
+
+func (q benchQuoter) QuoteProjection(name string, attrs []string) (float64, error) {
+	return q.model.PriceProjection(q.d.Table(name), attrs)
+}
+
+func BenchmarkHeuristicSearch(b *testing.B) {
+	env, err := experiments.NewEnv(experiments.EnvConfig{Dataset: "tpch", Scale: 2, Seed: 1, Rate: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := experiments.TPCHQueries()[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := env.Request(q, int64(i))
+		req.Iterations = 40
+		if _, err := search.NewSearcher(env.Sampled).Heuristic(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndAcquisition(b *testing.B) {
+	tables, fds := dance.GenerateTPCH(2, 1, -1)
+	market := dance.NewMarketplace(nil)
+	for _, t := range tables {
+		market.Register(t, fds[t.Name])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mw := dance.New(market, dance.Config{SampleRate: 0.5, SampleSeed: uint64(i)})
+		plan, err := mw.Acquire(dance.Request{
+			SourceAttrs: []string{"totalprice"},
+			TargetAttrs: []string{"nname"},
+			Iterations:  30,
+			Seed:        int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mw.Execute(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigXTPCHBudgetTime(b *testing.B) {
+	opts := experiments.Fig5Options{Scale: 1, Seed: 1, Rate: 0.6,
+		Ratios: []float64{0.5, 1.0}, Iterations: 20}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigTPCHBudgetTime(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command danceacq runs a data acquisition against a marketplace — remote
+// (marketd) or locally generated — and prints the recommended purchase plan.
+// With -buy it executes the plan and reports realized metrics.
+//
+// Usage:
+//
+//	danceacq -market http://localhost:8080 \
+//	         -source totalprice -target rname -budget 120 -buy
+//	danceacq -local tpch -source totalprice -target nname
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/dance-db/dance/internal/core"
+	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/search"
+	"github.com/dance-db/dance/internal/tpce"
+	"github.com/dance-db/dance/internal/tpch"
+)
+
+func main() {
+	var (
+		marketURL = flag.String("market", "", "remote marketplace base URL (e.g. http://localhost:8080)")
+		local     = flag.String("local", "", "serve a local generated marketplace instead: tpch or tpce")
+		scale     = flag.Int("scale", 5, "scale for -local")
+		seed      = flag.Int64("seed", 42, "PRNG seed")
+		source    = flag.String("source", "", "comma-separated source attributes AS")
+		target    = flag.String("target", "", "comma-separated target attributes AT (required)")
+		budget    = flag.Float64("budget", 0, "purchase budget B (0 = unbounded)")
+		alpha     = flag.Float64("alpha", 0, "join informativeness cap α (0 = unbounded)")
+		beta      = flag.Float64("beta", 0, "quality floor β")
+		rate      = flag.Float64("rate", 0.3, "offline sampling rate")
+		iters     = flag.Int("iters", 100, "MCMC iterations ℓ")
+		buy       = flag.Bool("buy", false, "execute the plan (spend the budget)")
+		topk      = flag.Int("topk", 0, "recommend the k best-scored options instead of one plan")
+	)
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("-target is required")
+	}
+
+	var market marketplace.Market
+	switch {
+	case *marketURL != "":
+		market = marketplace.NewClient(*marketURL)
+	case *local == "tpch":
+		m := marketplace.NewInMemory(nil)
+		d := tpch.Generate(tpch.Config{Scale: *scale, Seed: *seed, DirtyFraction: 0.3})
+		for _, t := range d.Tables {
+			m.Register(t, d.FDs[t.Name])
+		}
+		market = m
+	case *local == "tpce":
+		m := marketplace.NewInMemory(nil)
+		d := tpce.Generate(tpce.Config{Scale: *scale, Seed: *seed, DirtyFraction: 0.2})
+		for _, t := range d.Tables {
+			m.Register(t, d.FDs[t.Name])
+		}
+		market = m
+	default:
+		log.Fatal("provide -market URL or -local tpch|tpce")
+	}
+
+	mw := core.New(market, core.Config{SampleRate: *rate, SampleSeed: uint64(*seed), DiscoverFDs: true})
+	req := search.Request{
+		SourceAttrs: splitList(*source),
+		TargetAttrs: splitList(*target),
+		Budget:      *budget,
+		Alpha:       *alpha,
+		Beta:        *beta,
+		Iterations:  *iters,
+		Seed:        *seed,
+	}
+	if *topk > 0 {
+		options, err := mw.AcquireTopK(req, *topk, search.DefaultScoreWeights())
+		if err != nil {
+			log.Fatalf("acquisition failed: %v", err)
+		}
+		for i, o := range options {
+			fmt.Printf("option %d (score %.4f): correlation=%.4f quality=%.4f price=%.2f\n",
+				i+1, o.Score, o.Plan.Est.Correlation, o.Plan.Est.Quality, o.Plan.Est.Price)
+			for _, q := range o.Plan.Queries {
+				fmt.Printf("    %s\n", q)
+			}
+		}
+		return
+	}
+
+	plan, err := mw.Acquire(req)
+	if err != nil {
+		log.Fatalf("acquisition failed: %v", err)
+	}
+	fmt.Printf("sample cost so far: %.2f (rate %.2f)\n\n", mw.SampleCost(), mw.SampleRate())
+	fmt.Println("recommended purchase:")
+	for _, q := range plan.Queries {
+		fmt.Printf("  %s\n", q)
+	}
+	fmt.Printf("\nestimates: correlation=%.4f quality=%.4f join-informativeness=%.4f price=%.2f\n",
+		plan.Est.Correlation, plan.Est.Quality, plan.Est.Weight, plan.Est.Price)
+
+	if !*buy {
+		fmt.Println("\n(re-run with -buy to execute)")
+		return
+	}
+	purchase, err := mw.Execute(plan)
+	if err != nil {
+		log.Fatalf("purchase failed: %v", err)
+	}
+	fmt.Printf("\nbought %d projections for %.2f; join has %d rows\n",
+		len(purchase.Tables), purchase.TotalPrice, purchase.Joined.NumRows())
+	fmt.Printf("realized: correlation=%.4f quality=%.4f\n",
+		purchase.Realized.Correlation, purchase.Realized.Quality)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

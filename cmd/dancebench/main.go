@@ -1,0 +1,128 @@
+// Command dancebench regenerates the tables and figures of the paper's
+// evaluation (Sec 6) and the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	dancebench -exp all                 # everything (slow)
+//	dancebench -exp fig4 -scale 3       # one experiment at a larger scale
+//	dancebench -list                    # show available experiments
+//
+// Output is aligned text, one block per paper artifact, suitable for
+// side-by-side comparison with the paper (EXPERIMENTS.md records this).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dance-db/dance/internal/experiments"
+)
+
+var experimentNames = []string{
+	"table5", "fdcount", "fig4", "fig5a", "fig5b", "fig5c",
+	"fig6", "fig7", "fig8", "table6", "figx-tpch-budget-time",
+	"ablation-steiner", "ablation-mcmc", "ablation-pricing", "ablation-eta",
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id or 'all' (see -list)")
+		scale = flag.Int("scale", 2, "dataset scale factor")
+		seed  = flag.Int64("seed", 42, "PRNG seed")
+		rate  = flag.Float64("rate", 0.5, "offline correlated-sampling rate")
+		iters = flag.Int("iters", 80, "MCMC iterations ℓ")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experimentNames, "\n"))
+		return
+	}
+	selected := map[string]bool{}
+	if *exp == "all" {
+		for _, n := range experimentNames {
+			selected[n] = true
+		}
+	} else {
+		for _, n := range strings.Split(*exp, ",") {
+			selected[strings.TrimSpace(n)] = true
+		}
+	}
+
+	start := time.Now()
+	run := func(name string, f func() ([]experiments.Table, error)) {
+		if !selected[name] {
+			return
+		}
+		t0 := time.Now()
+		tabs, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, tab := range tabs {
+			fmt.Println(tab.Render())
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(t0).Seconds())
+	}
+	one := func(f func() (experiments.Table, error)) func() ([]experiments.Table, error) {
+		return func() ([]experiments.Table, error) {
+			t, err := f()
+			return []experiments.Table{t}, err
+		}
+	}
+
+	run("table5", one(func() (experiments.Table, error) {
+		return experiments.Table5(experiments.Table5Options{Scale: *scale, Seed: *seed})
+	}))
+	run("fdcount", func() ([]experiments.Table, error) {
+		h, err := experiments.FDCounts("tpch", experiments.Table5Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		e, err := experiments.FDCounts("tpce", experiments.Table5Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		return []experiments.Table{h, e}, nil
+	})
+	run("fig4", func() ([]experiments.Table, error) {
+		return experiments.Fig4(experiments.Fig4Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+	})
+	run("fig5a", func() ([]experiments.Table, error) {
+		a, _, err := experiments.Fig5ab(experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		return []experiments.Table{a}, err
+	})
+	run("fig5b", func() ([]experiments.Table, error) {
+		_, b, err := experiments.Fig5ab(experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		return []experiments.Table{b}, err
+	})
+	run("fig5c", one(func() (experiments.Table, error) {
+		return experiments.Fig5c(experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+	}))
+	run("fig6", func() ([]experiments.Table, error) {
+		return experiments.Fig6(experiments.Fig6Options{Scale: *scale, Seed: *seed, Iterations: *iters})
+	})
+	run("fig7", func() ([]experiments.Table, error) {
+		return experiments.Fig7(experiments.Fig7Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+	})
+	run("fig8", func() ([]experiments.Table, error) {
+		return experiments.Fig8(experiments.Fig8Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+	})
+	run("table6", one(func() (experiments.Table, error) {
+		return experiments.Table6(experiments.Table6Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+	}))
+	run("figx-tpch-budget-time", one(func() (experiments.Table, error) {
+		return experiments.FigTPCHBudgetTime(experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+	}))
+	abl := experiments.AblationOptions{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters}
+	run("ablation-steiner", one(func() (experiments.Table, error) { return experiments.AblationSteiner(abl) }))
+	run("ablation-mcmc", one(func() (experiments.Table, error) { return experiments.AblationMCMC(abl) }))
+	run("ablation-pricing", one(func() (experiments.Table, error) { return experiments.AblationPricing(abl) }))
+	run("ablation-eta", one(func() (experiments.Table, error) { return experiments.AblationEta(abl) }))
+
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}

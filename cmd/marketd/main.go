@@ -1,0 +1,120 @@
+// Command marketd serves an online data marketplace over JSON/HTTP,
+// populated either with a generated benchmark dataset or with CSV files
+// produced by datagen.
+//
+// Usage:
+//
+//	marketd -addr :8080 -dataset tpch -scale 10
+//	marketd -addr :8080 -dir ./data/tpch
+//
+// Endpoints: GET /catalog, GET /fds?name=…, POST /quote, POST /sample,
+// POST /query (see internal/marketplace).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/tpce"
+	"github.com/dance-db/dance/internal/tpch"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataset = flag.String("dataset", "tpch", "tpch or tpce (ignored with -dir)")
+		scale   = flag.Int("scale", 5, "scale factor")
+		seed    = flag.Int64("seed", 42, "PRNG seed")
+		dir     = flag.String("dir", "", "load CSV tables from this directory instead of generating")
+	)
+	flag.Parse()
+
+	market := marketplace.NewInMemory(nil)
+	switch {
+	case *dir != "":
+		if err := loadDir(market, *dir); err != nil {
+			log.Fatal(err)
+		}
+	case *dataset == "tpch":
+		d := tpch.Generate(tpch.Config{Scale: *scale, Seed: *seed, DirtyFraction: 0.3})
+		for _, t := range d.Tables {
+			market.Register(t, d.FDs[t.Name])
+		}
+	case *dataset == "tpce":
+		d := tpce.Generate(tpce.Config{Scale: *scale, Seed: *seed, DirtyFraction: 0.2})
+		for _, t := range d.Tables {
+			market.Register(t, d.FDs[t.Name])
+		}
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	infos, err := market.Catalog()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, info := range infos {
+		fmt.Printf("listing %s: %d rows, %d attrs\n", info.Name, info.Rows, len(info.Attrs))
+	}
+	fmt.Printf("marketplace listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, marketplace.Handler(market)))
+}
+
+// loadDir registers every .csv in dir; an optional *.fds file declares FDs
+// as "table: A,B -> C" lines.
+func loadDir(m *marketplace.InMemory, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	fds := map[string][]fd.FD{}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".fds") {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return err
+			}
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" {
+					continue
+				}
+				parts := strings.SplitN(line, ":", 2)
+				if len(parts) != 2 {
+					return fmt.Errorf("malformed FD line %q", line)
+				}
+				f, err := fd.Parse(parts[1])
+				if err != nil {
+					return err
+				}
+				name := strings.TrimSpace(parts[0])
+				fds[name] = append(fds[name], f)
+			}
+		}
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".csv")
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		t, err := relation.ReadCSV(name, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", e.Name(), err)
+		}
+		m.Register(t, fds[name])
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/relation"
+)
+
+func TestLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	tab := relation.NewTable("alpha", relation.NewSchema(
+		relation.Cat("k", relation.KindInt),
+		relation.Cat("v", relation.KindString),
+	))
+	tab.AppendValues(relation.IntValue(1), relation.StringValue("x"))
+	tab.AppendValues(relation.IntValue(2), relation.StringValue("y"))
+	f, err := os.Create(filepath.Join(dir, "alpha.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := os.WriteFile(filepath.Join(dir, "demo.fds"), []byte("alpha: k -> v\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := marketplace.NewInMemory(nil)
+	if err := loadDir(m, dir); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := m.Catalog()
+	if err != nil || len(cat) != 1 || cat[0].Name != "alpha" || cat[0].Rows != 2 {
+		t.Fatalf("catalog = %+v, %v", cat, err)
+	}
+	fds, err := m.DatasetFDs("alpha")
+	if err != nil || len(fds) != 1 || fds[0].RHS != "v" {
+		t.Fatalf("fds = %v, %v", fds, err)
+	}
+}
+
+func TestLoadDirMalformedFDs(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.fds"), []byte("no colon here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadDir(marketplace.NewInMemory(nil), dir); err == nil {
+		t.Fatal("malformed FD file should error")
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	if err := loadDir(marketplace.NewInMemory(nil), "/nonexistent-dir-xyz"); err == nil {
+		t.Fatal("missing directory should error")
+	}
+}

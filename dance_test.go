@@ -1,0 +1,169 @@
+package dance_test
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	dance "github.com/dance-db/dance"
+)
+
+// marketFixture builds a small two-hop marketplace plus the shopper's own
+// table, exercising only the public API.
+func marketFixture(seed int64) (*dance.InMemoryMarket, *dance.Table) {
+	rng := rand.New(rand.NewSource(seed))
+
+	own := dance.NewTable("own", dance.NewSchema(
+		dance.Cat("zip", dance.KindInt),
+		dance.Num("income", dance.KindFloat),
+	))
+	bridge := dance.NewTable("bridge", dance.NewSchema(
+		dance.Cat("zip", dance.KindInt),
+		dance.Cat("county", dance.KindInt),
+	))
+	stats := dance.NewTable("stats", dance.NewSchema(
+		dance.Cat("county", dance.KindInt),
+		dance.Cat("riskband", dance.KindString),
+	))
+	for i := 0; i < 300; i++ {
+		z := int64(rng.Intn(20))
+		own.AppendValues(dance.IntValue(z), dance.FloatValue(float64(z)*1000+rng.Float64()*50))
+	}
+	for z := int64(0); z < 20; z++ {
+		bridge.AppendValues(dance.IntValue(z), dance.IntValue(z%5))
+	}
+	for c := int64(0); c < 5; c++ {
+		stats.AppendValues(dance.IntValue(c), dance.StringValue(string(rune('A'+c))))
+	}
+	m := dance.NewMarketplace(nil)
+	m.Register(bridge, []dance.FD{dance.NewFD("county", "zip")})
+	m.Register(stats, []dance.FD{dance.NewFD("riskband", "county")})
+	return m, own
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	market, own := marketFixture(1)
+	mw := dance.New(market, dance.Config{SampleRate: 0.9, SampleSeed: 4})
+	mw.AddSource(own, nil)
+
+	plan, err := mw.Acquire(dance.Request{
+		SourceAttrs: []string{"income"},
+		TargetAttrs: []string{"riskband"},
+		Budget:      1e9,
+		Iterations:  40,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Queries) == 0 {
+		t.Fatal("no queries planned")
+	}
+	purchase, err := mw.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purchase.Joined.NumRows() == 0 {
+		t.Fatal("empty purchase join")
+	}
+	if purchase.Realized.Correlation <= 0 {
+		t.Fatalf("realized correlation = %v", purchase.Realized.Correlation)
+	}
+}
+
+func TestPublicAPIOverHTTP(t *testing.T) {
+	market, own := marketFixture(2)
+	srv := httptest.NewServer(dance.Handler(market))
+	defer srv.Close()
+
+	mw := dance.New(dance.NewMarketClient(srv.URL), dance.Config{SampleRate: 0.9, SampleSeed: 4})
+	mw.AddSource(own, nil)
+	plan, err := mw.Acquire(dance.Request{
+		SourceAttrs: []string{"income"},
+		TargetAttrs: []string{"riskband"},
+		Budget:      1e9,
+		Iterations:  30,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicMeasures(t *testing.T) {
+	_, own := marketFixture(3)
+	// Correlation of income with zip is high by construction.
+	corr, err := dance.Correlation(own, []string{"income"}, []string{"zip"})
+	if err != nil || corr <= 0 {
+		t.Fatalf("Correlation = %v, %v", corr, err)
+	}
+	q, err := dance.Quality(own, []dance.FD{dance.NewFD("income", "zip")})
+	if err != nil || q <= 0 {
+		t.Fatalf("Quality = %v, %v", q, err)
+	}
+	fds, err := dance.DiscoverFDs(own, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fds) == 0 {
+		t.Fatal("no FDs discovered")
+	}
+	f, err := dance.ParseFD("zip -> county")
+	if err != nil || f.RHS != "county" {
+		t.Fatalf("ParseFD = %v, %v", f, err)
+	}
+}
+
+func TestPublicJoins(t *testing.T) {
+	market, own := marketFixture(4)
+	_ = market
+	bridge := dance.NewTable("b", dance.NewSchema(
+		dance.Cat("zip", dance.KindInt), dance.Cat("county", dance.KindInt)))
+	for z := int64(0); z < 20; z++ {
+		bridge.AppendValues(dance.IntValue(z), dance.IntValue(z%5))
+	}
+	j, err := dance.EquiJoin(own, bridge, []string{"zip"})
+	if err != nil || j.NumRows() == 0 {
+		t.Fatalf("EquiJoin: %v rows, err %v", j.NumRows(), err)
+	}
+	ji, err := dance.JoinInformativeness(own, bridge, []string{"zip"})
+	if err != nil || ji < 0 || ji > 1 {
+		t.Fatalf("JI = %v, %v", ji, err)
+	}
+	j2, err := dance.JoinPath([]dance.PathStep{{Table: own}, {Table: bridge, On: []string{"zip"}}})
+	if err != nil || j2.NumRows() != j.NumRows() {
+		t.Fatalf("JoinPath mismatch: %v vs %v (%v)", j2.NumRows(), j.NumRows(), err)
+	}
+}
+
+func TestFacadeGeneratorsAndHelpers(t *testing.T) {
+	tables, fds := dance.GenerateTPCH(1, 1, 0)
+	if len(tables) != 8 {
+		t.Fatalf("TPC-H tables = %d", len(tables))
+	}
+	if len(fds["orders"]) == 0 {
+		t.Fatal("TPC-H FDs missing")
+	}
+	etables, efds := dance.GenerateTPCE(1, 1, -1)
+	if len(etables) != 29 {
+		t.Fatalf("TPC-E tables = %d", len(etables))
+	}
+	if len(efds["customer"]) == 0 {
+		t.Fatal("TPC-E FDs missing")
+	}
+	if !dance.Null().IsNull() {
+		t.Fatal("Null not null")
+	}
+	model := dance.CachedPricing(dance.DefaultEntropyPricing())
+	p, err := model.PriceProjection(tables[0], []string{tables[0].Schema.Column(0).Name})
+	if err != nil || p <= 0 {
+		t.Fatalf("facade pricing = %v, %v", p, err)
+	}
+	w := dance.DefaultScoreWeights()
+	if w.Correlation <= 0 {
+		t.Fatal("score weights degenerate")
+	}
+}

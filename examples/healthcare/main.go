@@ -1,0 +1,164 @@
+// Healthcare: the paper's running example (Sec 1, Table 1). Data scientist
+// Adam owns DS(age, zipcode, population) and wants the marketplace data
+// whose join with DS best correlates age groups with diseases in NJ.
+//
+// Five instances are on sale, echoing the paper's D1–D5:
+//
+//	D1 zip_state(zipcode, state)           — FD zipcode → state, one dirty row
+//	D2 disease_by_state(state, disease, cases)
+//	D3 disease_by_gender(gender, race, disease, cases)
+//	D4 census(age, gender, race, population)
+//	D5 insurance(age, address, insurance, disease) — INDIVIDUAL ages, so the
+//	   join with DS's age *groups* barely matches: the meaningless
+//	   aggregation-vs-individual join of the paper's Option 4.
+//
+// DANCE picks the D1→D2 chain (the paper's Option 1) because the D5 route
+// yields an (almost) empty, uninformative join.
+//
+//	go run ./examples/healthcare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	dance "github.com/dance-db/dance"
+)
+
+var ageGroups = []string{"[20,25]", "[35,40]", "[55,60]", "[30,35]", "[45,50]"}
+var diseases = []string{"Flu", "Lyme disease", "Diabetes", "AIDS", "Asthma"}
+var states = []string{"NJ", "NY", "MA", "CA", "FL"}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// Adam's source instance DS: age group, zipcode, population.
+	ds := dance.NewTable("DS", dance.NewSchema(
+		dance.Cat("age", dance.KindString),
+		dance.Cat("zipcode", dance.KindInt),
+		dance.Num("population", dance.KindInt),
+	))
+	for i := 0; i < 400; i++ {
+		zip := int64(7000 + rng.Intn(40))
+		age := ageGroups[int(zip)%len(ageGroups)]
+		ds.AppendValues(
+			dance.StringValue(age),
+			dance.IntValue(zip),
+			dance.IntValue(int64(1000+rng.Intn(7000))),
+		)
+	}
+
+	// D1: zipcode → state (with a little inconsistency, like the paper).
+	d1 := dance.NewTable("zip_state", dance.NewSchema(
+		dance.Cat("zipcode", dance.KindInt),
+		dance.Cat("state", dance.KindString),
+	))
+	for zip := int64(7000); zip < 7040; zip++ {
+		st := states[int(zip)%len(states)]
+		if rng.Float64() < 0.05 {
+			st = states[rng.Intn(len(states))] // dirty rows
+		}
+		d1.AppendValues(dance.IntValue(zip), dance.StringValue(st))
+	}
+
+	// D2: disease stats by state; disease skews by state (the signal: age
+	// groups cluster by zip, zips map to states, states to diseases).
+	d2 := dance.NewTable("disease_by_state", dance.NewSchema(
+		dance.Cat("state", dance.KindString),
+		dance.Cat("disease", dance.KindString),
+		dance.Num("cases", dance.KindInt),
+	))
+	for si, st := range states {
+		for rep := 0; rep < 6; rep++ {
+			d2.AppendValues(
+				dance.StringValue(st),
+				dance.StringValue(diseases[(si+rep/4)%len(diseases)]),
+				dance.IntValue(int64(40+rng.Intn(400))),
+			)
+		}
+	}
+
+	// D3/D4: the gender/race route (the paper's Option 2/3).
+	d3 := dance.NewTable("disease_by_gender", dance.NewSchema(
+		dance.Cat("gender", dance.KindString),
+		dance.Cat("race", dance.KindString),
+		dance.Cat("disease", dance.KindString),
+		dance.Num("cases", dance.KindInt),
+	))
+	d4 := dance.NewTable("census", dance.NewSchema(
+		dance.Cat("age", dance.KindString),
+		dance.Cat("gender", dance.KindString),
+		dance.Cat("race", dance.KindString),
+		dance.Num("population", dance.KindInt),
+	))
+	genders := []string{"M", "F"}
+	races := []string{"White", "Asian", "Hispanic"}
+	for _, g := range genders {
+		for _, r := range races {
+			d3.AppendValues(dance.StringValue(g), dance.StringValue(r),
+				dance.StringValue(diseases[rng.Intn(len(diseases))]),
+				dance.IntValue(int64(30+rng.Intn(300))))
+			for _, a := range ageGroups {
+				d4.AppendValues(dance.StringValue(a), dance.StringValue(g), dance.StringValue(r),
+					dance.IntValue(int64(10000+rng.Intn(400000))))
+			}
+		}
+	}
+
+	// D5: insurance records with INDIVIDUAL ages ("37"), not groups —
+	// joining them with DS.age is the meaningless join the paper warns
+	// about; it simply never matches.
+	d5 := dance.NewTable("insurance", dance.NewSchema(
+		dance.Cat("age", dance.KindString),
+		dance.Cat("address", dance.KindString),
+		dance.Cat("insurance", dance.KindString),
+		dance.Cat("disease", dance.KindString),
+	))
+	for i := 0; i < 60; i++ {
+		d5.AppendValues(
+			dance.StringValue(fmt.Sprint(20+rng.Intn(50))),
+			dance.StringValue(fmt.Sprintf("%d Main St.", 1+rng.Intn(99))),
+			dance.StringValue([]string{"UnitedHealthCare", "MedLife"}[rng.Intn(2)]),
+			dance.StringValue(diseases[rng.Intn(len(diseases))]),
+		)
+	}
+
+	market := dance.NewMarketplace(nil)
+	market.Register(d1, []dance.FD{dance.NewFD("state", "zipcode")})
+	market.Register(d2, nil)
+	market.Register(d3, nil)
+	market.Register(d4, nil)
+	market.Register(d5, nil)
+
+	mw := dance.New(market, dance.Config{SampleRate: 0.8, SampleSeed: 3, DiscoverFDs: true})
+	mw.AddSource(ds, nil)
+
+	plan, err := mw.Acquire(dance.Request{
+		SourceAttrs: []string{"age"},
+		TargetAttrs: []string{"disease"},
+		Budget:      400,
+		Beta:        0.3, // tolerate some inconsistency, not garbage
+		Iterations:  80,
+		Seed:        4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Adam should purchase:")
+	for _, q := range plan.Queries {
+		fmt.Printf("  %s\n", q)
+	}
+	fmt.Printf("estimates: correlation=%.3f quality=%.3f price=%.2f\n\n",
+		plan.Est.Correlation, plan.Est.Quality, plan.Est.Price)
+
+	purchase, err := mw.Execute(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("purchased for %.2f; CORR(age; disease) on the joined data = %.3f (quality %.3f)\n",
+		purchase.TotalPrice, purchase.Realized.Correlation, purchase.Realized.Quality)
+	fmt.Println("\nnote: the insurance table (individual ages) was avoided — its join")
+	fmt.Println("with DS's age groups is the meaningless aggregation-vs-individual join")
+	fmt.Println("of the paper's Option 4.")
+}

@@ -1,0 +1,64 @@
+// Pricing: demonstrates the query-based, arbitrage-free entropy pricing of
+// the marketplace — quotes are free, information is what costs money, and
+// splitting a query into pieces can never undercut the bundle price.
+//
+//	go run ./examples/pricing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dance "github.com/dance-db/dance"
+)
+
+func main() {
+	tables, fds := dance.GenerateTPCH(2, 1, 0)
+	market := dance.NewMarketplace(nil)
+	var customer *dance.Table
+	for _, t := range tables {
+		market.Register(t, fds[t.Name])
+		if t.Name == "customer" {
+			customer = t
+		}
+	}
+
+	fmt.Println("== free quotes (query-based pricing) ==")
+	quote := func(attrs ...string) float64 {
+		p, err := market.QuoteProjection("customer", attrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  SELECT %v FROM customer  →  %.2f\n", attrs, p)
+		return p
+	}
+	pKey := quote("custkey")
+	pSeg := quote("mktsegment")
+	pBoth := quote("custkey", "mktsegment")
+	pAll := quote(customer.Schema.Names()...)
+
+	fmt.Println("\n== arbitrage-freeness ==")
+	fmt.Printf("  bundle %.2f ≤ parts %.2f + %.2f: %v (subadditive)\n",
+		pBoth, pKey, pSeg, pBoth <= pKey+pSeg)
+	fmt.Printf("  full table %.2f ≥ any projection: %v (monotone)\n", pAll, pAll >= pBoth)
+
+	fmt.Println("\n== information is the price driver ==")
+	// A high-cardinality key carries more bits than a 5-value segment.
+	fmt.Printf("  custkey (unique ids):  %.2f\n", pKey)
+	fmt.Printf("  mktsegment (5 values): %.2f\n", pSeg)
+
+	fmt.Println("\n== samples are discounted by rate ==")
+	for _, rate := range []float64{0.1, 0.5, 1.0} {
+		_, price, err := market.Sample("customer", []string{"custkey"}, rate, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  rate %.1f sample: %.2f\n", rate, price)
+	}
+
+	fmt.Println("\n== the ledger records every charge ==")
+	for _, e := range market.Ledger().Entries() {
+		fmt.Printf("  %-7s %-10s %v: %.2f\n", e.Kind, e.Dataset, e.Attrs, e.Amount)
+	}
+	fmt.Printf("  total: %.2f\n", market.Ledger().Total())
+}

@@ -1,0 +1,91 @@
+// Quickstart: sell two datasets on an in-memory marketplace, then acquire
+// the attribute combination that best correlates with data the shopper
+// already owns.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	dance "github.com/dance-db/dance"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// The shopper's own data: household income per zip code.
+	own := dance.NewTable("households", dance.NewSchema(
+		dance.Cat("zip", dance.KindInt),
+		dance.Num("income", dance.KindFloat),
+	))
+	for i := 0; i < 500; i++ {
+		zip := int64(rng.Intn(25))
+		own.AppendValues(
+			dance.IntValue(zip),
+			dance.FloatValue(30000+float64(zip)*2500+rng.Float64()*4000),
+		)
+	}
+
+	// Marketplace listings: a zip→county bridge and county-level health
+	// stats. Counties are contiguous zip ranges and risk bands contiguous
+	// county ranges, so income (which grows with zip) genuinely predicts
+	// the risk band.
+	bridge := dance.NewTable("geo_bridge", dance.NewSchema(
+		dance.Cat("zip", dance.KindInt),
+		dance.Cat("county", dance.KindInt),
+	))
+	for zip := int64(0); zip < 25; zip++ {
+		bridge.AppendValues(dance.IntValue(zip), dance.IntValue(zip/5))
+	}
+	health := dance.NewTable("health_stats", dance.NewSchema(
+		dance.Cat("county", dance.KindInt),
+		dance.Cat("riskband", dance.KindString),
+		dance.Num("cases", dance.KindInt),
+	))
+	for county := int64(0); county < 5; county++ {
+		for w := 0; w < 4; w++ {
+			health.AppendValues(
+				dance.IntValue(county),
+				dance.StringValue(string(rune('A'+county/2))),
+				dance.IntValue(100*county+int64(rng.Intn(40))),
+			)
+		}
+	}
+
+	market := dance.NewMarketplace(nil)
+	market.Register(bridge, []dance.FD{dance.NewFD("county", "zip")})
+	market.Register(health, []dance.FD{dance.NewFD("riskband", "county")})
+
+	// DANCE: sample offline, search online, buy.
+	mw := dance.New(market, dance.Config{SampleRate: 0.6, SampleSeed: 11})
+	mw.AddSource(own, nil)
+
+	plan, err := mw.Acquire(dance.Request{
+		SourceAttrs: []string{"income"},
+		TargetAttrs: []string{"riskband"},
+		Budget:      500,
+		Iterations:  60,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommended purchase:")
+	for _, q := range plan.Queries {
+		fmt.Printf("  %s\n", q)
+	}
+	fmt.Printf("estimated: correlation=%.3f quality=%.3f price=%.2f (samples cost %.2f)\n",
+		plan.Est.Correlation, plan.Est.Quality, plan.Est.Price, mw.SampleCost())
+
+	purchase, err := mw.Execute(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bought %d projections for %.2f; joined result: %d rows\n",
+		len(purchase.Tables), purchase.TotalPrice, purchase.Joined.NumRows())
+	fmt.Printf("realized correlation(income; riskband) = %.3f, quality = %.3f\n",
+		purchase.Realized.Correlation, purchase.Realized.Quality)
+}

@@ -1,0 +1,59 @@
+// Top-k: the paper's future-work extension — instead of the single
+// correlation-best plan, rank several acquisition options by a combined
+// score of correlation, quality, join informativeness, and price, and let
+// the shopper choose.
+//
+//	go run ./examples/topk
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dance "github.com/dance-db/dance"
+)
+
+func main() {
+	tables, fds := dance.GenerateTPCH(3, 42, -1)
+	market := dance.NewMarketplace(nil)
+	for _, t := range tables {
+		market.Register(t, fds[t.Name])
+	}
+	mw := dance.New(market, dance.Config{SampleRate: 0.5, SampleSeed: 9})
+
+	options, err := mw.AcquireTopK(dance.Request{
+		SourceAttrs: []string{"totalprice"},
+		TargetAttrs: []string{"nname"},
+		Budget:      400,
+		Iterations:  80,
+		Seed:        5,
+	}, 3, dance.DefaultScoreWeights())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("top %d acquisition options:\n\n", len(options))
+	for i, o := range options {
+		fmt.Printf("option %d — score %.4f\n", i+1, o.Score)
+		fmt.Printf("  estimated: correlation=%.4f quality=%.4f join-informativeness=%.4f price=%.2f\n",
+			o.Plan.Est.Correlation, o.Plan.Est.Quality, o.Plan.Est.Weight, o.Plan.Est.Price)
+		for _, q := range o.Plan.Queries {
+			fmt.Printf("  %s\n", q)
+		}
+		fmt.Println()
+	}
+
+	// Execute the cheapest of the top options.
+	cheapest := options[0]
+	for _, o := range options[1:] {
+		if o.Plan.Est.Price < cheapest.Plan.Est.Price {
+			cheapest = o
+		}
+	}
+	purchase, err := mw.Execute(cheapest.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed the cheapest option for %.2f; realized correlation %.4f\n",
+		purchase.TotalPrice, purchase.Realized.Correlation)
+}

@@ -1,0 +1,197 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	for i := 0; i < 130; i++ {
+		if s.Has(i) {
+			t.Fatalf("bit %d set in empty set", i)
+		}
+	}
+}
+
+func TestNewFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200} {
+		s := NewFull(n)
+		if s.Count() != n {
+			t.Errorf("NewFull(%d).Count() = %d", n, s.Count())
+		}
+	}
+}
+
+func TestSetClearHas(t *testing.T) {
+	s := New(100)
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(99)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !s.Has(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	s.Clear(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Fatalf("Clear(63) failed: count=%d", s.Count())
+	}
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Set(1)
+	a.Set(65)
+	a.Set(5)
+	b.Set(5)
+	b.Set(65)
+	b.Set(9)
+
+	and := a.Clone().And(b)
+	if got := and.Indices(); len(got) != 2 || got[0] != 5 || got[1] != 65 {
+		t.Errorf("And = %v, want [5 65]", got)
+	}
+	or := a.Clone().Or(b)
+	if or.Count() != 4 {
+		t.Errorf("Or.Count = %d, want 4", or.Count())
+	}
+	diff := a.Clone().AndNot(b)
+	if got := diff.Indices(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("AndNot = %v, want [1]", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(10)
+	b := New(10)
+	if !a.Equal(b) {
+		t.Fatal("empty sets should be equal")
+	}
+	a.Set(3)
+	if a.Equal(b) {
+		t.Fatal("sets differ, Equal = true")
+	}
+	b.Set(3)
+	if !a.Equal(b) {
+		t.Fatal("identical sets, Equal = false")
+	}
+	if a.Equal(New(11)) {
+		t.Fatal("different lengths should not be equal")
+	}
+}
+
+func TestIndicesAndForEachAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(300)
+	for i := 0; i < 80; i++ {
+		s.Set(rng.Intn(300))
+	}
+	var viaForEach []int
+	s.ForEach(func(i int) bool {
+		viaForEach = append(viaForEach, i)
+		return true
+	})
+	idx := s.Indices()
+	if len(idx) != len(viaForEach) {
+		t.Fatalf("len mismatch %d vs %d", len(idx), len(viaForEach))
+	}
+	for i := range idx {
+		if idx[i] != viaForEach[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, idx[i], viaForEach[i])
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := NewFull(100)
+	n := 0
+	s.ForEach(func(i int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("ForEach visited %d bits, want 5", n)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And of mismatched sets should panic")
+		}
+	}()
+	New(10).And(New(20))
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Set(2)
+	s.Set(7)
+	if got := s.String(); got != "{2, 7}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Count equals len(Indices) and And is an intersection subset.
+func TestQuickIntersectionProperties(t *testing.T) {
+	f := func(bitsA, bitsB []uint16) bool {
+		const n = 512
+		a, b := New(n), New(n)
+		for _, i := range bitsA {
+			a.Set(int(i) % n)
+		}
+		for _, i := range bitsB {
+			b.Set(int(i) % n)
+		}
+		and := a.Clone().And(b)
+		if and.Count() != len(and.Indices()) {
+			return false
+		}
+		ok := true
+		and.ForEach(func(i int) bool {
+			if !a.Has(i) || !b.Has(i) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		// And is commutative.
+		return ok && and.Equal(b.Clone().And(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan on fixed universe — NOT(a OR b) == NOT a AND NOT b.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(bitsA, bitsB []uint16) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, i := range bitsA {
+			a.Set(int(i) % n)
+		}
+		for _, i := range bitsB {
+			b.Set(int(i) % n)
+		}
+		lhs := NewFull(n).AndNot(a.Clone().Or(b))
+		rhs := NewFull(n).AndNot(a).And(NewFull(n).AndNot(b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+// Package core implements DANCE, the data-acquisition middleware of the
+// paper (Fig 1). The offline phase buys correlated samples from the
+// marketplace and builds the two-layer join graph; the online phase turns an
+// acquisition request into a search over the join graph, escalating the
+// sample rate when no feasible plan exists, and finally emits the SQL
+// projection queries the shopper sends to the marketplace.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/infotheory"
+	"github.com/dance-db/dance/internal/joingraph"
+	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/pricing"
+	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/search"
+)
+
+// Config controls the middleware.
+type Config struct {
+	// SampleRate is the initial correlated-sampling rate for the offline
+	// phase (default 0.3).
+	SampleRate float64
+	// SampleSeed drives the marketplace-side correlated sampling; one seed
+	// is shared across datasets so samples stay join-consistent.
+	SampleSeed uint64
+	// MaxJoinAttrs caps join-attribute subsets per I-edge (default 3).
+	MaxJoinAttrs int
+	// MaxSampleRounds bounds the iterative refresh of Sec 2.1: when no
+	// feasible plan is found, DANCE buys more samples (rate × RateGrowth)
+	// and retries (default 3 rounds).
+	MaxSampleRounds int
+	// RateGrowth multiplies the sampling rate per refresh (default 2).
+	RateGrowth float64
+	// DiscoverFDs discovers AFDs on samples for datasets that publish
+	// none.
+	DiscoverFDs bool
+	// FDOptions configure discovery when DiscoverFDs is set.
+	FDOptions fd.DiscoveryOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleRate <= 0 {
+		c.SampleRate = 0.3
+	}
+	if c.MaxJoinAttrs <= 0 {
+		c.MaxJoinAttrs = 3
+	}
+	if c.MaxSampleRounds <= 0 {
+		c.MaxSampleRounds = 3
+	}
+	if c.RateGrowth <= 1 {
+		c.RateGrowth = 2
+	}
+	if c.DiscoverFDs && c.FDOptions.MaxError == 0 {
+		c.FDOptions = fd.DefaultDiscoveryOptions()
+	}
+	return c
+}
+
+// source is a shopper-owned instance.
+type source struct {
+	table *relation.Table
+	fds   []fd.FD
+}
+
+// Dance is the middleware. Construct with New, register owned data with
+// AddSource, run Offline once, then Acquire/Execute per request.
+type Dance struct {
+	market  marketplace.Market
+	cfg     Config
+	rate    float64
+	sources []source
+
+	graph      *joingraph.Graph
+	searcher   *search.Searcher
+	sampleCost float64
+}
+
+// New creates a middleware bound to a marketplace.
+func New(market marketplace.Market, cfg Config) *Dance {
+	cfg = cfg.withDefaults()
+	return &Dance{market: market, cfg: cfg, rate: cfg.SampleRate}
+}
+
+// AddSource registers shopper-owned data (the S of the acquisition request).
+// Must be called before Offline.
+func (d *Dance) AddSource(t *relation.Table, fds []fd.FD) {
+	d.sources = append(d.sources, source{table: t, fds: fds})
+}
+
+// SampleCost returns what DANCE has paid the marketplace for samples so far.
+func (d *Dance) SampleCost() float64 { return d.sampleCost }
+
+// SampleRate returns the current offline sampling rate.
+func (d *Dance) SampleRate() float64 { return d.rate }
+
+// Graph exposes the current join graph (nil before Offline).
+func (d *Dance) Graph() *joingraph.Graph { return d.graph }
+
+// primaryJoinAttr picks the attribute of info shared with the most other
+// catalog entries: correlated sampling needs a join attribute, and the most
+// widely shared one preserves the most join structure (see DESIGN.md).
+func primaryJoinAttr(info marketplace.DatasetInfo, catalog []marketplace.DatasetInfo) string {
+	best, bestCount := "", -1
+	for _, c := range info.Attrs {
+		count := 0
+		for _, other := range catalog {
+			if other.Name == info.Name {
+				continue
+			}
+			for _, oc := range other.Attrs {
+				if oc.Name == c.Name {
+					count++
+					break
+				}
+			}
+		}
+		if count > bestCount {
+			best, bestCount = c.Name, count
+		}
+	}
+	return best
+}
+
+// Offline runs the offline phase: fetch the catalog, buy correlated samples
+// of every dataset at the current rate, collect published (or discovered)
+// AFDs, and build the join graph. Calling it again re-samples at the
+// current rate (used by the iterative refresh).
+func (d *Dance) Offline() error {
+	catalog, err := d.market.Catalog()
+	if err != nil {
+		return fmt.Errorf("dance: catalog: %w", err)
+	}
+	if len(catalog) == 0 {
+		return fmt.Errorf("dance: marketplace catalog is empty")
+	}
+	var instances []*joingraph.Instance
+	for _, s := range d.sources {
+		instances = append(instances, &joingraph.Instance{
+			Name:     s.table.Name,
+			Sample:   s.table, // owned data needs no sampling
+			FullRows: s.table.NumRows(),
+			FDs:      s.fds,
+			Owned:    true,
+		})
+	}
+	for _, info := range catalog {
+		joinAttr := primaryJoinAttr(info, catalog)
+		var sample *relation.Table
+		var cost float64
+		if d.rate >= 1 {
+			sample, cost, err = d.market.Sample(info.Name, []string{joinAttr}, 1, d.cfg.SampleSeed)
+		} else {
+			sample, cost, err = d.market.Sample(info.Name, []string{joinAttr}, d.rate, d.cfg.SampleSeed)
+		}
+		if err != nil {
+			return fmt.Errorf("dance: sampling %s: %w", info.Name, err)
+		}
+		d.sampleCost += cost
+		fds, err := d.market.DatasetFDs(info.Name)
+		if err != nil {
+			return fmt.Errorf("dance: FDs of %s: %w", info.Name, err)
+		}
+		if len(fds) == 0 && d.cfg.DiscoverFDs {
+			fds, err = fd.Discover(sample, d.cfg.FDOptions)
+			if err != nil {
+				return fmt.Errorf("dance: FD discovery on %s: %w", info.Name, err)
+			}
+		}
+		instances = append(instances, &joingraph.Instance{
+			Name:     info.Name,
+			Sample:   sample,
+			FullRows: info.Rows,
+			FDs:      fds,
+		})
+	}
+	g, err := joingraph.Build(instances, joingraph.Config{
+		MaxJoinAttrs: d.cfg.MaxJoinAttrs,
+		Quoter:       d.market,
+	})
+	if err != nil {
+		return fmt.Errorf("dance: join graph: %w", err)
+	}
+	d.graph = g
+	d.searcher = search.NewSearcher(g)
+	return nil
+}
+
+// Plan is DANCE's recommendation: the projection queries to purchase, the
+// target graph they came from, and the sample-estimated metrics.
+type Plan struct {
+	Queries []pricing.Query
+	TG      *joingraph.TargetGraph
+	Est     search.Metrics
+	// Request echoes the acquisition request the plan answers.
+	Request search.Request
+}
+
+// Acquire runs the online phase: search the join graph for the optimal
+// target graph under the request's constraints. When no feasible plan is
+// found it iteratively buys more samples (up to MaxSampleRounds) before
+// giving up — the refresh loop of Sec 2.1.
+func (d *Dance) Acquire(req search.Request) (*Plan, error) {
+	if d.graph == nil {
+		if err := d.Offline(); err != nil {
+			return nil, err
+		}
+	}
+	var lastErr error
+	for round := 0; round < d.cfg.MaxSampleRounds; round++ {
+		if round > 0 {
+			if d.rate >= 1 {
+				break // cannot sample more than everything
+			}
+			d.rate = d.rate * d.cfg.RateGrowth
+			if d.rate > 1 {
+				d.rate = 1
+			}
+			if err := d.Offline(); err != nil {
+				return nil, err
+			}
+		}
+		res, err := d.searcher.Heuristic(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return d.planFromResult(res, req), nil
+	}
+	return nil, fmt.Errorf("dance: no feasible acquisition after %d sample rounds: %w",
+		d.cfg.MaxSampleRounds, lastErr)
+}
+
+// RankedPlan is one of several scored acquisition options (the paper's
+// future-work top-k recommendation mode).
+type RankedPlan struct {
+	Plan  *Plan
+	Score float64
+}
+
+// AcquireTopK returns up to k scored acquisition options instead of the
+// single correlation-best plan, ranked by the combined score of
+// correlation, quality, join informativeness and price. Sample-rate
+// escalation applies as in Acquire.
+func (d *Dance) AcquireTopK(req search.Request, k int, weights search.ScoreWeights) ([]RankedPlan, error) {
+	if d.graph == nil {
+		if err := d.Offline(); err != nil {
+			return nil, err
+		}
+	}
+	var lastErr error
+	for round := 0; round < d.cfg.MaxSampleRounds; round++ {
+		if round > 0 {
+			if d.rate >= 1 {
+				break
+			}
+			d.rate = d.rate * d.cfg.RateGrowth
+			if d.rate > 1 {
+				d.rate = 1
+			}
+			if err := d.Offline(); err != nil {
+				return nil, err
+			}
+		}
+		options, err := d.searcher.TopK(req, k, weights)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out := make([]RankedPlan, len(options))
+		for i, o := range options {
+			out[i] = RankedPlan{Plan: d.planFromResult(o.Result, req), Score: o.Score}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("dance: no feasible acquisition options after %d sample rounds: %w",
+		d.cfg.MaxSampleRounds, lastErr)
+}
+
+func (d *Dance) planFromResult(res *search.Result, req search.Request) *Plan {
+	purchase := res.TG.Purchase()
+	idxs := make([]int, 0, len(purchase))
+	for v := range purchase {
+		idxs = append(idxs, v)
+	}
+	sort.Ints(idxs)
+	plan := &Plan{TG: res.TG, Est: res.Est, Request: req}
+	for _, v := range idxs {
+		plan.Queries = append(plan.Queries, pricing.Query{
+			Instance: d.graph.Instances[v].Name,
+			Attrs:    purchase[v],
+		})
+	}
+	return plan
+}
+
+// Purchase is the outcome of executing a plan against the marketplace.
+type Purchase struct {
+	// Tables are the bought projections, in query order.
+	Tables []*relation.Table
+	// Joined is the equi-join of owned sources and purchases along the
+	// plan's target graph.
+	Joined *relation.Table
+	// TotalPrice is the sum actually charged by the marketplace.
+	TotalPrice float64
+	// Realized are the metrics measured on the purchased (full) data:
+	// the real correlation and quality, not the sample estimates.
+	Realized search.Metrics
+}
+
+// Execute buys every query of the plan and reassembles the join.
+func (d *Dance) Execute(plan *Plan) (*Purchase, error) {
+	if plan == nil || plan.TG == nil {
+		return nil, fmt.Errorf("dance: nil plan")
+	}
+	bought := map[string]*relation.Table{}
+	p := &Purchase{}
+	for _, q := range plan.Queries {
+		t, price, err := d.market.ExecuteProjection(q)
+		if err != nil {
+			return nil, fmt.Errorf("dance: executing %s: %w", q, err)
+		}
+		p.Tables = append(p.Tables, t)
+		p.TotalPrice += price
+		bought[q.Instance] = t
+	}
+	// Owned sources join with their full local tables.
+	for _, s := range d.sources {
+		bought[s.table.Name] = s.table
+	}
+	steps, err := plan.TG.JoinSteps()
+	if err != nil {
+		return nil, err
+	}
+	full := make([]relation.PathStep, len(steps))
+	for i, st := range steps {
+		bt, ok := bought[st.Table.Name]
+		if !ok {
+			return nil, fmt.Errorf("dance: plan references %q which was neither bought nor owned", st.Table.Name)
+		}
+		full[i] = relation.PathStep{Table: bt, On: st.On}
+	}
+	joined, err := relation.JoinPath(full)
+	if err != nil {
+		return nil, err
+	}
+	p.Joined = joined
+
+	// Realized metrics on the actual purchase.
+	x, y, err := corrAttrsOf(plan.Request)
+	if err != nil {
+		return nil, err
+	}
+	p.Realized.Weight = plan.TG.Weight()
+	p.Realized.Price = p.TotalPrice
+	if joined.NumRows() > 0 {
+		if p.Realized.Correlation, err = infotheory.Correlation(joined, x, y); err != nil {
+			return nil, err
+		}
+		if p.Realized.Quality, err = fd.QualitySet(joined, plan.TG.FDs()); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// corrAttrsOf mirrors search.Request.corrAttrs for realized metrics.
+func corrAttrsOf(r search.Request) (x, y []string, err error) {
+	if len(r.TargetAttrs) == 0 {
+		return nil, nil, fmt.Errorf("dance: request has no target attributes")
+	}
+	if len(r.SourceAttrs) > 0 {
+		return r.SourceAttrs, r.TargetAttrs, nil
+	}
+	if len(r.TargetAttrs) < 2 {
+		return nil, nil, fmt.Errorf("dance: source-less request needs ≥ 2 target attributes")
+	}
+	return r.TargetAttrs[:1], r.TargetAttrs[1:], nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/pricing"
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// faultyMarket wraps a real marketplace and fails selected operations, to
+// verify the middleware surfaces marketplace failures instead of
+// mis-planning around them.
+type faultyMarket struct {
+	inner       marketplace.Market
+	failCatalog bool
+	failSample  string // dataset name whose sampling fails
+	failFDs     string
+	failQuote   string
+	failQuery   string
+}
+
+var errInjected = errors.New("injected marketplace failure")
+
+func (f *faultyMarket) Catalog() ([]marketplace.DatasetInfo, error) {
+	if f.failCatalog {
+		return nil, errInjected
+	}
+	return f.inner.Catalog()
+}
+
+func (f *faultyMarket) DatasetFDs(name string) ([]fd.FD, error) {
+	if name == f.failFDs {
+		return nil, errInjected
+	}
+	return f.inner.DatasetFDs(name)
+}
+
+func (f *faultyMarket) QuoteProjection(name string, attrs []string) (float64, error) {
+	if name == f.failQuote {
+		return 0, errInjected
+	}
+	return f.inner.QuoteProjection(name, attrs)
+}
+
+func (f *faultyMarket) Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+	if name == f.failSample {
+		return nil, 0, errInjected
+	}
+	return f.inner.Sample(name, joinAttrs, rate, seed)
+}
+
+func (f *faultyMarket) ExecuteProjection(q pricing.Query) (*relation.Table, float64, error) {
+	if q.Instance == f.failQuery {
+		return nil, 0, errInjected
+	}
+	return f.inner.ExecuteProjection(q)
+}
+
+func TestOfflineSurfacesCatalogFailure(t *testing.T) {
+	m, src := buildScenario(40)
+	d := New(&faultyMarket{inner: m, failCatalog: true}, Config{SampleRate: 0.9})
+	d.AddSource(src, nil)
+	err := d.Offline()
+	if err == nil || !errors.Is(err, errInjected) {
+		t.Fatalf("catalog failure not surfaced: %v", err)
+	}
+}
+
+func TestOfflineSurfacesSampleFailure(t *testing.T) {
+	m, src := buildScenario(41)
+	d := New(&faultyMarket{inner: m, failSample: "mid2"}, Config{SampleRate: 0.9})
+	d.AddSource(src, nil)
+	err := d.Offline()
+	if err == nil || !strings.Contains(err.Error(), "mid2") {
+		t.Fatalf("sample failure not surfaced with dataset name: %v", err)
+	}
+}
+
+func TestOfflineSurfacesFDFailure(t *testing.T) {
+	m, src := buildScenario(42)
+	d := New(&faultyMarket{inner: m, failFDs: "tgt"}, Config{SampleRate: 0.9})
+	d.AddSource(src, nil)
+	if err := d.Offline(); err == nil {
+		t.Fatal("FD metadata failure not surfaced")
+	}
+}
+
+func TestAcquireSurfacesQuoteFailure(t *testing.T) {
+	m, src := buildScenario(43)
+	d := New(&faultyMarket{inner: m, failQuote: "tgt"}, Config{SampleRate: 0.9, MaxSampleRounds: 1})
+	d.AddSource(src, nil)
+	// Quotes fail during the search (pricing target graphs touching tgt);
+	// acquisition must fail cleanly, not return an unpriced plan.
+	if _, err := d.Acquire(acquisitionRequest()); err == nil {
+		t.Fatal("quote failure not surfaced")
+	}
+}
+
+func TestExecuteSurfacesQueryFailure(t *testing.T) {
+	m, src := buildScenario(44)
+	// Plan against the healthy market, then fail the purchase step only.
+	healthy := New(m, Config{SampleRate: 0.9, SampleSeed: 5})
+	healthy.AddSource(src, nil)
+	plan, err := healthy.Acquire(acquisitionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := plan.Queries[0].Instance
+	broken := New(&faultyMarket{inner: m, failQuery: victim}, Config{SampleRate: 0.9, SampleSeed: 5})
+	broken.AddSource(src, nil)
+	if err := broken.Offline(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broken.Execute(plan); err == nil || !errors.Is(err, errInjected) {
+		t.Fatalf("purchase failure not surfaced: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dance-db/dance/internal/search"
+)
+
+func TestAcquireTopK(t *testing.T) {
+	m, src := buildScenario(30)
+	d := New(m, Config{SampleRate: 0.9, SampleSeed: 5})
+	d.AddSource(src, nil)
+	req := acquisitionRequest()
+	options, err := d.AcquireTopK(req, 3, search.DefaultScoreWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(options) == 0 {
+		t.Fatal("no options")
+	}
+	for i, o := range options {
+		if o.Plan == nil || len(o.Plan.Queries) == 0 {
+			t.Fatalf("option %d has no plan", i)
+		}
+		if i > 0 && o.Score > options[i-1].Score+1e-12 {
+			t.Fatal("options not sorted by score")
+		}
+	}
+	// The best option must be executable.
+	purchase, err := d.Execute(options[0].Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purchase.Joined.NumRows() == 0 {
+		t.Fatal("top option join is empty")
+	}
+}
+
+func TestAcquireTopKInfeasible(t *testing.T) {
+	m, src := buildScenario(31)
+	d := New(m, Config{SampleRate: 0.9, SampleSeed: 5, MaxSampleRounds: 1})
+	d.AddSource(src, nil)
+	req := acquisitionRequest()
+	req.Budget = 1e-9
+	if _, err := d.AcquireTopK(req, 3, search.DefaultScoreWeights()); err == nil {
+		t.Fatal("unaffordable top-k should fail")
+	}
+}

@@ -1,0 +1,67 @@
+// Package dirty injects controlled inconsistency into tables: it modifies a
+// fraction of rows so that declared functional dependencies are violated,
+// mirroring the paper's setup ("We modified 30% of records of 6 tables in
+// TPC-H ... and 20 out of 29 tables in TPC-E to introduce inconsistency").
+package dirty
+
+import (
+	"math/rand"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// Inject modifies ~frac of t's rows in place. For each victim row it picks
+// one of the applicable FDs and overwrites the FD's RHS attribute with a
+// value drawn from another row of the same column, which breaks X→Y for the
+// victim's equivalence class without inventing out-of-domain values.
+// Returns the number of modified rows.
+func Inject(t *relation.Table, frac float64, fds []fd.FD, rng *rand.Rand) int {
+	if frac <= 0 || t.NumRows() < 2 {
+		return 0
+	}
+	applicable := fd.Applicable(fds, t.Schema)
+	if len(applicable) == 0 {
+		return 0
+	}
+	n := t.NumRows()
+	modified := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() >= frac {
+			continue
+		}
+		f := applicable[rng.Intn(len(applicable))]
+		rhsIdx := t.Schema.Index(f.RHS)
+		if rhsIdx < 0 {
+			continue
+		}
+		cur := t.Rows[i][rhsIdx]
+		// Draw a replacement from another row; try a few times to find a
+		// genuinely different value.
+		for attempt := 0; attempt < 8; attempt++ {
+			j := rng.Intn(n)
+			v := t.Rows[j][rhsIdx]
+			if !v.EqualValue(cur) {
+				t.Rows[i][rhsIdx] = v
+				modified++
+				break
+			}
+		}
+	}
+	return modified
+}
+
+// InjectTables dirties the named tables of a dataset in place with the same
+// fraction, leaving the rest clean. tables maps name → table; fds maps
+// name → declared FDs. Returns modified counts per table.
+func InjectTables(tables map[string]*relation.Table, fds map[string][]fd.FD, names []string, frac float64, rng *rand.Rand) map[string]int {
+	out := make(map[string]int, len(names))
+	for _, name := range names {
+		t, ok := tables[name]
+		if !ok {
+			continue
+		}
+		out[name] = Inject(t, frac, fds[name], rng)
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dance-db/dance/internal/graphalg"
+	"github.com/dance-db/dance/internal/pricing"
+	"github.com/dance-db/dance/internal/search"
+)
+
+// AblationOptions are shared knobs for the ablation studies.
+type AblationOptions struct {
+	Scale      int
+	Seed       int64
+	Rate       float64
+	Iterations int
+}
+
+func (o AblationOptions) withDefaults() AblationOptions {
+	if o.Scale <= 0 {
+		o.Scale = 2
+	}
+	if o.Rate <= 0 {
+		o.Rate = 0.5
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 80
+	}
+	return o
+}
+
+// AblationSteiner compares the three Step 1 strategies — the paper's
+// landmark-union heuristic, the MST 2-approximation, and exact
+// Dreyfus–Wagner — by I-graph weight and time on the 29-instance TPC-E
+// join graph (the TPC-H graph is too small to separate them).
+func AblationSteiner(opts AblationOptions) (Table, error) {
+	opts = opts.withDefaults()
+	tab := Table{
+		ID:      "ablation-steiner",
+		Title:   "Step 1 strategies: I-graph weight and time (TPC-E, 29 instances)",
+		Headers: []string{"query", "strategy", "weight", "time_s", "vertices"},
+	}
+	env, err := NewEnv(EnvConfig{Dataset: "tpce", Scale: opts.Scale, Seed: opts.Seed, Rate: opts.Rate})
+	if err != nil {
+		return tab, err
+	}
+	il := env.Sampled.ILayer()
+	for _, q := range TPCEQueries() {
+		// Terminals: first cover of source+target attributes.
+		all := append(append([]string{}, q.SourceAttrs...), q.TargetAttrs...)
+		covers, err := env.Sampled.TargetCovers(all, 1)
+		if err != nil {
+			return tab, err
+		}
+		terminals := covers[0]
+		type strat struct {
+			name string
+			run  func() (*graphalg.SteinerTree, bool)
+		}
+		lm := il.BuildLandmarks(4, nil)
+		strategies := []strat{
+			{"landmark-union (paper)", func() (*graphalg.SteinerTree, bool) {
+				return il.SteinerViaLandmarks(lm, terminals)
+			}},
+			{"mst-2approx", func() (*graphalg.SteinerTree, bool) { return il.SteinerMSTApprox(terminals) }},
+			{"exact-dreyfus-wagner", func() (*graphalg.SteinerTree, bool) { return il.SteinerExact(terminals) }},
+		}
+		for _, st := range strategies {
+			start := time.Now()
+			tree, ok := st.run()
+			elapsed := time.Since(start).Seconds()
+			if !ok {
+				tab.Rows = append(tab.Rows, []string{q.Name, st.name, "N/A", fmtSeconds(elapsed), "-"})
+				continue
+			}
+			tab.Rows = append(tab.Rows, []string{
+				q.Name, st.name, fmtF(tree.Weight), fmtSeconds(elapsed), fmt.Sprint(len(tree.Vertices)),
+			})
+		}
+	}
+	return tab, nil
+}
+
+// AblationMCMC compares Algorithm 1's Metropolis acceptance with greedy
+// hill-climbing: the real correlation each reaches.
+func AblationMCMC(opts AblationOptions) (Table, error) {
+	opts = opts.withDefaults()
+	tab := Table{
+		ID:      "ablation-mcmc",
+		Title:   "Algorithm 1 acceptance rule: Metropolis vs greedy (real correlation, TPC-H)",
+		Headers: []string{"query", "metropolis", "greedy"},
+	}
+	env, err := NewEnv(EnvConfig{Dataset: "tpch", Scale: opts.Scale, Seed: opts.Seed, Rate: opts.Rate})
+	if err != nil {
+		return tab, err
+	}
+	for _, q := range TPCHQueries() {
+		run := func(greedy bool) (string, error) {
+			req := env.Request(q, opts.Seed)
+			req.Iterations = opts.Iterations
+			req.Greedy = greedy
+			s := env.SampledSearcher()
+			res, err := s.Heuristic(req)
+			if err != nil {
+				return "N/A", nil
+			}
+			m, err := env.RealMetrics(s, res, req)
+			if err != nil {
+				return "", err
+			}
+			return fmtF(m.Correlation), nil
+		}
+		met, err := run(false)
+		if err != nil {
+			return tab, err
+		}
+		gre, err := run(true)
+		if err != nil {
+			return tab, err
+		}
+		tab.Rows = append(tab.Rows, []string{q.Name, met, gre})
+	}
+	return tab, nil
+}
+
+// AblationPricing compares the entropy-based arbitrage-free model with flat
+// per-attribute pricing: the price of identical acquisitions under both.
+func AblationPricing(opts AblationOptions) (Table, error) {
+	opts = opts.withDefaults()
+	tab := Table{
+		ID:      "ablation-pricing",
+		Title:   "Pricing models: entropy-based vs flat per-attribute (same acquisition)",
+		Headers: []string{"query", "entropy_price", "flat_price", "attrs_bought"},
+	}
+	env, err := NewEnv(EnvConfig{Dataset: "tpch", Scale: opts.Scale, Seed: opts.Seed, Rate: opts.Rate})
+	if err != nil {
+		return tab, err
+	}
+	flat := pricing.FlatModel{PerAttribute: 2}
+	for _, q := range TPCHQueries() {
+		req := env.Request(q, opts.Seed)
+		req.Iterations = opts.Iterations
+		s := env.SampledSearcher()
+		res, err := s.Heuristic(req)
+		if err != nil {
+			return tab, err
+		}
+		entropyPrice, err := res.TG.Price()
+		if err != nil {
+			return tab, err
+		}
+		flatPrice := 0.0
+		attrs := 0
+		for v, set := range res.TG.Purchase() {
+			p, err := flat.PriceProjection(env.Tables[env.Sampled.Instances[v].Name], set)
+			if err != nil {
+				return tab, err
+			}
+			flatPrice += p
+			attrs += len(set)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			q.Name, fmtF(entropyPrice), fmtF(flatPrice), fmt.Sprint(attrs),
+		})
+	}
+	return tab, nil
+}
+
+// AblationEta sweeps the re-sampling threshold η: estimated correlation and
+// search time against the no-re-sampling baseline on the longest query.
+func AblationEta(opts AblationOptions) (Table, error) {
+	opts = opts.withDefaults()
+	tab := Table{
+		ID:      "ablation-eta",
+		Title:   "Re-sampling threshold η sweep (TPC-H Q2, ρ=0.5)",
+		Headers: []string{"eta", "est_correlation", "time_s"},
+	}
+	env, err := NewEnv(EnvConfig{Dataset: "tpch", Scale: opts.Scale, Seed: opts.Seed, Rate: opts.Rate})
+	if err != nil {
+		return tab, err
+	}
+	q := TPCHQueries()[1]
+	for _, eta := range []int{0, 25, 50, 100, 200} {
+		req := env.Request(q, opts.Seed)
+		req.Iterations = opts.Iterations
+		req.Eta = eta
+		req.ResampleRate = 0.5
+		s := env.SampledSearcher()
+		var res *search.Result
+		elapsed, err := timeSearch(func() error {
+			var e error
+			res, e = s.Heuristic(req)
+			return e
+		})
+		if err != nil {
+			tab.Rows = append(tab.Rows, []string{fmt.Sprint(eta), "N/A", fmtSeconds(elapsed)})
+			continue
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(eta), fmtF(res.Est.Correlation), fmtSeconds(elapsed),
+		})
+	}
+	return tab, nil
+}

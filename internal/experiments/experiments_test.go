@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Small scales keep these integration tests fast while still exercising
+// every experiment end to end.
+
+func TestTableRender(t *testing.T) {
+	tab := Table{ID: "x", Title: "demo", Headers: []string{"a", "bbb"},
+		Rows: [][]string{{"1", "2"}, {"333", "4"}}}
+	out := tab.Render()
+	for _, want := range []string{"demo", "a", "bbb", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewEnvShapes(t *testing.T) {
+	env, err := NewEnv(EnvConfig{Dataset: "tpch", Scale: 1, Seed: 1, Rate: 0.5, NumInstances: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Order) != 5 {
+		t.Fatalf("order = %v", env.Order)
+	}
+	if len(env.Sampled.Instances) != 5 || len(env.Full.Instances) != 5 {
+		t.Fatal("graphs have wrong instance counts")
+	}
+	// Sampled graph holds fewer rows than full.
+	si := env.Sampled.InstanceIndex("orders")
+	fi := env.Full.InstanceIndex("orders")
+	if env.Sampled.Instances[si].Sample.NumRows() >= env.Full.Instances[fi].Sample.NumRows() {
+		t.Fatal("sampling did not reduce rows")
+	}
+	if _, err := NewEnv(EnvConfig{Dataset: "nope"}); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestQuerySpecsResolve(t *testing.T) {
+	for _, tc := range []struct {
+		dataset string
+		queries []QuerySpec
+	}{
+		{"tpch", TPCHQueries()},
+		{"tpce", TPCEQueries()},
+	} {
+		env, err := NewEnv(EnvConfig{Dataset: tc.dataset, Scale: 1, Seed: 1, Rate: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range tc.queries {
+			for _, a := range append(append([]string{}, q.SourceAttrs...), q.TargetAttrs...) {
+				if len(env.Sampled.InstancesWithAttr(a)) == 0 {
+					t.Errorf("%s %s: attribute %q not offered", tc.dataset, q.Name, a)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4Small(t *testing.T) {
+	tabs, err := Fig4(Fig4Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{5, 6}, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 2 {
+			t.Fatalf("%s rows = %d", tab.ID, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			for i := 1; i < 4; i++ {
+				if _, err := strconv.ParseFloat(row[i], 64); err != nil {
+					t.Fatalf("%s cell %q not numeric", tab.ID, row[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFig4HeuristicFasterThanGPAtLargestN(t *testing.T) {
+	tabs, err := Fig4(Fig4Options{Scale: 1, Seed: 2, Rate: 0.6, Ns: []int{8}, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline claim: the heuristic beats the brute-force optima at
+	// the largest instance count, on every query.
+	for _, tab := range tabs {
+		row := tab.Rows[0]
+		h, _ := strconv.ParseFloat(row[1], 64)
+		gp, _ := strconv.ParseFloat(row[3], 64)
+		if h >= gp {
+			t.Errorf("%s: heuristic (%vs) not faster than GP (%vs)", tab.ID, h, gp)
+		}
+	}
+}
+
+func TestFig5Small(t *testing.T) {
+	ta, tb, err := Fig5ab(Fig5Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{10, 15}, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 2 || len(tb.Rows) != 2 {
+		t.Fatalf("rows: %d, %d", len(ta.Rows), len(tb.Rows))
+	}
+	// I-graph sizes must be at least the query path length lower bounds.
+	for _, row := range tb.Rows {
+		q3size, _ := strconv.Atoi(row[3])
+		if q3size < 5 {
+			t.Errorf("Q3 I-graph size %d implausibly small", q3size)
+		}
+	}
+	tc, err := Fig5c(Fig5Options{Scale: 1, Seed: 1, Rate: 0.6, Ratios: []float64{0.02, 1.0}, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.Rows) != 2 {
+		t.Fatalf("fig5c rows = %d", len(tc.Rows))
+	}
+	// Full budget must be affordable for every query.
+	last := tc.Rows[len(tc.Rows)-1]
+	for i := 1; i < len(last); i++ {
+		if last[i] == "N/A" {
+			t.Errorf("budget ratio 1.0 should be affordable, got N/A (col %d)", i)
+		}
+	}
+}
+
+func TestFig6Small(t *testing.T) {
+	tabs, err := Fig6(Fig6Options{Scale: 1, Seed: 1, Rates: []float64{0.5, 1.0}, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tabs {
+		for _, row := range tab.Rows {
+			for i := 1; i < 3; i++ {
+				cd, err := strconv.ParseFloat(row[i], 64)
+				if err != nil {
+					t.Fatalf("%s: bad cell %q", tab.ID, row[i])
+				}
+				if cd < 0 || cd > 1 {
+					t.Errorf("%s: CD %v out of [0,1]", tab.ID, cd)
+				}
+			}
+		}
+	}
+}
+
+func TestFig7Small(t *testing.T) {
+	tabs, err := Fig7(Fig7Options{Scale: 1, Seed: 1, Rate: 0.6, Ratios: []float64{0.5, 1.0}, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatal("expected 3 panels")
+	}
+	// At full budget no cell should be N/A.
+	for _, tab := range tabs {
+		last := tab.Rows[len(tab.Rows)-1]
+		for i := 1; i < len(last); i++ {
+			if last[i] == "N/A" {
+				t.Errorf("%s: N/A at budget ratio 1.0", tab.ID)
+			}
+		}
+	}
+}
+
+func TestFig8Small(t *testing.T) {
+	tabs, err := Fig8(Fig8Options{Scale: 1, Seed: 1, Rate: 0.7, ResampleRates: []float64{0.5, 0.9}, Eta: 200, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 2 {
+			t.Fatalf("%s rows = %d", tab.ID, len(tab.Rows))
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	tab, err := Table5(Table5Options{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "8" || tab.Rows[1][1] != "29" {
+		t.Fatalf("instance counts wrong: %v", tab.Rows)
+	}
+	if !strings.Contains(tab.Rows[1][4], "sector") {
+		t.Errorf("TPC-E min-attrs table should be sector: %v", tab.Rows[1])
+	}
+	if !strings.Contains(tab.Rows[1][5], "customer") {
+		t.Errorf("TPC-E max-attrs table should be customer: %v", tab.Rows[1])
+	}
+}
+
+func TestFDCounts(t *testing.T) {
+	tab, err := FDCounts("tpch", Table5Options{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Wider tables should generally have more AFDs; at minimum all counts
+	// parse and lineitem (20 attrs) has more than region (4 attrs).
+	counts := map[string]int{}
+	for _, row := range tab.Rows {
+		n, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("bad count %q", row[3])
+		}
+		counts[row[0]] = n
+	}
+	if counts["lineitem"] <= counts["region"] {
+		t.Errorf("lineitem AFDs (%d) should exceed region's (%d)", counts["lineitem"], counts["region"])
+	}
+}
+
+func TestTable6(t *testing.T) {
+	tab, err := Table6(Table6Options{Scale: 1, Seed: 1, Rate: 0.6, BudgetRatio: 0.8, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 3 queries × 2 approaches
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		dance, direct := tab.Rows[i], tab.Rows[i+1]
+		dc, _ := strconv.ParseFloat(dance[2], 64)
+		gc, _ := strconv.ParseFloat(direct[2], 64)
+		if gc+1e-9 < dc*0.5 {
+			t.Errorf("%s: direct-purchase correlation %v implausibly below DANCE %v", dance[0], gc, dc)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	opts := AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
+	st, err := AblationSteiner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 9 { // 3 queries × 3 strategies
+		t.Fatalf("steiner rows = %d", len(st.Rows))
+	}
+	mc, err := AblationMCMC(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Rows) != 3 {
+		t.Fatalf("mcmc rows = %d", len(mc.Rows))
+	}
+	pr, err := AblationPricing(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Rows) != 3 {
+		t.Fatalf("pricing rows = %d", len(pr.Rows))
+	}
+	et, err := AblationEta(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(et.Rows) != 5 {
+		t.Fatalf("eta rows = %d", len(et.Rows))
+	}
+}
+
+func TestFigTPCHBudgetTime(t *testing.T) {
+	tab, err := FigTPCHBudgetTime(Fig5Options{Scale: 1, Seed: 1, Rate: 0.6,
+		Ratios: []float64{0.1, 1.0}, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	last := tab.Rows[1]
+	for i := 1; i < len(last); i++ {
+		if last[i] == "N/A" {
+			t.Errorf("budget ratio 1.0 should be affordable (col %d)", i)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package graphalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SteinerTree is a connected subgraph spanning a terminal set.
+type SteinerTree struct {
+	Vertices []int    // sorted
+	Edges    [][2]int // sorted, normalized u < v
+	Weight   float64
+}
+
+func newTreeFromEdgeSet(g *Graph, edges map[[2]int]bool, terminals []int) *SteinerTree {
+	// Prune non-terminal leaves repeatedly (a landmark or detour vertex of
+	// degree 1 contributes weight without connecting anything).
+	term := map[int]bool{}
+	for _, t := range terminals {
+		term[t] = true
+	}
+	deg := map[int]int{}
+	for e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	changed := true
+	for changed {
+		changed = false
+		for e := range edges {
+			for _, v := range []int{e[0], e[1]} {
+				if deg[v] == 1 && !term[v] {
+					delete(edges, e)
+					deg[e[0]]--
+					deg[e[1]]--
+					changed = true
+					break
+				}
+			}
+			if changed {
+				break
+			}
+		}
+	}
+
+	verts := map[int]bool{}
+	for _, t := range terminals {
+		verts[t] = true
+	}
+	t := &SteinerTree{}
+	for e := range edges {
+		verts[e[0]] = true
+		verts[e[1]] = true
+		t.Edges = append(t.Edges, e)
+		t.Weight += g.Weight(e[0], e[1])
+	}
+	for v := range verts {
+		t.Vertices = append(t.Vertices, v)
+	}
+	sort.Ints(t.Vertices)
+	sort.Slice(t.Edges, func(i, j int) bool {
+		if t.Edges[i][0] != t.Edges[j][0] {
+			return t.Edges[i][0] < t.Edges[j][0]
+		}
+		return t.Edges[i][1] < t.Edges[j][1]
+	})
+	return t
+}
+
+// SteinerViaLandmarks implements the paper's Step 1 heuristic: for each
+// landmark m, union the precomputed shortest paths terminal→m; the
+// candidate with minimal total weight wins. Returns (nil, false) when no
+// landmark reaches every terminal. The per-landmark union is a subtree of
+// m's shortest-path tree, so the result is always a tree.
+func (g *Graph) SteinerViaLandmarks(lm *Landmarks, terminals []int) (*SteinerTree, bool) {
+	trees := g.steinerLandmarkCandidates(lm, terminals)
+	if len(trees) == 0 {
+		return nil, false
+	}
+	return trees[0], true
+}
+
+// SteinerLandmarkCandidates returns all distinct landmark-union candidates
+// sorted by ascending weight; Step 1 exposes them so the online search can
+// fall back to the next-best I-graph when constraints fail.
+func (g *Graph) SteinerLandmarkCandidates(lm *Landmarks, terminals []int) []*SteinerTree {
+	return g.steinerLandmarkCandidates(lm, terminals)
+}
+
+func (g *Graph) steinerLandmarkCandidates(lm *Landmarks, terminals []int) []*SteinerTree {
+	if len(terminals) == 0 {
+		return nil
+	}
+	var trees []*SteinerTree
+	seen := map[string]bool{}
+	for i := range lm.IDs {
+		m := lm.IDs[i]
+		ok := true
+		edges := map[[2]int]bool{}
+		for _, t := range terminals {
+			if math.IsInf(lm.dist[i][t], 1) {
+				ok = false
+				break
+			}
+			path := PathFromParents(lm.parents[i], m, t)
+			if path == nil {
+				ok = false
+				break
+			}
+			for j := 0; j+1 < len(path); j++ {
+				edges[edgeKey(path[j], path[j+1])] = true
+			}
+		}
+		if !ok {
+			continue
+		}
+		tr := newTreeFromEdgeSet(g, edges, terminals)
+		key := treeKey(tr)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		trees = append(trees, tr)
+	}
+	sort.SliceStable(trees, func(a, b int) bool { return trees[a].Weight < trees[b].Weight })
+	return trees
+}
+
+func treeKey(t *SteinerTree) string {
+	b := make([]byte, 0, len(t.Edges)*8)
+	for _, e := range t.Edges {
+		b = append(b, byte(e[0]), byte(e[0]>>8), byte(e[1]), byte(e[1]>>8))
+	}
+	return string(b)
+}
+
+// SteinerMSTApprox is the classic 2-approximation: build the metric closure
+// over terminals, take its MST, and expand each MST edge into the
+// corresponding shortest path. Returns (nil, false) if terminals are
+// disconnected.
+func (g *Graph) SteinerMSTApprox(terminals []int) (*SteinerTree, bool) {
+	if len(terminals) == 0 {
+		return nil, false
+	}
+	if len(terminals) == 1 {
+		return &SteinerTree{Vertices: []int{terminals[0]}}, true
+	}
+	k := len(terminals)
+	dists := make([][]float64, k)
+	parents := make([][]int, k)
+	for i, t := range terminals {
+		dists[i], parents[i] = g.Dijkstra(t)
+	}
+	// Prim's MST over the metric closure.
+	inTree := make([]bool, k)
+	best := make([]float64, k)
+	bestFrom := make([]int, k)
+	for i := range best {
+		best[i] = math.Inf(1)
+		bestFrom[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < k; j++ {
+		if d := dists[0][terminals[j]]; d < best[j] {
+			best[j] = d
+			bestFrom[j] = 0
+		}
+	}
+	edges := map[[2]int]bool{}
+	for added := 1; added < k; added++ {
+		pick := -1
+		for j := 0; j < k; j++ {
+			if !inTree[j] && (pick == -1 || best[j] < best[pick]) {
+				pick = j
+			}
+		}
+		if pick == -1 || math.IsInf(best[pick], 1) {
+			return nil, false
+		}
+		// Expand the closure edge (bestFrom[pick] → pick) into graph edges.
+		src := bestFrom[pick]
+		path := PathFromParents(parents[src], terminals[src], terminals[pick])
+		if path == nil {
+			return nil, false
+		}
+		for j := 0; j+1 < len(path); j++ {
+			edges[edgeKey(path[j], path[j+1])] = true
+		}
+		inTree[pick] = true
+		for j := 0; j < k; j++ {
+			if !inTree[j] {
+				if d := dists[pick][terminals[j]]; d < best[j] {
+					best[j] = d
+					bestFrom[j] = pick
+				}
+			}
+		}
+	}
+	return newTreeFromEdgeSet(g, edges, terminals), true
+}
+
+// SteinerExact solves the Steiner tree problem exactly with Dreyfus–Wagner
+// dynamic programming: O(3^t·n + 2^t·n²) for t terminals. Intended for the
+// LP/GP brute-force baselines and tests (t ≤ ~12, small n).
+func (g *Graph) SteinerExact(terminals []int) (*SteinerTree, bool) {
+	t := len(terminals)
+	if t == 0 {
+		return nil, false
+	}
+	if t == 1 {
+		return &SteinerTree{Vertices: []int{terminals[0]}}, true
+	}
+	n := g.n
+	full := (1 << t) - 1
+
+	// All-pairs shortest paths via Dijkstra from every vertex.
+	dist := make([][]float64, n)
+	par := make([][]int, n)
+	for v := 0; v < n; v++ {
+		dist[v], par[v] = g.Dijkstra(v)
+	}
+
+	inf := math.Inf(1)
+	// dp[S][v] = weight of the cheapest tree spanning terminal set S ∪ {v}.
+	dp := make([][]float64, full+1)
+	// choice records how dp[S][v] was achieved for reconstruction:
+	// kind 0 = base, 1 = dp[S][u] + path(u,v), 2 = dp[A][v] + dp[S−A][v].
+	type step struct {
+		kind int
+		u    int // kind 1: intermediate vertex
+		sub  int // kind 2: subset A
+	}
+	choice := make([][]step, full+1)
+	for s := 0; s <= full; s++ {
+		dp[s] = make([]float64, n)
+		choice[s] = make([]step, n)
+		for v := range dp[s] {
+			dp[s][v] = inf
+		}
+	}
+	for i, term := range terminals {
+		for v := 0; v < n; v++ {
+			dp[1<<i][v] = dist[term][v]
+			choice[1<<i][v] = step{kind: 1, u: term}
+		}
+	}
+
+	for s := 1; s <= full; s++ {
+		if s&(s-1) == 0 {
+			continue // singleton handled above
+		}
+		// Merge subtrees meeting at v.
+		for v := 0; v < n; v++ {
+			for a := (s - 1) & s; a > 0; a = (a - 1) & s {
+				b := s &^ a
+				if b == 0 || a > b {
+					continue // each split once
+				}
+				if w := dp[a][v] + dp[b][v]; w < dp[s][v] {
+					dp[s][v] = w
+					choice[s][v] = step{kind: 2, sub: a}
+				}
+			}
+		}
+		// Relax: grow tree at u then connect u→v by shortest path.
+		// One Bellman-style pass over all pairs (sufficient because dist is
+		// a metric closure).
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if u == v {
+					continue
+				}
+				if w := dp[s][u] + dist[u][v]; w < dp[s][v] {
+					dp[s][v] = w
+					choice[s][v] = step{kind: 1, u: u}
+				}
+			}
+		}
+	}
+
+	root := terminals[0]
+	if math.IsInf(dp[full][root], 1) {
+		return nil, false
+	}
+
+	// Reconstruct the edge set.
+	edges := map[[2]int]bool{}
+	var rec func(s, v int)
+	rec = func(s, v int) {
+		if s&(s-1) == 0 {
+			ti := 0
+			for s>>uint(ti) != 1 {
+				ti++
+			}
+			addPath(par[terminals[ti]], terminals[ti], v, edges)
+			return
+		}
+		c := choice[s][v]
+		switch c.kind {
+		case 1:
+			addPath(par[c.u], c.u, v, edges)
+			rec(s, c.u)
+		case 2:
+			rec(c.sub, v)
+			rec(s&^c.sub, v)
+		}
+	}
+	rec(full, root)
+	return newTreeFromEdgeSet(g, edges, terminals), true
+}
+
+func addPath(parent []int, src, v int, edges map[[2]int]bool) {
+	path := PathFromParents(parent, src, v)
+	for j := 0; j+1 < len(path); j++ {
+		edges[edgeKey(path[j], path[j+1])] = true
+	}
+}

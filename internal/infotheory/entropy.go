@@ -1,0 +1,184 @@
+// Package infotheory implements the information-theoretic measures the paper
+// builds on: Shannon entropy, conditional entropy, mutual information,
+// cumulative entropy for numeric attributes (Nguyen et al., used by Def 2.5),
+// the mixed-type correlation measure CORR (Def 2.5), and join
+// informativeness JI (Def 2.4), all in log base 2.
+package infotheory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// log2 guards against log(0); callers never pass p <= 0.
+func log2(p float64) float64 { return math.Log2(p) }
+
+// EntropyFromCounts returns the Shannon entropy (bits) of the empirical
+// distribution given by non-negative counts. Zero counts are skipped.
+// Counts are summed in sorted order so the result is deterministic even
+// when the caller collected them from map iteration (float addition is not
+// associative).
+func EntropyFromCounts[N int | int64](counts []N) float64 {
+	sorted := make([]int64, 0, len(counts))
+	var total float64
+	for _, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("infotheory: negative count %v", c))
+		}
+		if c > 0 {
+			sorted = append(sorted, int64(c))
+			total += float64(c)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := 0.0
+	for _, c := range sorted {
+		p := float64(c) / total
+		h -= p * log2(p)
+	}
+	return h
+}
+
+// groupCounts returns the multiplicity of each distinct tuple of the named
+// columns.
+func groupCounts(t *relation.Table, cols []string) (map[string]int64, error) {
+	idx, err := t.Schema.Indexes(cols...)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int64)
+	var buf []byte
+	for _, r := range t.Rows {
+		buf = relation.EncodeKey(buf[:0], r, idx)
+		counts[string(buf)]++
+	}
+	return counts, nil
+}
+
+// Entropy returns the joint Shannon entropy H(X) of the named attribute set
+// X in t.
+func Entropy(t *relation.Table, cols ...string) (float64, error) {
+	if len(cols) == 0 || t.NumRows() == 0 {
+		return 0, nil
+	}
+	counts, err := groupCounts(t, cols)
+	if err != nil {
+		return 0, fmt.Errorf("entropy of %s%v: %w", t.Name, cols, err)
+	}
+	vals := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	return EntropyFromCounts(vals), nil
+}
+
+// ConditionalEntropy returns H(X | Y) = H(X ∪ Y) − H(Y) for attribute sets
+// X and Y of t.
+func ConditionalEntropy(t *relation.Table, x, y []string) (float64, error) {
+	hy, err := Entropy(t, y...)
+	if err != nil {
+		return 0, err
+	}
+	hxy, err := Entropy(t, append(append([]string{}, x...), y...)...)
+	if err != nil {
+		return 0, err
+	}
+	return hxy - hy, nil
+}
+
+// MutualInformation returns I(X; Y) = H(X) + H(Y) − H(X, Y).
+func MutualInformation(t *relation.Table, x, y []string) (float64, error) {
+	hx, err := Entropy(t, x...)
+	if err != nil {
+		return 0, err
+	}
+	hy, err := Entropy(t, y...)
+	if err != nil {
+		return 0, err
+	}
+	hxy, err := Entropy(t, append(append([]string{}, x...), y...)...)
+	if err != nil {
+		return 0, err
+	}
+	return hx + hy - hxy, nil
+}
+
+// CumulativeEntropy returns the empirical cumulative entropy
+// h(X) = −Σ_{i<n} (x_{i+1} − x_i) · F(x_i) · log2 F(x_i)
+// of the sample xs, where F is the empirical CDF. NULLs must be filtered by
+// the caller. The result is non-negative and 0 for constant or empty input.
+func CumulativeEntropy(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	h := 0.0
+	for i := 0; i < n-1; i++ {
+		dx := sorted[i+1] - sorted[i]
+		if dx == 0 {
+			continue
+		}
+		f := float64(i+1) / float64(n)
+		if f >= 1 {
+			continue // log2(1) = 0
+		}
+		h -= dx * f * log2(f)
+	}
+	return h
+}
+
+// numericColumn extracts the non-NULL numeric values of column name for the
+// given row indices (nil = all rows).
+func numericColumn(t *relation.Table, name string, rows []int) ([]float64, error) {
+	ci := t.Schema.Index(name)
+	if ci < 0 {
+		return nil, fmt.Errorf("infotheory: table %s has no column %q", t.Name, name)
+	}
+	var out []float64
+	take := func(r []relation.Value) {
+		if !r[ci].IsNull() {
+			out = append(out, r[ci].Num())
+		}
+	}
+	if rows == nil {
+		for _, r := range t.Rows {
+			take(r)
+		}
+	} else {
+		for _, i := range rows {
+			take(t.Rows[i])
+		}
+	}
+	return out, nil
+}
+
+// ConditionalCumulativeEntropy returns h(X | Y) = Σ_y p(y) · h(X | Y = y)
+// where X is a numeric attribute and Y an attribute set treated as discrete
+// conditioning groups.
+func ConditionalCumulativeEntropy(t *relation.Table, x string, y []string) (float64, error) {
+	if t.NumRows() == 0 {
+		return 0, nil
+	}
+	groups, err := t.GroupIndices(y...)
+	if err != nil {
+		return 0, fmt.Errorf("conditional cumulative entropy %s|%v: %w", x, y, err)
+	}
+	total := float64(t.NumRows())
+	h := 0.0
+	for _, rows := range groups {
+		vals, err := numericColumn(t, x, rows)
+		if err != nil {
+			return 0, err
+		}
+		h += float64(len(rows)) / total * CumulativeEntropy(vals)
+	}
+	return h, nil
+}

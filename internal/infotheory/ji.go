@@ -1,0 +1,73 @@
+package infotheory
+
+import (
+	"fmt"
+
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// JoinInformativeness computes JI(D, D') of Def 2.4 for tables a and b over
+// join attributes on:
+//
+//	JI = (H(a.J, b.J) − I(a.J; b.J)) / H(a.J, b.J)
+//
+// where the joint distribution of (a.J, b.J) is taken over the full outer
+// join of a and b, so unmatched values appear as (v, NULL) / (NULL, v)
+// pairs and are penalized. The value lies in [0, 1]; smaller is a more
+// informative join. A degenerate outer join with a single distinct pair
+// (H = 0) returns 0, the most informative value, since the join loses
+// nothing.
+func JoinInformativeness(a, b *relation.Table, on []string) (float64, error) {
+	if len(on) == 0 {
+		return 0, fmt.Errorf("infotheory: join informativeness of %s/%s with no join attributes", a.Name, b.Name)
+	}
+	joint, err := relation.OuterJoinPairCounts(a, b, on)
+	if err != nil {
+		return 0, err
+	}
+	return JIFromPairCounts(joint), nil
+}
+
+// JIFromPairCounts computes JI from a precomputed joint pair distribution
+// (as produced by relation.OuterJoinPairCounts). Exposed so the sampling
+// estimators can reuse it.
+func JIFromPairCounts(joint map[[2]string]int64) float64 {
+	if len(joint) == 0 {
+		return 0
+	}
+	var total int64
+	left := make(map[string]int64)
+	right := make(map[string]int64)
+	jointCounts := make([]int64, 0, len(joint))
+	for k, c := range joint {
+		total += c
+		left[k[0]] += c
+		right[k[1]] += c
+		jointCounts = append(jointCounts, c)
+	}
+	if total == 0 {
+		return 0
+	}
+	hJoint := EntropyFromCounts(jointCounts)
+	if hJoint == 0 {
+		return 0
+	}
+	lc := make([]int64, 0, len(left))
+	for _, c := range left {
+		lc = append(lc, c)
+	}
+	rc := make([]int64, 0, len(right))
+	for _, c := range right {
+		rc = append(rc, c)
+	}
+	mi := EntropyFromCounts(lc) + EntropyFromCounts(rc) - hJoint
+	ji := (hJoint - mi) / hJoint
+	// Clamp numeric noise into [0, 1].
+	if ji < 0 {
+		ji = 0
+	}
+	if ji > 1 {
+		ji = 1
+	}
+	return ji
+}

@@ -1,0 +1,161 @@
+package joingraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TargetCovers enumerates minimal instance covers of the attribute set
+// (Def 4.3 / Example 4.1): sets of instance indexes that jointly contain
+// every attribute, with no redundant member. Results are deduplicated,
+// sorted by (size, lexicographic), and capped at maxCovers (0 = no cap).
+func (g *Graph) TargetCovers(attrs []string, maxCovers int) ([][]int, error) {
+	return g.covers(attrs, maxCovers, false)
+}
+
+// SourceCovers enumerates covers of the *source* attribute set AS. The
+// paper's problem definition joins S ∪ T — the shopper's own instances
+// always participate when they hold source attributes — so any attribute
+// held by an owned instance is restricted to owned holders.
+func (g *Graph) SourceCovers(attrs []string, maxCovers int) ([][]int, error) {
+	return g.covers(attrs, maxCovers, true)
+}
+
+func (g *Graph) covers(attrs []string, maxCovers int, preferOwned bool) ([][]int, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("joingraph: empty attribute set to cover")
+	}
+	holders := make([][]int, len(attrs))
+	for ai, a := range attrs {
+		all := g.InstancesWithAttr(a)
+		if preferOwned {
+			var owned []int
+			for _, i := range all {
+				if g.Instances[i].Owned {
+					owned = append(owned, i)
+				}
+			}
+			if len(owned) > 0 {
+				all = owned
+			}
+		}
+		holders[ai] = all
+		if len(holders[ai]) == 0 {
+			return nil, fmt.Errorf("joingraph: attribute %q not offered by any instance", a)
+		}
+	}
+	seen := map[string]bool{}
+	var covers [][]int
+	var rec func(ai int, chosen map[int]bool)
+	rec = func(ai int, chosen map[int]bool) {
+		if maxCovers > 0 && len(covers) >= maxCovers*4 {
+			return // generous pre-cap; minimality filter trims below
+		}
+		if ai == len(attrs) {
+			cover := make([]int, 0, len(chosen))
+			for i := range chosen {
+				cover = append(cover, i)
+			}
+			sort.Ints(cover)
+			key := fmt.Sprint(cover)
+			if !seen[key] {
+				seen[key] = true
+				covers = append(covers, cover)
+			}
+			return
+		}
+		// If some already-chosen instance covers this attribute, consume it
+		// for free (also explore dedicated holders to find other covers).
+		coveredAlready := false
+		for _, h := range holders[ai] {
+			if chosen[h] {
+				coveredAlready = true
+				break
+			}
+		}
+		if coveredAlready {
+			rec(ai+1, chosen)
+			return
+		}
+		for _, h := range holders[ai] {
+			chosen[h] = true
+			rec(ai+1, chosen)
+			delete(chosen, h)
+		}
+	}
+	rec(0, map[int]bool{})
+
+	// Minimality filter: drop covers that strictly contain another cover.
+	minimal := covers[:0]
+	for _, c := range covers {
+		isMin := true
+		for _, o := range covers {
+			if len(o) < len(c) && subsetInts(o, c) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			minimal = append(minimal, c)
+		}
+	}
+	sort.Slice(minimal, func(i, j int) bool {
+		if len(minimal[i]) != len(minimal[j]) {
+			return len(minimal[i]) < len(minimal[j])
+		}
+		for k := range minimal[i] {
+			if minimal[i][k] != minimal[j][k] {
+				return minimal[i][k] < minimal[j][k]
+			}
+		}
+		return false
+	})
+	if maxCovers > 0 && len(minimal) > maxCovers {
+		minimal = minimal[:maxCovers]
+	}
+	return minimal, nil
+}
+
+func subsetInts(a, b []int) bool {
+	set := map[int]bool{}
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// AssignAttrs maps each attribute to a covering instance from the cover,
+// for building purchase sets. Owned holders win (they are free); ties break
+// to the smallest instance index.
+func (g *Graph) AssignAttrs(attrs []string, cover []int) (map[string]int, error) {
+	inCover := map[int]bool{}
+	for _, i := range cover {
+		inCover[i] = true
+	}
+	out := make(map[string]int, len(attrs))
+	for _, a := range attrs {
+		found := -1
+		for _, i := range g.InstancesWithAttr(a) {
+			if !inCover[i] {
+				continue
+			}
+			if found < 0 {
+				found = i
+			}
+			if g.Instances[i].Owned {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("joingraph: cover %v does not cover attribute %q", cover, a)
+		}
+		out[a] = found
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package joingraph
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Lattice is the attribute-set lattice of one instance (Def 4.1): one vertex
+// per attribute subset of size ≥ 2 (the paper's lattice tops out at
+// 2-attribute sets and bottoms at the full set, 2^m − m − 1 vertices).
+//
+// For instances with at most maxExplicit attributes the lattice is
+// materialized; wider instances get a *virtual* lattice whose vertices are
+// computed on demand (VertexCount, Contains, Children, Parents still work).
+type Lattice struct {
+	attrs    []string // sorted
+	index    map[string]int
+	explicit bool
+	// vertices[level] lists the masks at that level; level l holds subsets
+	// of size m−l, so level 0 is the bottom (full set) per Fig 2.
+	vertices [][]uint64
+}
+
+// DefaultLatticeMaxAttrs bounds explicit materialization: 2^16 vertices.
+const DefaultLatticeMaxAttrs = 16
+
+// NewLattice builds the lattice over the given attributes. maxExplicit ≤ 0
+// uses DefaultLatticeMaxAttrs. At most 64 attributes are supported.
+func NewLattice(attrs []string, maxExplicit int) (*Lattice, error) {
+	if len(attrs) < 2 {
+		return nil, fmt.Errorf("joingraph: lattice needs ≥ 2 attributes, got %d", len(attrs))
+	}
+	if len(attrs) > 64 {
+		return nil, fmt.Errorf("joingraph: lattice supports ≤ 64 attributes, got %d", len(attrs))
+	}
+	if maxExplicit <= 0 {
+		maxExplicit = DefaultLatticeMaxAttrs
+	}
+	sorted := append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	l := &Lattice{attrs: sorted, index: make(map[string]int, len(sorted))}
+	for i, a := range sorted {
+		if _, dup := l.index[a]; dup {
+			return nil, fmt.Errorf("joingraph: duplicate attribute %q", a)
+		}
+		l.index[a] = i
+	}
+	m := len(sorted)
+	if m <= maxExplicit {
+		l.explicit = true
+		l.vertices = make([][]uint64, m-1)
+		for mask := uint64(1); mask < 1<<uint(m); mask++ {
+			size := popcount(mask)
+			if size < 2 {
+				continue
+			}
+			level := m - size // bottom (full set) = level 0
+			l.vertices[level] = append(l.vertices[level], mask)
+		}
+	}
+	return l, nil
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// Attrs returns the sorted attribute universe.
+func (l *Lattice) Attrs() []string { return append([]string(nil), l.attrs...) }
+
+// Explicit reports whether vertices are materialized.
+func (l *Lattice) Explicit() bool { return l.explicit }
+
+// Height returns the lattice height, m − 1 per Def 4.1 (levels 0..m−2 hold
+// subsets of sizes m..2).
+func (l *Lattice) Height() int { return len(l.attrs) - 1 }
+
+// VertexCount returns the total number of lattice vertices, 2^m − m − 1,
+// exactly even for virtual lattices (hence big.Int).
+func (l *Lattice) VertexCount() *big.Int {
+	m := int64(len(l.attrs))
+	n := new(big.Int).Lsh(big.NewInt(1), uint(m))
+	n.Sub(n, big.NewInt(m+1))
+	return n
+}
+
+// Mask converts an attribute set to its bitmask. Unknown attributes error.
+func (l *Lattice) Mask(attrs []string) (uint64, error) {
+	var mask uint64
+	for _, a := range attrs {
+		i, ok := l.index[a]
+		if !ok {
+			return 0, fmt.Errorf("joingraph: attribute %q not in lattice (%s)", a, strings.Join(l.attrs, ","))
+		}
+		mask |= 1 << uint(i)
+	}
+	return mask, nil
+}
+
+// AttrSet converts a bitmask back to sorted attribute names.
+func (l *Lattice) AttrSet(mask uint64) []string {
+	var out []string
+	for i, a := range l.attrs {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the attribute set is a lattice vertex
+// (subset of the universe with ≥ 2 attributes).
+func (l *Lattice) Contains(attrs []string) bool {
+	mask, err := l.Mask(attrs)
+	if err != nil {
+		return false
+	}
+	return popcount(mask) >= 2
+}
+
+// Level returns the masks at the given level (0 = bottom/full set).
+// For virtual lattices, levels are generated on demand; generating a level
+// near the middle of a wide lattice can be enormous — callers are expected
+// to stick to small levels or use Children/Parents walks.
+func (l *Lattice) Level(level int) []uint64 {
+	m := len(l.attrs)
+	if level < 0 || level > m-2 {
+		return nil
+	}
+	if l.explicit {
+		return append([]uint64(nil), l.vertices[level]...)
+	}
+	size := m - level
+	var out []uint64
+	var gen func(start int, mask uint64, left int)
+	gen = func(start int, mask uint64, left int) {
+		if left == 0 {
+			out = append(out, mask)
+			return
+		}
+		for i := start; i <= m-left; i++ {
+			gen(i+1, mask|1<<uint(i), left-1)
+		}
+	}
+	gen(0, 0, size)
+	return out
+}
+
+// Children returns the masks of the children of the vertex (Def 4.1: B is a
+// child of A when A ⊂ B and |B| = |A| + 1 — one level closer to the bottom).
+func (l *Lattice) Children(mask uint64) []uint64 {
+	m := len(l.attrs)
+	if popcount(mask) >= m {
+		return nil
+	}
+	var out []uint64
+	for i := 0; i < m; i++ {
+		b := uint64(1) << uint(i)
+		if mask&b == 0 {
+			out = append(out, mask|b)
+		}
+	}
+	return out
+}
+
+// Parents returns the masks one level up (subsets with one attribute
+// removed), excluding sets smaller than 2 attributes.
+func (l *Lattice) Parents(mask uint64) []uint64 {
+	if popcount(mask) <= 2 {
+		return nil
+	}
+	var out []uint64
+	for i := 0; i < len(l.attrs); i++ {
+		b := uint64(1) << uint(i)
+		if mask&b != 0 {
+			out = append(out, mask&^b)
+		}
+	}
+	return out
+}
+
+// IsAncestor reports whether a is an ancestor of b: AS(a) ⊂ AS(b)
+// (connected by a path per Def 4.1).
+func (l *Lattice) IsAncestor(a, b uint64) bool {
+	return a != b && a&b == a
+}
+
+// Siblings reports whether a and b sit at the same level.
+func (l *Lattice) Siblings(a, b uint64) bool {
+	return a != b && popcount(a) == popcount(b)
+}

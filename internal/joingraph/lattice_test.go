@@ -1,0 +1,201 @@
+package joingraph
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatticeFigure2(t *testing.T) {
+	// Figure 2 of the paper: attributes {A,B,C,D} → 2^4 − 4 − 1 = 11
+	// vertices, height 3, top level has C(4,2) = 6 pair vertices.
+	l, err := NewLattice([]string{"A", "B", "C", "D"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Explicit() {
+		t.Fatal("4-attribute lattice should be explicit")
+	}
+	if l.Height() != 3 {
+		t.Fatalf("height = %d, want 3", l.Height())
+	}
+	if l.VertexCount().Cmp(big.NewInt(11)) != 0 {
+		t.Fatalf("vertex count = %v, want 11", l.VertexCount())
+	}
+	if got := len(l.Level(0)); got != 1 {
+		t.Fatalf("bottom level size = %d, want 1 (ABCD)", got)
+	}
+	if got := len(l.Level(1)); got != 4 {
+		t.Fatalf("level 1 size = %d, want 4 (3-attr sets)", got)
+	}
+	if got := len(l.Level(2)); got != 6 {
+		t.Fatalf("top level size = %d, want 6 (pairs)", got)
+	}
+	if l.Level(3) != nil {
+		t.Fatal("level beyond height should be nil")
+	}
+}
+
+func TestLatticeMaskRoundTrip(t *testing.T) {
+	l, _ := NewLattice([]string{"b", "a", "c"}, 0)
+	mask, err := l.Mask([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := l.AttrSet(mask)
+	if len(attrs) != 2 || attrs[0] != "a" || attrs[1] != "c" {
+		t.Fatalf("AttrSet = %v", attrs)
+	}
+	if _, err := l.Mask([]string{"zz"}); err == nil {
+		t.Fatal("unknown attribute should error")
+	}
+}
+
+func TestLatticeContains(t *testing.T) {
+	l, _ := NewLattice([]string{"a", "b", "c"}, 0)
+	if !l.Contains([]string{"a", "b"}) {
+		t.Fatal("pair should be a vertex")
+	}
+	if l.Contains([]string{"a"}) {
+		t.Fatal("singletons are not lattice vertices (Def 4.1)")
+	}
+	if l.Contains([]string{"a", "zz"}) {
+		t.Fatal("unknown attr should not be contained")
+	}
+}
+
+func TestLatticeChildrenParents(t *testing.T) {
+	l, _ := NewLattice([]string{"a", "b", "c", "d"}, 0)
+	ab, _ := l.Mask([]string{"a", "b"})
+	children := l.Children(ab)
+	if len(children) != 2 { // abc, abd
+		t.Fatalf("children of ab = %d, want 2", len(children))
+	}
+	abc, _ := l.Mask([]string{"a", "b", "c"})
+	parents := l.Parents(abc)
+	if len(parents) != 3 { // ab, ac, bc
+		t.Fatalf("parents of abc = %d, want 3", len(parents))
+	}
+	if got := l.Parents(ab); got != nil {
+		t.Fatalf("pairs have no parents, got %v", got)
+	}
+	full, _ := l.Mask([]string{"a", "b", "c", "d"})
+	if got := l.Children(full); got != nil {
+		t.Fatalf("bottom has no children, got %v", got)
+	}
+}
+
+func TestLatticeAncestorSibling(t *testing.T) {
+	l, _ := NewLattice([]string{"a", "b", "c", "d"}, 0)
+	ab, _ := l.Mask([]string{"a", "b"})
+	abc, _ := l.Mask([]string{"a", "b", "c"})
+	cd, _ := l.Mask([]string{"c", "d"})
+	if !l.IsAncestor(ab, abc) {
+		t.Fatal("ab should be ancestor of abc")
+	}
+	if l.IsAncestor(abc, ab) || l.IsAncestor(ab, ab) || l.IsAncestor(ab, cd) {
+		t.Fatal("IsAncestor false positives")
+	}
+	if !l.Siblings(ab, cd) || l.Siblings(ab, abc) || l.Siblings(ab, ab) {
+		t.Fatal("Siblings wrong")
+	}
+}
+
+func TestVirtualLattice(t *testing.T) {
+	// 20 attributes with explicit cap 10 → virtual.
+	attrs := make([]string, 20)
+	for i := range attrs {
+		attrs[i] = string(rune('a' + i))
+	}
+	l, err := NewLattice(attrs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Explicit() {
+		t.Fatal("should be virtual")
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), 20)
+	want.Sub(want, big.NewInt(21))
+	if l.VertexCount().Cmp(want) != 0 {
+		t.Fatalf("vertex count = %v, want %v", l.VertexCount(), want)
+	}
+	// Bottom level generated on demand.
+	if got := len(l.Level(0)); got != 1 {
+		t.Fatalf("virtual bottom level = %d, want 1", got)
+	}
+	if got := len(l.Level(18)); got != 190 { // C(20,2)
+		t.Fatalf("virtual top level = %d, want 190", got)
+	}
+	if !l.Contains(attrs[3:5]) {
+		t.Fatal("virtual Contains broken")
+	}
+}
+
+func TestLatticeRejectsDegenerate(t *testing.T) {
+	if _, err := NewLattice([]string{"a"}, 0); err == nil {
+		t.Fatal("single attribute should error")
+	}
+	if _, err := NewLattice([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate attributes should error")
+	}
+	big := make([]string, 65)
+	for i := range big {
+		big[i] = string(rune('a')) + string(rune('0'+i%10)) + string(rune('0'+i/10))
+	}
+	if _, err := NewLattice(big, 0); err == nil {
+		t.Fatal("more than 64 attributes should error")
+	}
+}
+
+// Property: per-level sizes sum to 2^m − m − 1 and children/parents are
+// inverse relations.
+func TestQuickLatticeStructure(t *testing.T) {
+	f := func(mRaw uint8) bool {
+		m := 2 + int(mRaw%5) // 2..6
+		attrs := make([]string, m)
+		for i := range attrs {
+			attrs[i] = string(rune('a' + i))
+		}
+		l, err := NewLattice(attrs, 0)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for lev := 0; lev <= m-2; lev++ {
+			total += len(l.Level(lev))
+		}
+		if int64(total) != l.VertexCount().Int64() {
+			return false
+		}
+		// children ∘ parents identity spot check on level 1 (if any).
+		for _, mask := range l.Level(0) {
+			for _, p := range l.Parents(mask) {
+				found := false
+				for _, c := range l.Children(p) {
+					if c == mask {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatticeAttrs(t *testing.T) {
+	l, _ := NewLattice([]string{"b", "a"}, 0)
+	got := l.Attrs()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Attrs = %v", got)
+	}
+	got[0] = "mutated"
+	if l.Attrs()[0] != "a" {
+		t.Fatal("Attrs must return a copy")
+	}
+}

@@ -1,0 +1,118 @@
+package joingraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ASVertex names one attribute-set vertex of the AS-layer: an instance and
+// a subset of its attributes.
+type ASVertex struct {
+	Instance int
+	Attrs    []string // sorted
+}
+
+// String renders "instance{a,b}".
+func (v ASVertex) String() string {
+	return fmt.Sprintf("%d{%s}", v.Instance, strings.Join(v.Attrs, ","))
+}
+
+// TargetVertexSets enumerates the distinct target AS-vertex sets of
+// Def 4.3 / Example 4.1: sets of AS-vertices whose attribute union covers
+// attrs, where each vertex contributes a non-empty subset of the attributes
+// its instance holds.
+//
+// Semantics note: we enumerate *non-redundant* covers — each attribute is
+// provided by exactly one vertex (a rational shopper does not pay twice for
+// one attribute), and vertices of the same instance merge, which is what
+// deduplicates the paper's overlapping decompositions (its Example 4.1
+// counts "43 unique target AS-vertex sets" after removing duplicates like
+// v5 contributing {C} versus {B,C}). The paper's Option-4-style covers with
+// genuinely overlapping attributes are excluded by design.
+//
+// maxResults caps the enumeration (0 = no cap); the count grows
+// exponentially with |attrs| and the number of holders.
+func (g *Graph) TargetVertexSets(attrs []string, maxResults int) ([][]ASVertex, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("joingraph: empty attribute set")
+	}
+	sorted := append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	holders := make([][]int, len(sorted))
+	for ai, a := range sorted {
+		holders[ai] = g.InstancesWithAttr(a)
+		if len(holders[ai]) == 0 {
+			return nil, fmt.Errorf("joingraph: attribute %q not offered by any instance", a)
+		}
+	}
+
+	// Assign each attribute to one holding instance; each distinct
+	// assignment induces the vertex set {(instance, assigned attrs)}.
+	// Different assignments can induce the same vertex set only via
+	// permutations, which the canonical key removes — but the paper's
+	// duplicates arise from *different vertices of the same instance*
+	// (e.g. v5 contributing {C} vs {B,C}), which assignments also cover:
+	// every subset split of an instance's attributes corresponds to some
+	// assignment of which attributes it provides.
+	//
+	// To match Example 4.1, where a vertex may carry any attr subset of
+	// its instance (so one instance can appear with {B} or {B,C}), we
+	// enumerate assignments attr→instance and then, per instance, the
+	// contributed set is exactly the assigned attrs. Sets where an
+	// instance contributes attrs it lacks are impossible by construction.
+	seen := map[string]bool{}
+	var out [][]ASVertex
+	assign := make([]int, len(sorted))
+	var rec func(ai int) bool // returns false when capped
+	rec = func(ai int) bool {
+		if maxResults > 0 && len(out) >= maxResults {
+			return false
+		}
+		if ai == len(sorted) {
+			byInst := map[int][]string{}
+			for i, inst := range assign {
+				byInst[inst] = append(byInst[inst], sorted[i])
+			}
+			var set []ASVertex
+			for inst, as := range byInst {
+				sort.Strings(as)
+				set = append(set, ASVertex{Instance: inst, Attrs: as})
+			}
+			sort.Slice(set, func(a, b int) bool { return set[a].Instance < set[b].Instance })
+			key := vertexSetKey(set)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, set)
+			}
+			return true
+		}
+		for _, h := range holders[ai] {
+			assign[ai] = h
+			if !rec(ai + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out, nil
+}
+
+func vertexSetKey(set []ASVertex) string {
+	var b strings.Builder
+	for _, v := range set {
+		fmt.Fprintf(&b, "%d:%s;", v.Instance, strings.Join(v.Attrs, ","))
+	}
+	return b.String()
+}
+
+// CountTargetVertexSets returns only the number of distinct target
+// AS-vertex sets (Example 4.1's "43 unique target AS-vertex sets").
+func (g *Graph) CountTargetVertexSets(attrs []string, maxResults int) (int, error) {
+	sets, err := g.TargetVertexSets(attrs, maxResults)
+	if err != nil {
+		return 0, err
+	}
+	return len(sets), nil
+}

@@ -1,0 +1,69 @@
+package marketplace
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/dance-db/dance/internal/pricing"
+)
+
+// The marketplace serves many shoppers at once (and the HTTP handler calls
+// it from concurrent goroutines); quotes, samples, purchases and ledger
+// reads must be safe to interleave. Run with -race for full value.
+func TestConcurrentShoppers(t *testing.T) {
+	m := demoMarket()
+	const shoppers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, shoppers*4)
+	for i := 0; i < shoppers; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			if _, err := m.Catalog(); err != nil {
+				errs <- err
+			}
+			if _, err := m.QuoteProjection("alpha", []string{"k", "state"}); err != nil {
+				errs <- err
+			}
+			if _, _, err := m.Sample("alpha", []string{"k"}, 0.5, seed); err != nil {
+				errs <- err
+			}
+			if _, _, err := m.ExecuteProjection(pricing.Query{Instance: "beta", Attrs: []string{"k"}}); err != nil {
+				errs <- err
+			}
+			m.Ledger().Total()
+		}(uint64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	entries := m.Ledger().Entries()
+	if len(entries) != shoppers*2 { // one sample + one query per shopper
+		t.Fatalf("ledger entries = %d, want %d", len(entries), shoppers*2)
+	}
+}
+
+func TestConcurrentRegisterAndBrowse(t *testing.T) {
+	m := demoMarket()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			m.Register(demoTable("alpha", 50+i, int64(i)), nil)
+		}(i)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Catalog(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	cat, err := m.Catalog()
+	if err != nil || len(cat) != 2 {
+		t.Fatalf("catalog after concurrent re-registration: %v, %v", cat, err)
+	}
+}

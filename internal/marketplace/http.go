@@ -1,0 +1,294 @@
+package marketplace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/pricing"
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// Wire representations. Tables travel as CSV (the typed header encoding of
+// relation.WriteCSV round-trips kinds and categorical flags exactly).
+
+type wireColumn struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Categorical bool   `json:"categorical"`
+}
+
+type wireDatasetInfo struct {
+	Name  string       `json:"name"`
+	Rows  int          `json:"rows"`
+	Attrs []wireColumn `json:"attrs"`
+}
+
+type wireTableResponse struct {
+	CSV   string  `json:"csv"`
+	Price float64 `json:"price"`
+}
+
+type sampleRequest struct {
+	Name      string   `json:"name"`
+	JoinAttrs []string `json:"join_attrs"`
+	Rate      float64  `json:"rate"`
+	Seed      uint64   `json:"seed"`
+}
+
+type quoteRequest struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+type quoteResponse struct {
+	Price float64 `json:"price"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler serves a Market over JSON/HTTP:
+//
+//	GET  /catalog            → []DatasetInfo
+//	GET  /fds?name=…         → []string (FDs, "A,B -> C" syntax)
+//	POST /quote {name,attrs} → {price}
+//	POST /sample {…}         → {csv, price}
+//	POST /query {name,attrs} → {csv, price}
+func Handler(m Market) http.Handler {
+	mux := http.NewServeMux()
+
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	}
+	writeJSON := func(w http.ResponseWriter, v interface{}) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v)
+	}
+	tableResponse := func(w http.ResponseWriter, t *relation.Table, price float64) {
+		var buf bytes.Buffer
+		if err := t.WriteCSV(&buf); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, wireTableResponse{CSV: buf.String(), Price: price})
+	}
+
+	mux.HandleFunc("GET /catalog", func(w http.ResponseWriter, r *http.Request) {
+		infos, err := m.Catalog()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := make([]wireDatasetInfo, len(infos))
+		for i, info := range infos {
+			wi := wireDatasetInfo{Name: info.Name, Rows: info.Rows}
+			for _, c := range info.Attrs {
+				wi.Attrs = append(wi.Attrs, wireColumn{Name: c.Name, Kind: c.Kind.String(), Categorical: c.Categorical})
+			}
+			out[i] = wi
+		}
+		writeJSON(w, out)
+	})
+
+	mux.HandleFunc("GET /fds", func(w http.ResponseWriter, r *http.Request) {
+		fds, err := m.DatasetFDs(r.URL.Query().Get("name"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		out := make([]string, len(fds))
+		for i, f := range fds {
+			out[i] = strings.Join(f.LHS, ",") + " -> " + f.RHS
+		}
+		writeJSON(w, out)
+	})
+
+	mux.HandleFunc("POST /quote", func(w http.ResponseWriter, r *http.Request) {
+		var req quoteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		price, err := m.QuoteProjection(req.Name, req.Attrs)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, quoteResponse{Price: price})
+	})
+
+	mux.HandleFunc("POST /sample", func(w http.ResponseWriter, r *http.Request) {
+		var req sampleRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		t, price, err := m.Sample(req.Name, req.JoinAttrs, req.Rate, req.Seed)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		tableResponse(w, t, price)
+	})
+
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req quoteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		t, price, err := m.ExecuteProjection(pricing.Query{Instance: req.Name, Attrs: req.Attrs})
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		tableResponse(w, t, price)
+	})
+
+	return mux
+}
+
+// Client is a Market backed by a remote HTTP marketplace.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+var _ Market = (*Client)(nil)
+
+// NewClient returns a client for the marketplace at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: http.DefaultClient}
+}
+
+func (c *Client) get(path string, out interface{}) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("marketplace client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func (c *Client) post(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("marketplace client: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out interface{}) error {
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("marketplace client: %s", e.Error)
+		}
+		return fmt.Errorf("marketplace client: status %d", resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Catalog implements Market.
+func (c *Client) Catalog() ([]DatasetInfo, error) {
+	var wire []wireDatasetInfo
+	if err := c.get("/catalog", &wire); err != nil {
+		return nil, err
+	}
+	out := make([]DatasetInfo, len(wire))
+	for i, wi := range wire {
+		info := DatasetInfo{Name: wi.Name, Rows: wi.Rows}
+		for _, wc := range wi.Attrs {
+			kind, err := parseKind(wc.Kind)
+			if err != nil {
+				return nil, err
+			}
+			info.Attrs = append(info.Attrs, relation.Column{Name: wc.Name, Kind: kind, Categorical: wc.Categorical})
+		}
+		out[i] = info
+	}
+	return out, nil
+}
+
+func parseKind(s string) (relation.Kind, error) {
+	switch s {
+	case "string":
+		return relation.KindString, nil
+	case "int":
+		return relation.KindInt, nil
+	case "float":
+		return relation.KindFloat, nil
+	case "null":
+		return relation.KindNull, nil
+	}
+	return 0, fmt.Errorf("marketplace client: unknown kind %q", s)
+}
+
+// DatasetFDs implements Market.
+func (c *Client) DatasetFDs(name string) ([]fd.FD, error) {
+	var wire []string
+	if err := c.get("/fds?name="+name, &wire); err != nil {
+		return nil, err
+	}
+	out := make([]fd.FD, len(wire))
+	for i, s := range wire {
+		f, err := fd.Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// QuoteProjection implements Market.
+func (c *Client) QuoteProjection(name string, attrs []string) (float64, error) {
+	var resp quoteResponse
+	if err := c.post("/quote", quoteRequest{Name: name, Attrs: attrs}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Price, nil
+}
+
+// Sample implements Market.
+func (c *Client) Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+	var resp wireTableResponse
+	if err := c.post("/sample", sampleRequest{Name: name, JoinAttrs: joinAttrs, Rate: rate, Seed: seed}, &resp); err != nil {
+		return nil, 0, err
+	}
+	t, err := relation.ReadCSV(name, strings.NewReader(resp.CSV))
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, resp.Price, nil
+}
+
+// ExecuteProjection implements Market.
+func (c *Client) ExecuteProjection(q pricing.Query) (*relation.Table, float64, error) {
+	var resp wireTableResponse
+	if err := c.post("/query", quoteRequest{Name: q.Instance, Attrs: q.Attrs}, &resp); err != nil {
+		return nil, 0, err
+	}
+	t, err := relation.ReadCSV(q.Instance, strings.NewReader(resp.CSV))
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, resp.Price, nil
+}

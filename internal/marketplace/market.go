@@ -1,0 +1,226 @@
+// Package marketplace implements the online data marketplace DANCE buys
+// from: a catalog of relational instances with schema-level metadata (free),
+// correlated-sample service (paid, discounted by sampling rate), exact price
+// quotes for projection queries (free, query-based pricing), and projection
+// query execution (paid). A JSON-over-HTTP server and client make the
+// marketplace genuinely "online"; DANCE works identically against the
+// in-memory and remote implementations.
+package marketplace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/pricing"
+	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/sampling"
+)
+
+// DatasetInfo is the free schema-level description of a listing (what Azure
+// Marketplace-style platforms expose for browsing).
+type DatasetInfo struct {
+	Name  string
+	Rows  int
+	Attrs []relation.Column
+}
+
+// Market is the full marketplace API used by DANCE.
+type Market interface {
+	// Catalog lists all datasets with schema-level info. Free.
+	Catalog() ([]DatasetInfo, error)
+	// DatasetFDs returns the published AFDs of a dataset. Free metadata.
+	DatasetFDs(name string) ([]fd.FD, error)
+	// QuoteProjection prices π_attrs(dataset) without purchasing. Free.
+	QuoteProjection(name string, attrs []string) (float64, error)
+	// Sample returns a correlated sample of the dataset on the given join
+	// attributes at the given rate and hash seed, charging
+	// rate × full price. All attributes are included (DANCE estimates
+	// arbitrary correlations on samples).
+	Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error)
+	// ExecuteProjection sells π_attrs(dataset), charging the quoted price.
+	ExecuteProjection(q pricing.Query) (*relation.Table, float64, error)
+}
+
+// Listing is one dataset offered for sale.
+type Listing struct {
+	Table *relation.Table
+	FDs   []fd.FD
+}
+
+// LedgerEntry records one charge.
+type LedgerEntry struct {
+	Kind    string // "sample" or "query"
+	Dataset string
+	Attrs   []string
+	Amount  float64
+}
+
+// Ledger accumulates charges; safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	entries []LedgerEntry
+}
+
+// Add appends a charge.
+func (l *Ledger) Add(e LedgerEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+}
+
+// Total returns the sum of all charges.
+func (l *Ledger) Total() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := 0.0
+	for _, e := range l.entries {
+		t += e.Amount
+	}
+	return t
+}
+
+// TotalByKind returns the summed charges for one kind.
+func (l *Ledger) TotalByKind(kind string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := 0.0
+	for _, e := range l.entries {
+		if e.Kind == kind {
+			t += e.Amount
+		}
+	}
+	return t
+}
+
+// Entries returns a copy of all charges.
+func (l *Ledger) Entries() []LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]LedgerEntry(nil), l.entries...)
+}
+
+// InMemory is the reference marketplace implementation.
+type InMemory struct {
+	mu       sync.RWMutex
+	listings map[string]*Listing
+	order    []string
+	model    pricing.Model
+	ledger   *Ledger
+}
+
+var _ Market = (*InMemory)(nil)
+
+// NewInMemory creates a marketplace priced by model (nil = cached default
+// entropy model).
+func NewInMemory(model pricing.Model) *InMemory {
+	if model == nil {
+		model = pricing.Cached(pricing.DefaultEntropyModel())
+	}
+	return &InMemory{
+		listings: make(map[string]*Listing),
+		model:    model,
+		ledger:   &Ledger{},
+	}
+}
+
+// Register lists a dataset for sale. Registering the same name twice
+// replaces the listing.
+func (m *InMemory) Register(table *relation.Table, fds []fd.FD) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.listings[table.Name]; !exists {
+		m.order = append(m.order, table.Name)
+	}
+	m.listings[table.Name] = &Listing{Table: table, FDs: fds}
+}
+
+// Ledger exposes the marketplace's billing record.
+func (m *InMemory) Ledger() *Ledger { return m.ledger }
+
+func (m *InMemory) listing(name string) (*Listing, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	l, ok := m.listings[name]
+	if !ok {
+		return nil, fmt.Errorf("marketplace: no dataset %q", name)
+	}
+	return l, nil
+}
+
+// Catalog implements Market.
+func (m *InMemory) Catalog() ([]DatasetInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(m.order))
+	for _, name := range m.order {
+		l := m.listings[name]
+		out = append(out, DatasetInfo{
+			Name:  name,
+			Rows:  l.Table.NumRows(),
+			Attrs: l.Table.Schema.Columns(),
+		})
+	}
+	return out, nil
+}
+
+// DatasetFDs implements Market.
+func (m *InMemory) DatasetFDs(name string) ([]fd.FD, error) {
+	l, err := m.listing(name)
+	if err != nil {
+		return nil, err
+	}
+	return append([]fd.FD(nil), l.FDs...), nil
+}
+
+// QuoteProjection implements Market.
+func (m *InMemory) QuoteProjection(name string, attrs []string) (float64, error) {
+	l, err := m.listing(name)
+	if err != nil {
+		return 0, err
+	}
+	return m.model.PriceProjection(l.Table, attrs)
+}
+
+// Sample implements Market.
+func (m *InMemory) Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+	l, err := m.listing(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if rate <= 0 || rate > 1 {
+		return nil, 0, fmt.Errorf("marketplace: sample rate %v out of (0, 1]", rate)
+	}
+	s, err := sampling.CorrelatedSample(l.Table, joinAttrs, rate, sampling.NewHasher(seed))
+	if err != nil {
+		return nil, 0, err
+	}
+	full, err := m.model.PriceProjection(l.Table, l.Table.Schema.Names())
+	if err != nil {
+		return nil, 0, err
+	}
+	price := pricing.SampleDiscount(full, rate)
+	m.ledger.Add(LedgerEntry{Kind: "sample", Dataset: name, Attrs: joinAttrs, Amount: price})
+	return s, price, nil
+}
+
+// ExecuteProjection implements Market.
+func (m *InMemory) ExecuteProjection(q pricing.Query) (*relation.Table, float64, error) {
+	l, err := m.listing(q.Instance)
+	if err != nil {
+		return nil, 0, err
+	}
+	attrs := append([]string(nil), q.Attrs...)
+	sort.Strings(attrs)
+	price, err := m.model.PriceProjection(l.Table, attrs)
+	if err != nil {
+		return nil, 0, err
+	}
+	proj, err := l.Table.Project(attrs...)
+	if err != nil {
+		return nil, 0, err
+	}
+	m.ledger.Add(LedgerEntry{Kind: "query", Dataset: q.Instance, Attrs: attrs, Amount: price})
+	return proj, price, nil
+}

@@ -1,0 +1,219 @@
+package marketplace
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/pricing"
+	"github.com/dance-db/dance/internal/relation"
+)
+
+func demoTable(name string, n int, seed int64) *relation.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := relation.NewTable(name, relation.NewSchema(
+		relation.Cat("k", relation.KindInt),
+		relation.Cat("state", relation.KindString),
+		relation.Num("amount", relation.KindFloat),
+	))
+	states := []string{"NJ", "NY", "CA"}
+	for i := 0; i < n; i++ {
+		k := int64(rng.Intn(12))
+		t.AppendValues(
+			relation.IntValue(k),
+			relation.StringValue(states[k%3]),
+			relation.FloatValue(rng.Float64()*100),
+		)
+	}
+	return t
+}
+
+func demoMarket() *InMemory {
+	m := NewInMemory(nil)
+	m.Register(demoTable("alpha", 200, 1), []fd.FD{fd.New("state", "k")})
+	m.Register(demoTable("beta", 150, 2), nil)
+	return m
+}
+
+func TestCatalog(t *testing.T) {
+	m := demoMarket()
+	cat, err := m.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 2 || cat[0].Name != "alpha" || cat[1].Name != "beta" {
+		t.Fatalf("catalog = %+v", cat)
+	}
+	if cat[0].Rows != 200 || len(cat[0].Attrs) != 3 {
+		t.Fatalf("catalog[0] = %+v", cat[0])
+	}
+}
+
+func TestDatasetFDs(t *testing.T) {
+	m := demoMarket()
+	fds, err := m.DatasetFDs("alpha")
+	if err != nil || len(fds) != 1 || fds[0].String() != "k → state" {
+		t.Fatalf("fds = %v, %v", fds, err)
+	}
+	if _, err := m.DatasetFDs("missing"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestQuoteIsFreeAndConsistent(t *testing.T) {
+	m := demoMarket()
+	p1, err := m.QuoteProjection("alpha", []string{"k", "state"})
+	if err != nil || p1 <= 0 {
+		t.Fatalf("quote = %v, %v", p1, err)
+	}
+	p2, _ := m.QuoteProjection("alpha", []string{"k", "state"})
+	if p1 != p2 {
+		t.Fatal("quotes must be stable")
+	}
+	if m.Ledger().Total() != 0 {
+		t.Fatal("quotes must not be charged")
+	}
+}
+
+func TestSampleChargesAndIsCorrelated(t *testing.T) {
+	m := demoMarket()
+	s, price, err := m.Sample("alpha", []string{"k"}, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() == 0 || s.NumRows() >= 200 {
+		t.Fatalf("sample rows = %d", s.NumRows())
+	}
+	if price <= 0 {
+		t.Fatal("sample should be charged")
+	}
+	full, _ := m.QuoteProjection("alpha", []string{"k", "state", "amount"})
+	if price != pricing.SampleDiscount(full, 0.5) {
+		t.Fatalf("sample price %v != discounted full price %v", price, pricing.SampleDiscount(full, 0.5))
+	}
+	if got := m.Ledger().TotalByKind("sample"); got != price {
+		t.Fatalf("ledger sample total = %v, want %v", got, price)
+	}
+	if _, _, err := m.Sample("alpha", []string{"k"}, 0, 7); err == nil {
+		t.Fatal("rate 0 should error")
+	}
+	if _, _, err := m.Sample("alpha", []string{"k"}, 1.5, 7); err == nil {
+		t.Fatal("rate > 1 should error")
+	}
+}
+
+func TestExecuteProjection(t *testing.T) {
+	m := demoMarket()
+	tab, price, err := m.ExecuteProjection(pricing.Query{Instance: "beta", Attrs: []string{"state", "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 150 || tab.NumCols() != 2 {
+		t.Fatalf("projection shape %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	quote, _ := m.QuoteProjection("beta", []string{"k", "state"})
+	if price != quote {
+		t.Fatalf("charged %v, quoted %v", price, quote)
+	}
+	if got := m.Ledger().TotalByKind("query"); got != price {
+		t.Fatalf("ledger query total = %v", got)
+	}
+	if _, _, err := m.ExecuteProjection(pricing.Query{Instance: "zz", Attrs: []string{"k"}}); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	m := demoMarket()
+	m.Register(demoTable("alpha", 50, 3), nil)
+	cat, _ := m.Catalog()
+	if len(cat) != 2 {
+		t.Fatalf("catalog length changed: %d", len(cat))
+	}
+	if cat[0].Rows != 50 {
+		t.Fatal("replacement did not take effect")
+	}
+}
+
+func TestLedgerEntries(t *testing.T) {
+	m := demoMarket()
+	m.Sample("alpha", []string{"k"}, 0.5, 1)
+	m.ExecuteProjection(pricing.Query{Instance: "beta", Attrs: []string{"k"}})
+	entries := m.Ledger().Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if m.Ledger().Total() <= 0 {
+		t.Fatal("total should be positive")
+	}
+}
+
+// --- HTTP round trip ---
+
+func TestHTTPRoundTrip(t *testing.T) {
+	backend := demoMarket()
+	srv := httptest.NewServer(Handler(backend))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	cat, err := c.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 2 || cat[0].Name != "alpha" || cat[0].Attrs[2].Name != "amount" {
+		t.Fatalf("catalog over http = %+v", cat)
+	}
+	if cat[0].Attrs[2].Kind != relation.KindFloat || cat[0].Attrs[2].Categorical {
+		t.Fatalf("column metadata lost: %+v", cat[0].Attrs[2])
+	}
+
+	fds, err := c.DatasetFDs("alpha")
+	if err != nil || len(fds) != 1 || fds[0].RHS != "state" {
+		t.Fatalf("fds over http = %v, %v", fds, err)
+	}
+
+	quote, err := c.QuoteProjection("alpha", []string{"k"})
+	if err != nil || quote <= 0 {
+		t.Fatalf("quote over http = %v, %v", quote, err)
+	}
+	direct, _ := backend.QuoteProjection("alpha", []string{"k"})
+	if quote != direct {
+		t.Fatalf("http quote %v != direct %v", quote, direct)
+	}
+
+	s, price, err := c.Sample("alpha", []string{"k"}, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct2, _, _ := backend.Sample("alpha", []string{"k"}, 0.5, 7)
+	if s.NumRows() != direct2.NumRows() {
+		t.Fatalf("http sample %d rows != direct %d", s.NumRows(), direct2.NumRows())
+	}
+	if price <= 0 {
+		t.Fatal("sample price missing")
+	}
+	if !s.Schema.Equal(direct2.Schema) {
+		t.Fatal("schema lost over the wire")
+	}
+
+	tab, _, err := c.ExecuteProjection(pricing.Query{Instance: "beta", Attrs: []string{"k", "state"}})
+	if err != nil || tab.NumRows() != 150 {
+		t.Fatalf("query over http: %v rows, err %v", tab.NumRows(), err)
+	}
+}
+
+func TestHTTPErrorPropagation(t *testing.T) {
+	srv := httptest.NewServer(Handler(demoMarket()))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if _, err := c.DatasetFDs("missing"); err == nil {
+		t.Fatal("remote error should propagate")
+	}
+	if _, err := c.QuoteProjection("alpha", []string{"nope"}); err == nil {
+		t.Fatal("bad attribute should propagate")
+	}
+	if _, _, err := c.Sample("alpha", []string{"k"}, -1, 1); err == nil {
+		t.Fatal("bad rate should propagate")
+	}
+}

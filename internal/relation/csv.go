@@ -1,0 +1,90 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV serializes the table to w. The header encodes each column as
+// "name:kind[:cat]" so ReadCSV can round-trip types exactly.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema.Len())
+	for i := 0; i < t.Schema.Len(); i++ {
+		c := t.Schema.Column(i)
+		h := c.Name + ":" + c.Kind.String()
+		if c.Categorical {
+			h += ":cat"
+		}
+		header[i] = h
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: write csv header: %w", err)
+	}
+	rec := make([]string, t.Schema.Len())
+	for _, row := range t.Rows {
+		for i, v := range row {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table previously written by WriteCSV.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read csv header: %w", err)
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		parts := strings.Split(h, ":")
+		c := Column{Name: parts[0], Kind: KindString}
+		if len(parts) >= 2 {
+			switch parts[1] {
+			case "string":
+				c.Kind = KindString
+			case "int":
+				c.Kind = KindInt
+			case "float":
+				c.Kind = KindFloat
+			case "null":
+				c.Kind = KindNull
+			default:
+				return nil, fmt.Errorf("relation: unknown kind %q in csv header", parts[1])
+			}
+		}
+		if len(parts) >= 3 && parts[2] == "cat" {
+			c.Categorical = true
+		}
+		cols[i] = c
+	}
+	t := NewTable(name, NewSchema(cols...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read csv row: %w", err)
+		}
+		row := make([]Value, len(cols))
+		for i, s := range rec {
+			v, err := ParseValue(s, cols[i].Kind)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		t.Append(row)
+	}
+	return t, nil
+}

@@ -1,0 +1,234 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// joinedSchema builds the output schema of a join of a and b on the given
+// attributes: all columns of a, then the columns of b except the join
+// attributes. A non-join column of b whose name collides with a column of a
+// is renamed with an "_r" suffix (such collisions only arise when a join
+// variant uses a strict subset of the shared attributes).
+func joinedSchema(a, b *Schema, on []string) (*Schema, []int, error) {
+	onSet := make(map[string]bool, len(on))
+	for _, n := range on {
+		if !a.Has(n) || !b.Has(n) {
+			return nil, nil, fmt.Errorf("relation: join attribute %q not shared", n)
+		}
+		onSet[n] = true
+	}
+	cols := a.Columns()
+	var rightKeep []int
+	for i := 0; i < b.Len(); i++ {
+		c := b.Column(i)
+		if onSet[c.Name] {
+			continue
+		}
+		if a.Has(c.Name) {
+			c.Name += "_r"
+			for sfx := 2; ; sfx++ {
+				dup := false
+				for _, ec := range cols {
+					if ec.Name == c.Name {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					break
+				}
+				c.Name = fmt.Sprintf("%s_r%d", b.Column(i).Name, sfx)
+			}
+		}
+		cols = append(cols, c)
+		rightKeep = append(rightKeep, i)
+	}
+	return NewSchema(cols...), rightKeep, nil
+}
+
+// EquiJoin computes the inner equi-join of a and b on the named shared
+// attributes using a hash join (build side: b). Bag semantics.
+func EquiJoin(a, b *Table, on []string) (*Table, error) {
+	if len(on) == 0 {
+		return nil, fmt.Errorf("relation: equi-join of %s and %s with no join attributes", a.Name, b.Name)
+	}
+	schema, rightKeep, err := joinedSchema(a.Schema, b.Schema, on)
+	if err != nil {
+		return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
+	}
+	aIdx, err := a.Schema.Indexes(on...)
+	if err != nil {
+		return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
+	}
+	bIdx, err := b.Schema.Indexes(on...)
+	if err != nil {
+		return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
+	}
+
+	build := make(map[string][]int, len(b.Rows))
+	var buf []byte
+	for i, r := range b.Rows {
+		buf = EncodeKey(buf[:0], r, bIdx)
+		build[string(buf)] = append(build[string(buf)], i)
+	}
+
+	out := NewTable(a.Name+"⋈"+b.Name, schema)
+	for _, ra := range a.Rows {
+		buf = EncodeKey(buf[:0], ra, aIdx)
+		matches := build[string(buf)]
+		for _, bi := range matches {
+			rb := b.Rows[bi]
+			row := make([]Value, 0, schema.Len())
+			row = append(row, ra...)
+			for _, j := range rightKeep {
+				row = append(row, rb[j])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// FullOuterJoin computes the full outer join of a and b on the named shared
+// attributes. The output schema keeps both sides' join attributes: a's
+// columns unchanged, then all of b's columns with colliding names renamed
+// with an "_r" suffix, so unmatched rows can carry NULL on the absent side.
+func FullOuterJoin(a, b *Table, on []string) (*Table, error) {
+	if len(on) == 0 {
+		return nil, fmt.Errorf("relation: outer join of %s and %s with no join attributes", a.Name, b.Name)
+	}
+	cols := a.Schema.Columns()
+	for i := 0; i < b.Schema.Len(); i++ {
+		c := b.Schema.Column(i)
+		base := c.Name
+		if a.Schema.Has(c.Name) {
+			c.Name = base + "_r"
+		}
+		for sfx := 2; ; sfx++ {
+			dup := false
+			for _, ec := range cols {
+				if ec.Name == c.Name {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				break
+			}
+			c.Name = fmt.Sprintf("%s_r%d", base, sfx)
+		}
+		cols = append(cols, c)
+	}
+	schema := NewSchema(cols...)
+
+	aIdx, err := a.Schema.Indexes(on...)
+	if err != nil {
+		return nil, err
+	}
+	bIdx, err := b.Schema.Indexes(on...)
+	if err != nil {
+		return nil, err
+	}
+
+	build := make(map[string][]int, len(b.Rows))
+	var buf []byte
+	for i, r := range b.Rows {
+		buf = EncodeKey(buf[:0], r, bIdx)
+		build[string(buf)] = append(build[string(buf)], i)
+	}
+	matchedB := make([]bool, len(b.Rows))
+
+	out := NewTable(a.Name+"⟗"+b.Name, schema)
+	aw, bw := a.Schema.Len(), b.Schema.Len()
+	for _, ra := range a.Rows {
+		buf = EncodeKey(buf[:0], ra, aIdx)
+		matches := build[string(buf)]
+		if len(matches) == 0 {
+			row := make([]Value, aw+bw)
+			copy(row, ra)
+			out.Rows = append(out.Rows, row) // right side all NULL
+			continue
+		}
+		for _, bi := range matches {
+			matchedB[bi] = true
+			row := make([]Value, 0, aw+bw)
+			row = append(row, ra...)
+			row = append(row, b.Rows[bi]...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	for bi, rb := range b.Rows {
+		if matchedB[bi] {
+			continue
+		}
+		row := make([]Value, aw+bw)
+		copy(row[aw:], rb)
+		out.Rows = append(out.Rows, row) // left side all NULL
+	}
+	return out, nil
+}
+
+// OuterJoinPairCounts returns the joint distribution of (a.J, b.J) in the
+// full outer join of a and b on attributes J, without materializing the
+// join. Keys are the injective tuple encodings of each side's join values;
+// the empty string denotes an absent (NULL) side. This is the input to the
+// join informativeness measure (Def 2.4).
+func OuterJoinPairCounts(a, b *Table, on []string) (map[[2]string]int64, error) {
+	aIdx, err := a.Schema.Indexes(on...)
+	if err != nil {
+		return nil, fmt.Errorf("outer join pair counts %s/%s: %w", a.Name, b.Name, err)
+	}
+	bIdx, err := b.Schema.Indexes(on...)
+	if err != nil {
+		return nil, fmt.Errorf("outer join pair counts %s/%s: %w", a.Name, b.Name, err)
+	}
+	countsA := make(map[string]int64, len(a.Rows))
+	countsB := make(map[string]int64, len(b.Rows))
+	var buf []byte
+	for _, r := range a.Rows {
+		buf = EncodeKey(buf[:0], r, aIdx)
+		countsA[string(buf)]++
+	}
+	for _, r := range b.Rows {
+		buf = EncodeKey(buf[:0], r, bIdx)
+		countsB[string(buf)]++
+	}
+	joint := make(map[[2]string]int64, len(countsA)+len(countsB))
+	for v, ca := range countsA {
+		if cb, ok := countsB[v]; ok {
+			joint[[2]string{v, v}] = ca * cb
+		} else {
+			joint[[2]string{v, ""}] = ca
+		}
+	}
+	for v, cb := range countsB {
+		if _, ok := countsA[v]; !ok {
+			joint[[2]string{"", v}] = cb
+		}
+	}
+	return joint, nil
+}
+
+// PathStep is one hop of a multi-way join: join the accumulated result with
+// Table on the shared attributes On.
+type PathStep struct {
+	Table *Table
+	On    []string // ignored for the first step
+}
+
+// JoinPath joins steps left-to-right: ((T1 ⋈ T2) ⋈ T3) ⋈ ... Each step's On
+// lists the attributes shared with the accumulated intermediate result.
+func JoinPath(steps []PathStep) (*Table, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("relation: empty join path")
+	}
+	acc := steps[0].Table
+	for _, st := range steps[1:] {
+		var err error
+		acc, err = EquiJoin(acc, st.Table, st.On)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

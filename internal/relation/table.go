@@ -1,0 +1,182 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an in-memory relation: a named schema plus rows.
+type Table struct {
+	Name   string
+	Schema *Schema
+	Rows   [][]Value
+}
+
+// NewTable returns an empty table with the given name and schema.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return t.Schema.Len() }
+
+// Append adds a row. The row length must match the schema.
+func (t *Table) Append(row []Value) {
+	if len(row) != t.Schema.Len() {
+		panic(fmt.Sprintf("relation: row width %d != schema width %d in %s", len(row), t.Schema.Len(), t.Name))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AppendValues is a variadic convenience wrapper around Append.
+func (t *Table) AppendValues(vals ...Value) { t.Append(vals) }
+
+// Clone returns a deep-enough copy: the row slice and each row are copied,
+// Values are immutable so they are shared.
+func (t *Table) Clone() *Table {
+	c := &Table{Name: t.Name, Schema: t.Schema, Rows: make([][]Value, len(t.Rows))}
+	for i, r := range t.Rows {
+		c.Rows[i] = append([]Value(nil), r...)
+	}
+	return c
+}
+
+// Project returns a new table containing only the named columns, in order.
+// Row order is preserved; duplicates are kept (bag semantics, matching the
+// projection queries DANCE issues against the marketplace).
+func (t *Table) Project(names ...string) (*Table, error) {
+	idx, err := t.Schema.Indexes(names...)
+	if err != nil {
+		return nil, fmt.Errorf("project %s: %w", t.Name, err)
+	}
+	schema, err := t.Schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(t.Name, schema)
+	out.Rows = make([][]Value, len(t.Rows))
+	for i, r := range t.Rows {
+		nr := make([]Value, len(idx))
+		for j, c := range idx {
+			nr[j] = r[c]
+		}
+		out.Rows[i] = nr
+	}
+	return out, nil
+}
+
+// MustProject is Project that panics on unknown columns; used in tests and
+// generators where schemas are static.
+func (t *Table) MustProject(names ...string) *Table {
+	out, err := t.Project(names...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Select returns a new table with the rows for which keep returns true.
+func (t *Table) Select(keep func(row []Value) bool) *Table {
+	out := NewTable(t.Name, t.Schema)
+	for _, r := range t.Rows {
+		if keep(r) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// SelectIndices returns a new table containing the rows at the given indices.
+func (t *Table) SelectIndices(indices []int) *Table {
+	out := NewTable(t.Name, t.Schema)
+	out.Rows = make([][]Value, 0, len(indices))
+	for _, i := range indices {
+		out.Rows = append(out.Rows, t.Rows[i])
+	}
+	return out
+}
+
+// Distinct returns a new table with duplicate rows removed (first occurrence
+// kept, order preserved).
+func (t *Table) Distinct() *Table {
+	seen := make(map[string]struct{}, len(t.Rows))
+	out := NewTable(t.Name, t.Schema)
+	var buf []byte
+	all := make([]int, t.Schema.Len())
+	for i := range all {
+		all[i] = i
+	}
+	for _, r := range t.Rows {
+		buf = EncodeKey(buf[:0], r, all)
+		k := string(buf)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}
+
+// Column returns all values of the named column.
+func (t *Table) Column(name string) ([]Value, error) {
+	i := t.Schema.Index(name)
+	if i < 0 {
+		return nil, fmt.Errorf("relation: table %s has no column %q", t.Name, name)
+	}
+	out := make([]Value, len(t.Rows))
+	for j, r := range t.Rows {
+		out[j] = r[i]
+	}
+	return out, nil
+}
+
+// SortBy sorts rows in place by the named columns ascending (stable).
+func (t *Table) SortBy(names ...string) error {
+	idx, err := t.Schema.Indexes(names...)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		ra, rb := t.Rows[a], t.Rows[b]
+		for _, c := range idx {
+			if cmp := ra[c].Compare(rb[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// EncodeKey appends the injective encoding of row[cols...] to buf.
+func EncodeKey(buf []byte, row []Value, cols []int) []byte {
+	for _, c := range cols {
+		buf = row[c].AppendKey(buf)
+	}
+	return buf
+}
+
+// GroupIndices groups row indices by the tuple of values in the named
+// columns. The map key is the injective byte encoding of the tuple.
+func (t *Table) GroupIndices(names ...string) (map[string][]int, error) {
+	idx, err := t.Schema.Indexes(names...)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string][]int)
+	var buf []byte
+	for i, r := range t.Rows {
+		buf = EncodeKey(buf[:0], r, idx)
+		groups[string(buf)] = append(groups[string(buf)], i)
+	}
+	return groups, nil
+}
+
+// String renders a short description of the table.
+func (t *Table) String() string {
+	return fmt.Sprintf("%s%s [%d rows]", t.Name, t.Schema, len(t.Rows))
+}

@@ -1,0 +1,211 @@
+// Package relation implements the in-memory relational substrate that DANCE
+// operates on: typed values, schemas, tables, projections, equi-joins, full
+// outer joins, and attribute-set partitions (equivalence classes).
+//
+// Design notes:
+//
+//   - Values are small tagged structs, comparable with ==, so they can be used
+//     directly as map keys. NULL is a first-class kind because join
+//     informativeness (Def 2.4 of the paper) is defined on full outer joins.
+//   - Multi-attribute grouping keys are encoded into byte strings with
+//     AppendKey; the encoding is injective so two distinct tuples never
+//     collide.
+//   - Tables are row stores ([][]Value). The workloads in the paper are
+//     scan/join/group heavy with no point updates, so rows keep the code
+//     simple while remaining fast enough for millions of rows.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime types a Value can take.
+type Kind uint8
+
+const (
+	// KindNull marks an absent value (introduced by outer joins or dirt).
+	KindNull Kind = iota
+	// KindString is a categorical string value.
+	KindString
+	// KindInt is a 64-bit integer value.
+	KindInt
+	// KindFloat is a 64-bit floating point value.
+	KindFloat
+)
+
+// String implements fmt.Stringer for Kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Value is a single relational value. The zero Value is NULL.
+// Values are comparable with == (no slice or map fields), which makes them
+// usable as map keys; Float values must not be NaN (enforced by Float).
+type Value struct {
+	Kind Kind
+	S    string
+	I    int64
+	F    float64
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// String returns a string (categorical) value.
+func StringValue(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Int returns an integer value.
+func IntValue(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float returns a floating point value. NaN is coerced to NULL so that
+// Value remains well-behaved under ==.
+func FloatValue(f float64) Value {
+	if math.IsNaN(f) {
+		return Null()
+	}
+	return Value{Kind: KindFloat, F: f}
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Num returns the numeric interpretation of v (0 for NULL and strings).
+func (v Value) Num() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// String renders v for display and CSV output.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.S
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	}
+	return fmt.Sprintf("value(kind=%d)", uint8(v.Kind))
+}
+
+// Compare orders values: NULL < strings < numbers is avoided by comparing
+// kind classes first (null, string, numeric); numerics compare by value, so
+// IntValue(3) and FloatValue(3.0) compare equal.
+func (v Value) Compare(o Value) int {
+	ck, co := v.class(), o.class()
+	if ck != co {
+		return ck - co
+	}
+	switch ck {
+	case 0: // both null
+		return 0
+	case 1: // both string
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+		return 0
+	default: // both numeric
+		a, b := v.Num(), o.Num()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+}
+
+func (v Value) class() int {
+	switch v.Kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// EqualValue reports whether v and o are the same value. Unlike ==, an
+// IntValue and a FloatValue holding the same number are equal.
+func (v Value) EqualValue(o Value) bool { return v.Compare(o) == 0 }
+
+// AppendKey appends an injective byte encoding of v to buf and returns the
+// extended slice. Distinct values always produce distinct encodings, and the
+// encoding is self-delimiting so multi-value keys are unambiguous.
+func (v Value) AppendKey(buf []byte) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(buf, 0)
+	case KindString:
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		return append(buf, v.S...)
+	case KindInt:
+		buf = append(buf, 2)
+		return binary.BigEndian.AppendUint64(buf, uint64(v.I))
+	case KindFloat:
+		// Normalize integral floats to the int encoding so that
+		// IntValue(3) and FloatValue(3) group together, matching
+		// EqualValue semantics.
+		if f := v.F; f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			buf = append(buf, 2)
+			return binary.BigEndian.AppendUint64(buf, uint64(int64(f)))
+		}
+		buf = append(buf, 3)
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(v.F))
+	}
+	panic("relation: unknown value kind")
+}
+
+// ParseValue parses s into a Value of the given kind. Empty strings parse to
+// NULL for every kind.
+func ParseValue(s string, kind Kind) (Value, error) {
+	if s == "" {
+		return Null(), nil
+	}
+	switch kind {
+	case KindString:
+		return StringValue(s), nil
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parse int %q: %w", s, err)
+		}
+		return IntValue(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parse float %q: %w", s, err)
+		}
+		return FloatValue(f), nil
+	case KindNull:
+		return Null(), nil
+	}
+	return Null(), fmt.Errorf("relation: unknown kind %v", kind)
+}

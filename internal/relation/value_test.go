@@ -1,0 +1,176 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, ""},
+		{StringValue("abc"), KindString, "abc"},
+		{IntValue(-42), KindInt, "-42"},
+		{FloatValue(2.5), KindFloat, "2.5"},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("kind = %v, want %v", c.v.Kind, c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestFloatNaNBecomesNull(t *testing.T) {
+	if !FloatValue(math.NaN()).IsNull() {
+		t.Fatal("NaN should coerce to NULL")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	ordered := []Value{
+		Null(),
+		StringValue("a"),
+		StringValue("b"),
+		IntValue(1),
+		FloatValue(1.5),
+		IntValue(2),
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if sign(got) != want {
+				t.Errorf("Compare(%v, %v) = %d, want sign %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestIntFloatEquality(t *testing.T) {
+	if !IntValue(3).EqualValue(FloatValue(3)) {
+		t.Fatal("IntValue(3) should equal FloatValue(3)")
+	}
+	// And their key encodings must agree so they group together.
+	ka := IntValue(3).AppendKey(nil)
+	kb := FloatValue(3).AppendKey(nil)
+	if string(ka) != string(kb) {
+		t.Fatalf("key encodings differ: %x vs %x", ka, kb)
+	}
+}
+
+func TestAppendKeyInjective(t *testing.T) {
+	vals := []Value{
+		Null(), StringValue(""), StringValue("a"), StringValue("ab"),
+		IntValue(0), IntValue(1), IntValue(-1), FloatValue(0.5), FloatValue(-0.5),
+	}
+	seen := make(map[string]Value)
+	for _, v := range vals {
+		k := string(v.AppendKey(nil))
+		if prev, dup := seen[k]; dup && !prev.EqualValue(v) {
+			t.Errorf("collision: %v and %v encode to %x", prev, v, k)
+		}
+		seen[k] = v
+	}
+}
+
+func TestAppendKeySelfDelimiting(t *testing.T) {
+	// ("a", "bc") must not collide with ("ab", "c").
+	k1 := StringValue("a").AppendKey(nil)
+	k1 = StringValue("bc").AppendKey(k1)
+	k2 := StringValue("ab").AppendKey(nil)
+	k2 = StringValue("c").AppendKey(k2)
+	if string(k1) == string(k2) {
+		t.Fatal("multi-value keys collide")
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	cases := []struct {
+		s    string
+		kind Kind
+		want Value
+	}{
+		{"", KindString, Null()},
+		{"hello", KindString, StringValue("hello")},
+		{"-7", KindInt, IntValue(-7)},
+		{"2.25", KindFloat, FloatValue(2.25)},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.s, c.kind)
+		if err != nil {
+			t.Fatalf("ParseValue(%q, %v): %v", c.s, c.kind, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseValue(%q, %v) = %v, want %v", c.s, c.kind, got, c.want)
+		}
+	}
+	if _, err := ParseValue("xyz", KindInt); err == nil {
+		t.Error("parsing junk int should fail")
+	}
+	if _, err := ParseValue("xyz", KindFloat); err == nil {
+		t.Error("parsing junk float should fail")
+	}
+}
+
+// Property: Compare is antisymmetric and EqualValue matches Compare==0.
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64, fa, fb float64, sa, sb string, pick uint8) bool {
+		mk := func(p uint8, i int64, fl float64, s string) Value {
+			switch p % 4 {
+			case 0:
+				return Null()
+			case 1:
+				return StringValue(s)
+			case 2:
+				return IntValue(i)
+			default:
+				return FloatValue(fl)
+			}
+		}
+		va := mk(pick, a, fa, sa)
+		vb := mk(pick>>2, b, fb, sb)
+		if sign(va.Compare(vb)) != -sign(vb.Compare(va)) {
+			return false
+		}
+		return va.EqualValue(vb) == (va.Compare(vb) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal values produce equal keys; distinct values distinct keys
+// (for non-NaN, comparable inputs).
+func TestQuickKeyEncodingConsistent(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := IntValue(a), IntValue(b)
+		ka := string(va.AppendKey(nil))
+		kb := string(vb.AppendKey(nil))
+		return (ka == kb) == va.EqualValue(vb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package sampling implements the paper's Section 3: correlated sampling of
+// marketplace instances (Vengerov et al., the paper's [30]) and correlated
+// re-sampling of intermediate join results, plus sample-based estimators for
+// join informativeness, correlation, and quality.
+//
+// Correlated sampling hashes the join-attribute value of each tuple to a
+// uniform point in [0, 1) and keeps the tuple when the hash is at most the
+// sampling rate p. Because the same hash function is used on every instance,
+// a join value is either kept in all instances or dropped from all of them,
+// which preserves join structure and makes the estimators of Theorems 3.1
+// and 3.2 unbiased in expectation over hash seeds.
+package sampling
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/infotheory"
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// Hasher maps join-attribute tuples to uniform points in [0, 1).
+// Different seeds give independent sampling runs.
+type Hasher struct {
+	seed uint64
+}
+
+// NewHasher returns a Hasher for the given seed.
+func NewHasher(seed uint64) Hasher { return Hasher{seed: seed} }
+
+// Unit hashes key to [0, 1).
+func (h Hasher) Unit(key []byte) float64 {
+	f := fnv.New64a()
+	var seedBytes [8]byte
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(h.seed >> (8 * i))
+	}
+	f.Write(seedBytes[:])
+	f.Write(key)
+	// FNV-1a mixes trailing bytes only into the low bits; finalize with
+	// murmur3's fmix64 so every input bit affects the high bits that
+	// dominate the float mantissa.
+	x := f.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x) / float64(math.MaxUint64)
+}
+
+// CorrelatedSample keeps each row of t whose join-attribute tuple hashes to
+// at most rate. rate ≥ 1 returns a copy of t; rate ≤ 0 returns an empty
+// table. NULL join values are never sampled (they cannot join).
+func CorrelatedSample(t *relation.Table, joinAttrs []string, rate float64, h Hasher) (*relation.Table, error) {
+	if rate >= 1 {
+		return t.Clone(), nil
+	}
+	out := relation.NewTable(t.Name, t.Schema)
+	if rate <= 0 {
+		return out, nil
+	}
+	idx, err := t.Schema.Indexes(joinAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("correlated sample of %s: %w", t.Name, err)
+	}
+	var buf []byte
+	for _, r := range t.Rows {
+		null := false
+		for _, c := range idx {
+			if r[c].IsNull() {
+				null = true
+				break
+			}
+		}
+		if null {
+			continue
+		}
+		buf = relation.EncodeKey(buf[:0], r, idx)
+		if h.Unit(buf) <= rate {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+// SamplePath applies correlated sampling to every table of a join path.
+// Table i > 0 is sampled on steps[i].On — the join attributes it shares
+// with its predecessor — and the first table is sampled on steps[1].On
+// (there is no predecessor). A single-step path is sampled on that step's
+// own On set if present, else returned unsampled.
+func SamplePath(steps []relation.PathStep, rate float64, h Hasher) ([]relation.PathStep, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("sampling: empty join path")
+	}
+	out := make([]relation.PathStep, len(steps))
+	for i, st := range steps {
+		on := st.On
+		if i == 0 {
+			if len(steps) > 1 {
+				on = steps[1].On
+			} else {
+				on = st.On
+			}
+		}
+		if len(on) == 0 {
+			out[i] = relation.PathStep{Table: st.Table.Clone(), On: st.On}
+			continue
+		}
+		s, err := CorrelatedSample(st.Table, on, rate, h)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = relation.PathStep{Table: s, On: st.On}
+	}
+	return out, nil
+}
+
+// PathJoinOptions control re-sampled multi-way joins (Sec 3.2).
+type PathJoinOptions struct {
+	// Eta is the intermediate-join-size threshold η: when an intermediate
+	// result exceeds Eta rows it is re-sampled before the next join.
+	// Eta ≤ 0 disables re-sampling.
+	Eta int
+	// ResampleRate is the fixed re-sampling rate ρ applied when the
+	// threshold trips.
+	ResampleRate float64
+	// Hasher drives the correlated re-sampling (hash of the next join
+	// attribute value), so downstream joins stay correlated.
+	Hasher Hasher
+}
+
+// ResampleStats reports what the re-sampled path join did, for experiment
+// output and tests.
+type ResampleStats struct {
+	IntermediateSizes []int // size after each join, before re-sampling
+	Resampled         []bool
+}
+
+// ResampledJoinPath joins steps left-to-right like relation.JoinPath, but
+// when an intermediate result exceeds opts.Eta rows it is re-sampled with
+// the correlated hash on the *next* step's join attributes, bounding
+// intermediate sizes while preserving join structure (Sec 3.2).
+func ResampledJoinPath(steps []relation.PathStep, opts PathJoinOptions) (*relation.Table, ResampleStats, error) {
+	var stats ResampleStats
+	if len(steps) == 0 {
+		return nil, stats, fmt.Errorf("sampling: empty join path")
+	}
+	acc := steps[0].Table
+	for i := 1; i < len(steps); i++ {
+		j, err := relation.EquiJoin(acc, steps[i].Table, steps[i].On)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.IntermediateSizes = append(stats.IntermediateSizes, j.NumRows())
+		resampled := false
+		// Only re-sample when another join follows and the threshold trips.
+		if opts.Eta > 0 && i < len(steps)-1 && j.NumRows() > opts.Eta {
+			j2, err := CorrelatedSample(j, steps[i+1].On, opts.ResampleRate, opts.Hasher)
+			if err != nil {
+				return nil, stats, err
+			}
+			j = j2
+			resampled = true
+		}
+		stats.Resampled = append(stats.Resampled, resampled)
+		acc = j
+	}
+	return acc, stats, nil
+}
+
+// EstimateJI estimates JI(a, b) on join attributes on from correlated
+// samples at the given rate (Eq. 6, Theorem 3.1).
+func EstimateJI(a, b *relation.Table, on []string, rate float64, h Hasher) (float64, error) {
+	sa, err := CorrelatedSample(a, on, rate, h)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := CorrelatedSample(b, on, rate, h)
+	if err != nil {
+		return 0, err
+	}
+	if sa.NumRows() == 0 && sb.NumRows() == 0 {
+		return 0, fmt.Errorf("sampling: JI estimate degenerate, both samples empty (rate %v)", rate)
+	}
+	return infotheory.JoinInformativeness(sa, sb, on)
+}
+
+// EstimateCorrelation estimates CORR(x, y) on the join of the path from
+// correlated samples at the given rate, with re-sampling per opts (Eq. 7,
+// Theorem 3.2).
+func EstimateCorrelation(steps []relation.PathStep, x, y []string, rate float64, opts PathJoinOptions) (float64, error) {
+	sampled, err := SamplePath(steps, rate, opts.Hasher)
+	if err != nil {
+		return 0, err
+	}
+	j, _, err := ResampledJoinPath(sampled, opts)
+	if err != nil {
+		return 0, err
+	}
+	if j.NumRows() == 0 {
+		return 0, fmt.Errorf("sampling: correlation estimate degenerate, empty join sample (rate %v)", rate)
+	}
+	return infotheory.Correlation(j, x, y)
+}
+
+// EstimateQuality estimates Q of Def 2.3 on the join of the path from
+// correlated samples at the given rate (Eq. 8, Theorem 3.2).
+func EstimateQuality(steps []relation.PathStep, fds []fd.FD, rate float64, opts PathJoinOptions) (float64, error) {
+	sampled, err := SamplePath(steps, rate, opts.Hasher)
+	if err != nil {
+		return 0, err
+	}
+	j, _, err := ResampledJoinPath(sampled, opts)
+	if err != nil {
+		return 0, err
+	}
+	if j.NumRows() == 0 {
+		return 0, fmt.Errorf("sampling: quality estimate degenerate, empty join sample (rate %v)", rate)
+	}
+	return fd.QualitySet(j, fds)
+}

@@ -1,0 +1,566 @@
+// Package search implements DANCE's online phase (Sec 5): the two-step
+// heuristic — Step 1 finds minimal-weight I-layer graphs via landmarks,
+// Step 2 runs the MCMC of Algorithm 1 over AS-edge variants — plus the LP
+// and GP brute-force optimal baselines used by the evaluation.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/graphalg"
+	"github.com/dance-db/dance/internal/infotheory"
+	"github.com/dance-db/dance/internal/joingraph"
+	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/sampling"
+)
+
+// Request is one data-acquisition request (Sec 2.5).
+type Request struct {
+	// SourceAttrs is AS. If empty, the request degenerates to finding the
+	// best correlation within AT: the first target attribute plays X and
+	// the rest play Y (the paper's "acquisition without S and AS").
+	SourceAttrs []string
+	// TargetAttrs is AT.
+	TargetAttrs []string
+	// Budget is B; ≤ 0 means unbounded.
+	Budget float64
+	// Alpha bounds total join informativeness w(TG) ≤ α; ≤ 0 = unbounded.
+	Alpha float64
+	// Beta lower-bounds quality Q(TG) ≥ β.
+	Beta float64
+	// Iterations is ℓ, the MCMC iteration count (default 100).
+	Iterations int
+	// Eta is the re-sampling threshold η for intermediate joins
+	// (0 disables re-sampling).
+	Eta int
+	// ResampleRate is ρ (default 0.5 when Eta > 0).
+	ResampleRate float64
+	// Landmarks is the landmark count for Step 1 (default 6).
+	Landmarks int
+	// MaxCovers caps enumerated source/target covers (default 8).
+	MaxCovers int
+	// MaxIGraphs caps the Step 1 candidates handed to Step 2 (default 4).
+	MaxIGraphs int
+	// Seed drives the MCMC and landmark selection.
+	Seed int64
+	// Greedy switches Algorithm 1's Metropolis acceptance
+	// min(1, CORR'/CORR) to strict hill-climbing (accept only
+	// improvements). Used by the acceptance-rule ablation.
+	Greedy bool
+}
+
+func (r Request) withDefaults() Request {
+	if r.Iterations <= 0 {
+		r.Iterations = 100
+	}
+	if r.Landmarks <= 0 {
+		r.Landmarks = 6
+	}
+	if r.MaxCovers <= 0 {
+		r.MaxCovers = 8
+	}
+	if r.MaxIGraphs <= 0 {
+		r.MaxIGraphs = 4
+	}
+	if r.Eta > 0 && r.ResampleRate <= 0 {
+		r.ResampleRate = 0.5
+	}
+	return r
+}
+
+// corrAttrs resolves the X and Y attribute sets for CORR (supporting the
+// source-less request form).
+func (r Request) corrAttrs() (x, y []string, err error) {
+	if len(r.TargetAttrs) == 0 {
+		return nil, nil, fmt.Errorf("search: no target attributes")
+	}
+	if len(r.SourceAttrs) > 0 {
+		return r.SourceAttrs, r.TargetAttrs, nil
+	}
+	if len(r.TargetAttrs) < 2 {
+		return nil, nil, fmt.Errorf("search: source-less request needs ≥ 2 target attributes")
+	}
+	return r.TargetAttrs[:1], r.TargetAttrs[1:], nil
+}
+
+// Metrics are the four quantities of the optimization problem (Eq 9).
+type Metrics struct {
+	Correlation float64
+	Quality     float64
+	Weight      float64
+	Price       float64
+}
+
+// Feasible checks the constraints of Eq 9 (budget/α unbounded when ≤ 0).
+func (m Metrics) Feasible(r Request) bool {
+	if r.Budget > 0 && m.Price > r.Budget {
+		return false
+	}
+	if r.Alpha > 0 && m.Weight > r.Alpha {
+		return false
+	}
+	if m.Quality < r.Beta {
+		return false
+	}
+	return true
+}
+
+// Result is a search outcome.
+type Result struct {
+	TG  *joingraph.TargetGraph
+	Est Metrics
+	// Evals counts full metric evaluations (the dominant cost, Sec 5.3).
+	Evals int
+	// Considered counts candidate target graphs examined.
+	Considered int
+}
+
+// Searcher runs searches over one join graph.
+type Searcher struct {
+	G *joingraph.Graph
+
+	evalCache map[string]Metrics
+}
+
+// NewSearcher wraps a join graph.
+func NewSearcher(g *joingraph.Graph) *Searcher {
+	return &Searcher{G: g, evalCache: make(map[string]Metrics)}
+}
+
+// fingerprint identifies a target graph up to metrics equivalence.
+func fingerprint(tg *joingraph.TargetGraph) string {
+	var b strings.Builder
+	for _, e := range tg.Edges {
+		b.WriteString(strconv.Itoa(e.I))
+		b.WriteByte('-')
+		b.WriteString(strconv.Itoa(e.J))
+		b.WriteByte('#')
+		b.WriteString(strconv.Itoa(e.Variant))
+		b.WriteByte(';')
+	}
+	for _, v := range tg.Vertices {
+		b.WriteString(strconv.Itoa(v))
+		b.WriteByte(',')
+	}
+	keys := make([]string, 0, len(tg.Assign))
+	for k := range tg.Assign {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(tg.Assign[k]))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Evaluate computes the estimated metrics of tg on the held samples,
+// re-sampling intermediate joins per the request. Results are memoized.
+func (s *Searcher) Evaluate(tg *joingraph.TargetGraph, req Request) (Metrics, error) {
+	key := fingerprint(tg)
+	if m, ok := s.evalCache[key]; ok {
+		return m, nil
+	}
+	m, err := s.evaluateUncached(tg, req)
+	if err != nil {
+		return Metrics{}, err
+	}
+	s.evalCache[key] = m
+	return m, nil
+}
+
+func (s *Searcher) evaluateUncached(tg *joingraph.TargetGraph, req Request) (Metrics, error) {
+	x, y, err := req.corrAttrs()
+	if err != nil {
+		return Metrics{}, err
+	}
+	steps, err := tg.JoinSteps()
+	if err != nil {
+		return Metrics{}, err
+	}
+	opts := sampling.PathJoinOptions{
+		Eta:          req.Eta,
+		ResampleRate: req.ResampleRate,
+		Hasher:       sampling.NewHasher(uint64(req.Seed) + 1),
+	}
+	j, _, err := sampling.ResampledJoinPath(steps, opts)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{Weight: tg.Weight()}
+	m.Price, err = tg.Price()
+	if err != nil {
+		return Metrics{}, err
+	}
+	if j.NumRows() == 0 {
+		// Empty join sample: no correlation evidence, quality vacuous.
+		m.Correlation, m.Quality = 0, 0
+		return m, nil
+	}
+	m.Correlation, err = infotheory.Correlation(j, x, y)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.Quality, err = fd.QualitySet(j, tg.FDs())
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
+}
+
+// EvaluateOnTables computes *real* metrics of tg by joining the given full
+// tables (keyed by instance name) instead of the samples — the evaluation
+// protocol of Sec 6 measures real correlation even for sample-based
+// searches. Prices remain marketplace quotes.
+func (s *Searcher) EvaluateOnTables(tg *joingraph.TargetGraph, req Request, tables map[string]*relation.Table) (Metrics, error) {
+	x, y, err := req.corrAttrs()
+	if err != nil {
+		return Metrics{}, err
+	}
+	steps, err := tg.JoinSteps()
+	if err != nil {
+		return Metrics{}, err
+	}
+	// Swap each sample for its full table.
+	full := make([]relation.PathStep, len(steps))
+	for i, st := range steps {
+		ft, ok := tables[st.Table.Name]
+		if !ok {
+			return Metrics{}, fmt.Errorf("search: no full table for instance %q", st.Table.Name)
+		}
+		full[i] = relation.PathStep{Table: ft, On: st.On}
+	}
+	j, err := relation.JoinPath(full)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{Weight: tg.Weight()}
+	m.Price, err = tg.Price()
+	if err != nil {
+		return Metrics{}, err
+	}
+	if j.NumRows() == 0 {
+		return m, nil
+	}
+	m.Correlation, err = infotheory.Correlation(j, x, y)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.Quality, err = fd.QualitySet(j, tg.FDs())
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
+}
+
+// step1JitterTrials and step1JitterFactor diversify the Step 1 candidate
+// pool: besides the exact minimal-weight landmark unions, extra rounds run
+// on multiplicatively jittered edge weights (factors in [0.5, 1.5]), so
+// near-minimal I-graphs enter the pool too; a final round uses unit weights,
+// yielding the fewest-joins tree (the paper's own intuition: shorter join
+// paths render higher correlation). Trees are always re-weighted with the
+// true weights before α-filtering and ranking, and Step 2 picks among
+// candidates by estimated correlation — low weight is the paper's *proxy*
+// for high correlation (Sec 5), not the objective itself.
+const (
+	step1JitterTrials = 4
+	step1JitterFactor = 1.0
+)
+
+// step1Candidates runs Step 1 (Sec 5.1): enumerate source and target covers,
+// build terminals, and collect minimal-weight I-graphs via the landmark
+// heuristic. Candidates are deduplicated, weight-filtered by α, sorted by
+// weight, and capped at MaxIGraphs.
+func (s *Searcher) step1Candidates(req Request) ([]*graphalg.SteinerTree, error) {
+	il := s.G.ILayer()
+	rng := rand.New(rand.NewSource(req.Seed))
+
+	targetCovers, err := s.G.TargetCovers(req.TargetAttrs, req.MaxCovers)
+	if err != nil {
+		return nil, err
+	}
+	var sourceCovers [][]int
+	if len(req.SourceAttrs) > 0 {
+		// SourceCovers pins source attributes to owned instances when the
+		// shopper holds them: the paper joins S ∪ T, so owned data always
+		// participates. Remaining covers are sorted to prefer owned
+		// (free) instances.
+		sourceCovers, err = s.G.SourceCovers(req.SourceAttrs, req.MaxCovers)
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(sourceCovers, func(a, b int) bool {
+			return s.nonOwnedCount(sourceCovers[a]) < s.nonOwnedCount(sourceCovers[b])
+		})
+	} else {
+		sourceCovers = [][]int{nil}
+	}
+
+	seen := map[string]bool{}
+	var cands []*graphalg.SteinerTree
+	for trial := 0; trial <= step1JitterTrials; trial++ {
+		g := il
+		switch {
+		case trial == step1JitterTrials:
+			g = unitWeights(il) // fewest-joins candidates
+		case trial > 0:
+			g = jitterWeights(il, rng, step1JitterFactor)
+		}
+		lm := g.BuildLandmarks(req.Landmarks, rng)
+		for _, sc := range sourceCovers {
+			for _, tc := range targetCovers {
+				terminals := dedupeInts(append(append([]int{}, sc...), tc...))
+				if len(terminals) == 0 {
+					continue
+				}
+				var trees []*graphalg.SteinerTree
+				if len(terminals) == 1 {
+					trees = []*graphalg.SteinerTree{{Vertices: terminals}}
+				} else {
+					trees = g.SteinerLandmarkCandidates(lm, terminals)
+				}
+				for _, tr := range trees {
+					if trial > 0 {
+						tr = reweightTree(il, tr)
+					}
+					if req.Alpha > 0 && tr.Weight > req.Alpha {
+						continue // Sec 5.1: no I-graph within α → skip
+					}
+					key := treeFingerprint(tr)
+					if !seen[key] {
+						seen[key] = true
+						cands = append(cands, tr)
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].Weight < cands[b].Weight })
+	if len(cands) > req.MaxIGraphs {
+		cands = cands[:req.MaxIGraphs]
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("search: no I-graph connects the source and target attributes within α=%v", req.Alpha)
+	}
+	return cands, nil
+}
+
+// jitterWeights returns a copy of g with every edge weight multiplied by a
+// uniform factor in [1−factor/2, 1+factor/2].
+func jitterWeights(g *graphalg.Graph, rng *rand.Rand, factor float64) *graphalg.Graph {
+	out := graphalg.NewGraph(g.N())
+	for _, e := range g.Edges() {
+		f := 1 + factor*(rng.Float64()-0.5)
+		out.AddEdge(e[0], e[1], g.Weight(e[0], e[1])*f)
+	}
+	return out
+}
+
+// unitWeights returns a copy of g with every edge at weight 1, so shortest
+// paths minimize join-path length.
+func unitWeights(g *graphalg.Graph) *graphalg.Graph {
+	out := graphalg.NewGraph(g.N())
+	for _, e := range g.Edges() {
+		out.AddEdge(e[0], e[1], 1)
+	}
+	return out
+}
+
+// reweightTree recomputes a candidate's weight on the true I-layer weights.
+func reweightTree(il *graphalg.Graph, tr *graphalg.SteinerTree) *graphalg.SteinerTree {
+	w := 0.0
+	for _, e := range tr.Edges {
+		w += il.Weight(e[0], e[1])
+	}
+	return &graphalg.SteinerTree{Vertices: tr.Vertices, Edges: tr.Edges, Weight: w}
+}
+
+func (s *Searcher) nonOwnedCount(cover []int) int {
+	n := 0
+	for _, i := range cover {
+		if !s.G.Instances[i].Owned {
+			n++
+		}
+	}
+	return n
+}
+
+func dedupeInts(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func treeFingerprint(tr *graphalg.SteinerTree) string {
+	var b strings.Builder
+	for _, v := range tr.Vertices {
+		b.WriteString(strconv.Itoa(v))
+		b.WriteByte(',')
+	}
+	for _, e := range tr.Edges {
+		b.WriteString(strconv.Itoa(e[0]))
+		b.WriteByte('-')
+		b.WriteString(strconv.Itoa(e[1]))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// treeToTargetGraph converts a Step 1 I-graph into an initial target graph:
+// each tree edge starts at its minimal-JI variant and requested attributes
+// are assigned to covering tree vertices.
+func (s *Searcher) treeToTargetGraph(tr *graphalg.SteinerTree, req Request) (*joingraph.TargetGraph, error) {
+	edges := make([]joingraph.TGEdge, 0, len(tr.Edges))
+	for _, e := range tr.Edges {
+		ie := s.G.EdgeBetween(e[0], e[1])
+		if ie == nil {
+			return nil, fmt.Errorf("search: I-graph edge (%d,%d) missing from join graph", e[0], e[1])
+		}
+		i, j := e[0], e[1]
+		if i > j {
+			i, j = j, i
+		}
+		edges = append(edges, joingraph.TGEdge{I: i, J: j, Variant: ie.MinVariant()})
+	}
+	all := append(append([]string{}, req.SourceAttrs...), req.TargetAttrs...)
+	assign, err := s.G.AssignAttrs(dedupeStrings(all), tr.Vertices)
+	if err != nil {
+		return nil, err
+	}
+	return joingraph.NewTargetGraph(s.G, tr.Vertices, edges, assign)
+}
+
+func dedupeStrings(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Heuristic runs the full two-step search: Step 1 minimal-weight I-graphs,
+// then Algorithm 1's MCMC over join-attribute variants on each candidate,
+// keeping the feasible target graph with the highest estimated correlation.
+func (s *Searcher) Heuristic(req Request) (*Result, error) {
+	req = req.withDefaults()
+	cands, err := s.step1Candidates(req)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(req.Seed + 17))
+	best := &Result{}
+	var bestM Metrics
+	found := false
+	for _, tr := range cands {
+		tg, err := s.treeToTargetGraph(tr, req)
+		if err != nil {
+			continue
+		}
+		res, m, ok, err := s.mcmc(tg, req, rng)
+		if err != nil {
+			return nil, err
+		}
+		best.Evals += res.Evals
+		best.Considered += res.Considered
+		if ok && (!found || m.Correlation > bestM.Correlation) {
+			found = true
+			best.TG = res.TG
+			bestM = m
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("search: no feasible target graph (budget %v, α %v, β %v)", req.Budget, req.Alpha, req.Beta)
+	}
+	best.Est = bestM
+	return best, nil
+}
+
+// mcmc is Algorithm 1 (FindJoinTree_AttSet): ℓ iterations of variant swaps
+// with Metropolis acceptance min(1, CORR'/CORR), tracking the best feasible
+// sample.
+func (s *Searcher) mcmc(tg *joingraph.TargetGraph, req Request, rng *rand.Rand) (*Result, Metrics, bool, error) {
+	res := &Result{}
+	var bestM, curM Metrics
+	var bestTG *joingraph.TargetGraph
+	found := false
+
+	cur := tg
+	curM, err := s.Evaluate(cur, req)
+	if err != nil {
+		return nil, Metrics{}, false, err
+	}
+	res.Evals++
+	res.Considered++
+	if curM.Feasible(req) {
+		found = true
+		bestTG, bestM = cur, curM
+	}
+
+	// Edges with at least one alternative variant.
+	swappable := make([]int, 0, len(cur.Edges))
+	for i, e := range cur.Edges {
+		if len(s.G.EdgeBetween(e.I, e.J).Variants) > 1 {
+			swappable = append(swappable, i)
+		}
+	}
+
+	for it := 0; it < req.Iterations && len(swappable) > 0; it++ {
+		ei := swappable[rng.Intn(len(swappable))]
+		edge := cur.Edges[ei]
+		variants := s.G.EdgeBetween(edge.I, edge.J).Variants
+		nv := rng.Intn(len(variants) - 1)
+		if nv >= edge.Variant {
+			nv++ // a *different* variant, uniform over the rest
+		}
+		cand := cur.Clone()
+		cand.Edges[ei].Variant = nv
+
+		candM, err := s.Evaluate(cand, req)
+		if err != nil {
+			return nil, Metrics{}, false, err
+		}
+		res.Evals++
+		res.Considered++
+		// Line 8 of Algorithm 1: constraint check first.
+		if !candM.Feasible(req) {
+			continue
+		}
+		// Line 9: accept with probability min(1, CORR'/CORR)
+		// (or only strict improvements in greedy ablation mode).
+		accept := true
+		if candM.Correlation < curM.Correlation {
+			if req.Greedy {
+				accept = false
+			} else if curM.Correlation > 0 {
+				accept = rng.Float64() < candM.Correlation/curM.Correlation
+			}
+		}
+		if accept {
+			cur, curM = cand, candM
+			if !found || curM.Correlation > bestM.Correlation {
+				found = true
+				bestTG, bestM = cur, curM
+			}
+		}
+	}
+	res.TG = bestTG
+	return res, bestM, found, nil
+}

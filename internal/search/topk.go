@@ -1,0 +1,221 @@
+package search
+
+import (
+	"fmt"
+	"github.com/dance-db/dance/internal/joingraph"
+	"math/rand"
+	"sort"
+)
+
+// The paper's conclusion sketches a future-work extension: "DANCE may
+// recommend a number of acquisition options of the top-k scores to the data
+// buyer, where the scores can be defined as a combination of correlation,
+// data quality, join informativeness, and price", noting that a fair score
+// function and a top-k search for non-monotone scores are the open issues.
+// This file implements that extension.
+
+// ScoreWeights combines the four metrics into a scalar score. Correlation
+// and quality reward; weight (join informativeness) and price penalize.
+// Price is normalized by Budget (or its own magnitude when unbounded) so
+// the weights are unit-free.
+type ScoreWeights struct {
+	Correlation float64
+	Quality     float64
+	Weight      float64
+	Price       float64
+}
+
+// DefaultScoreWeights balance the axes the way the paper's discussion
+// suggests: correlation first, then quality, with gentle penalties.
+func DefaultScoreWeights() ScoreWeights {
+	return ScoreWeights{Correlation: 1.0, Quality: 0.5, Weight: 0.25, Price: 0.25}
+}
+
+// Score evaluates the combined score of metrics m under request r.
+func (w ScoreWeights) Score(m Metrics, r Request) float64 {
+	priceScale := r.Budget
+	if priceScale <= 0 {
+		priceScale = m.Price + 1
+	}
+	weightScale := r.Alpha
+	if weightScale <= 0 {
+		weightScale = m.Weight + 1
+	}
+	return w.Correlation*m.Correlation +
+		w.Quality*m.Quality -
+		w.Weight*(m.Weight/weightScale) -
+		w.Price*(m.Price/priceScale)
+}
+
+// Option is one ranked acquisition candidate.
+type Option struct {
+	Result *Result
+	Score  float64
+}
+
+// TopK runs the two-step heuristic but keeps the k best *distinct* feasible
+// target graphs by combined score instead of only the single best
+// correlation. The score function is not monotone in any single metric, so
+// candidates are collected during the MCMC walk across every Step 1
+// I-graph and ranked at the end — exactly the brute-ranking fallback the
+// paper anticipates for non-monotone scores.
+func (s *Searcher) TopK(req Request, k int, weights ScoreWeights) ([]Option, error) {
+	if k <= 0 {
+		k = 3
+	}
+	req = req.withDefaults()
+	cands, err := s.step1Candidates(req)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(req.Seed + 17))
+
+	best := map[string]Option{} // fingerprint → best-scored option
+	record := func(res *Result, m Metrics) {
+		if res.TG == nil {
+			return
+		}
+		fp := fingerprint(res.TG)
+		score := weights.Score(m, req)
+		if cur, ok := best[fp]; !ok || score > cur.Score {
+			best[fp] = Option{
+				Result: &Result{TG: res.TG, Est: m, Evals: res.Evals, Considered: res.Considered},
+				Score:  score,
+			}
+		}
+	}
+
+	totalEvals, totalConsidered := 0, 0
+	for _, tr := range cands {
+		tg, err := s.treeToTargetGraph(tr, req)
+		if err != nil {
+			continue
+		}
+		walk, err := s.mcmcCollect(tg, req, rng, func(res *Result, m Metrics) {
+			record(res, m)
+		})
+		if err != nil {
+			return nil, err
+		}
+		totalEvals += walk.Evals
+		totalConsidered += walk.Considered
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("search: no feasible acquisition options (budget %v, α %v, β %v)",
+			req.Budget, req.Alpha, req.Beta)
+	}
+	options := make([]Option, 0, len(best))
+	for _, o := range best {
+		options = append(options, o)
+	}
+	sort.SliceStable(options, func(i, j int) bool {
+		if options[i].Score != options[j].Score {
+			return options[i].Score > options[j].Score
+		}
+		// Deterministic tie-break.
+		return fingerprint(options[i].Result.TG) < fingerprint(options[j].Result.TG)
+	})
+	if len(options) > k {
+		options = options[:k]
+	}
+	for i := range options {
+		options[i].Result.Evals = totalEvals
+		options[i].Result.Considered = totalConsidered
+	}
+	return options, nil
+}
+
+// mcmcCollect is Algorithm 1 with a visitor: every *feasible* sample the
+// walk evaluates is reported, so callers can rank with arbitrary scores.
+func (s *Searcher) mcmcCollect(tg *joingraph.TargetGraph, req Request, rng *rand.Rand,
+	visit func(*Result, Metrics)) (*Result, error) {
+
+	res := &Result{}
+	cur := tg
+	curM, err := s.Evaluate(cur, req)
+	if err != nil {
+		return nil, err
+	}
+	res.Evals++
+	res.Considered++
+	if curM.Feasible(req) {
+		visit(&Result{TG: cur}, curM)
+	}
+	swappable := make([]int, 0, len(cur.Edges))
+	for i, e := range cur.Edges {
+		if len(s.G.EdgeBetween(e.I, e.J).Variants) > 1 {
+			swappable = append(swappable, i)
+		}
+	}
+	for it := 0; it < req.Iterations && len(swappable) > 0; it++ {
+		ei := swappable[rng.Intn(len(swappable))]
+		edge := cur.Edges[ei]
+		variants := s.G.EdgeBetween(edge.I, edge.J).Variants
+		nv := rng.Intn(len(variants) - 1)
+		if nv >= edge.Variant {
+			nv++
+		}
+		cand := cur.Clone()
+		cand.Edges[ei].Variant = nv
+		candM, err := s.Evaluate(cand, req)
+		if err != nil {
+			return nil, err
+		}
+		res.Evals++
+		res.Considered++
+		if !candM.Feasible(req) {
+			continue
+		}
+		visit(&Result{TG: cand}, candM)
+		accept := true
+		if candM.Correlation < curM.Correlation {
+			if req.Greedy {
+				accept = false
+			} else if curM.Correlation > 0 {
+				accept = rng.Float64() < candM.Correlation/curM.Correlation
+			}
+		}
+		if accept {
+			cur, curM = cand, candM
+		}
+	}
+	return res, nil
+}
+
+// SpreadScore measures how diverse a slice of options is: the mean pairwise
+// fraction of differing instance vertices. Exposed for tests and for
+// shoppers choosing k.
+func SpreadScore(options []Option) float64 {
+	if len(options) < 2 {
+		return 0
+	}
+	total, pairs := 0.0, 0
+	for i := 0; i < len(options); i++ {
+		for j := i + 1; j < len(options); j++ {
+			total += vertexDistance(options[i].Result.TG.Vertices, options[j].Result.TG.Vertices)
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+func vertexDistance(a, b []int) float64 {
+	set := map[int]int{}
+	for _, v := range a {
+		set[v] |= 1
+	}
+	for _, v := range b {
+		set[v] |= 2
+	}
+	union, diff := 0, 0
+	for _, m := range set {
+		union++
+		if m != 3 {
+			diff++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(diff) / float64(union)
+}

@@ -280,6 +280,32 @@ func BenchmarkHeuristicSearch(b *testing.B) {
 	}
 }
 
+// benchTPCEHeuristic runs the two-step search over the TPC-E join graph
+// (the paper's largest workload, Q3's length-8 spine) at a fixed worker
+// count. A fresh Searcher per iteration keeps the evaluator cache cold, so
+// serial and parallel runs do the same work; the found target graph is
+// identical for every worker count, only wall-clock changes.
+func benchTPCEHeuristic(b *testing.B, workers int) {
+	env, err := experiments.NewEnv(experiments.EnvConfig{Dataset: "tpce", Scale: 1, Seed: 1, Rate: 0.6, NumInstances: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := experiments.TPCEQueries()[2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := env.Request(q, 7)
+		req.Iterations = 40
+		req.MaxIGraphs = 8 // widen the Step 1 pool: one chain per candidate
+		req.Workers = workers
+		if _, err := search.NewSearcher(env.Sampled).Heuristic(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeuristicTPCESerial(b *testing.B)   { benchTPCEHeuristic(b, 1) }
+func BenchmarkHeuristicTPCEParallel(b *testing.B) { benchTPCEHeuristic(b, 0) }
+
 func BenchmarkEndToEndAcquisition(b *testing.B) {
 	tables, fds := dance.GenerateTPCH(2, 1, -1)
 	market := dance.NewMarketplace(nil)

@@ -37,6 +37,7 @@ func main() {
 		iters     = flag.Int("iters", 100, "MCMC iterations ℓ")
 		buy       = flag.Bool("buy", false, "execute the plan (spend the budget)")
 		topk      = flag.Int("topk", 0, "recommend the k best-scored options instead of one plan")
+		workers   = flag.Int("workers", 0, "concurrent sample fetches and MCMC chains (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 	if *target == "" {
@@ -65,7 +66,7 @@ func main() {
 		log.Fatal("provide -market URL or -local tpch|tpce")
 	}
 
-	mw := core.New(market, core.Config{SampleRate: *rate, SampleSeed: uint64(*seed), DiscoverFDs: true})
+	mw := core.New(market, core.Config{SampleRate: *rate, SampleSeed: uint64(*seed), DiscoverFDs: true, Workers: *workers})
 	req := search.Request{
 		SourceAttrs: splitList(*source),
 		TargetAttrs: splitList(*target),
@@ -74,6 +75,7 @@ func main() {
 		Beta:        *beta,
 		Iterations:  *iters,
 		Seed:        *seed,
+		Workers:     *workers,
 	}
 	if *topk > 0 {
 		options, err := mw.AcquireTopK(req, *topk, search.DefaultScoreWeights())

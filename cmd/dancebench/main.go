@@ -29,14 +29,16 @@ var experimentNames = []string{
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id or 'all' (see -list)")
-		scale = flag.Int("scale", 2, "dataset scale factor")
-		seed  = flag.Int64("seed", 42, "PRNG seed")
-		rate  = flag.Float64("rate", 0.5, "offline correlated-sampling rate")
-		iters = flag.Int("iters", 80, "MCMC iterations ℓ")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id or 'all' (see -list)")
+		scale   = flag.Int("scale", 2, "dataset scale factor")
+		seed    = flag.Int64("seed", 42, "PRNG seed")
+		rate    = flag.Float64("rate", 0.5, "offline correlated-sampling rate")
+		iters   = flag.Int("iters", 80, "MCMC iterations ℓ")
+		workers = flag.Int("workers", 0, "concurrent MCMC chains per search (0 = one per CPU, 1 = serial)")
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+	experiments.DefaultWorkers = *workers
 	if *list {
 		fmt.Println(strings.Join(experimentNames, "\n"))
 		return

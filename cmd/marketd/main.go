@@ -12,13 +12,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/marketplace"
@@ -65,7 +70,44 @@ func main() {
 		fmt.Printf("listing %s: %d rows, %d attrs\n", info.Name, info.Rows, len(info.Attrs))
 	}
 	fmt.Printf("marketplace listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, marketplace.Handler(market)))
+	if err := serve(*addr, marketplace.Handler(market)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs an http.Server with sane timeouts (a bare ListenAndServe
+// leaks slow-loris connections) and drains in-flight purchases on
+// SIGINT/SIGTERM before exiting.
+func serve(addr string, h http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute, // full-table projections can be large
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // loadDir registers every .csv in dir; an optional *.fds file declares FDs

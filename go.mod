@@ -1,0 +1,3 @@
+module github.com/dance-db/dance
+
+go 1.22

@@ -14,6 +14,7 @@ import (
 	"github.com/dance-db/dance/internal/infotheory"
 	"github.com/dance-db/dance/internal/joingraph"
 	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/parallel"
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/search"
@@ -40,6 +41,13 @@ type Config struct {
 	DiscoverFDs bool
 	// FDOptions configure discovery when DiscoverFDs is set.
 	FDOptions fd.DiscoveryOptions
+	// Workers bounds concurrency throughout the middleware: the offline
+	// phase fetches per-dataset samples and FDs with up to Workers
+	// concurrent marketplace calls (pure I/O fan-out against an HTTP
+	// marketplace), and requests that leave their own Workers knob unset
+	// inherit it for the parallel search. 0 or negative means one worker
+	// per CPU; 1 forces fully serial operation.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -148,19 +156,26 @@ func (d *Dance) Offline() error {
 			Owned:    true,
 		})
 	}
-	for _, info := range catalog {
+	// Fetch each dataset's correlated sample and FDs concurrently — pure
+	// I/O fan-out when the marketplace is remote — with bounded workers
+	// and first-error cancellation. Indexed result slots keep instance
+	// numbering and the summed sample cost deterministic. Costs are
+	// recorded per slot so that even on a partial failure SampleCost
+	// reflects every sample the marketplace actually charged for.
+	rate := d.rate
+	if rate > 1 {
+		rate = 1
+	}
+	fetched := make([]*joingraph.Instance, len(catalog))
+	costs := make([]float64, len(catalog))
+	err = parallel.ForEach(len(catalog), d.cfg.Workers, func(i int) error {
+		info := catalog[i]
 		joinAttr := primaryJoinAttr(info, catalog)
-		var sample *relation.Table
-		var cost float64
-		if d.rate >= 1 {
-			sample, cost, err = d.market.Sample(info.Name, []string{joinAttr}, 1, d.cfg.SampleSeed)
-		} else {
-			sample, cost, err = d.market.Sample(info.Name, []string{joinAttr}, d.rate, d.cfg.SampleSeed)
-		}
+		sample, cost, err := d.market.Sample(info.Name, []string{joinAttr}, rate, d.cfg.SampleSeed)
 		if err != nil {
 			return fmt.Errorf("dance: sampling %s: %w", info.Name, err)
 		}
-		d.sampleCost += cost
+		costs[i] = cost
 		fds, err := d.market.DatasetFDs(info.Name)
 		if err != nil {
 			return fmt.Errorf("dance: FDs of %s: %w", info.Name, err)
@@ -171,12 +186,22 @@ func (d *Dance) Offline() error {
 				return fmt.Errorf("dance: FD discovery on %s: %w", info.Name, err)
 			}
 		}
-		instances = append(instances, &joingraph.Instance{
+		fetched[i] = &joingraph.Instance{
 			Name:     info.Name,
 			Sample:   sample,
 			FullRows: info.Rows,
 			FDs:      fds,
-		})
+		}
+		return nil
+	})
+	for _, c := range costs {
+		d.sampleCost += c
+	}
+	if err != nil {
+		return err
+	}
+	for _, inst := range fetched {
+		instances = append(instances, inst)
 	}
 	g, err := joingraph.Build(instances, joingraph.Config{
 		MaxJoinAttrs: d.cfg.MaxJoinAttrs,
@@ -205,6 +230,9 @@ type Plan struct {
 // found it iteratively buys more samples (up to MaxSampleRounds) before
 // giving up — the refresh loop of Sec 2.1.
 func (d *Dance) Acquire(req search.Request) (*Plan, error) {
+	if req.Workers == 0 {
+		req.Workers = d.cfg.Workers
+	}
 	if d.graph == nil {
 		if err := d.Offline(); err != nil {
 			return nil, err
@@ -247,6 +275,9 @@ type RankedPlan struct {
 // correlation, quality, join informativeness and price. Sample-rate
 // escalation applies as in Acquire.
 func (d *Dance) AcquireTopK(req search.Request, k int, weights search.ScoreWeights) ([]RankedPlan, error) {
+	if req.Workers == 0 {
+		req.Workers = d.cfg.Workers
+	}
 	if d.graph == nil {
 		if err := d.Offline(); err != nil {
 			return nil, err

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// The offline phase fans sample/FD fetches out across workers; for a fixed
+// sample seed the resulting middleware state — graph shape, sample cost,
+// and the plan every request produces — must not depend on the worker
+// count.
+func TestOfflineParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) (*Dance, string, float64) {
+		m, src := buildScenario(1)
+		d := New(m, Config{SampleRate: 0.8, SampleSeed: 3, Workers: workers})
+		d.AddSource(src, nil)
+		plan, err := d.Acquire(acquisitionRequest())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var queries string
+		for _, q := range plan.Queries {
+			queries += q.String() + "\n"
+		}
+		return d, queries, plan.Est.Correlation
+	}
+	dSerial, qSerial, corrSerial := run(1)
+	dPar, qPar, corrPar := run(8)
+	if qSerial != qPar {
+		t.Fatalf("plans differ:\nserial:\n%s\nparallel:\n%s", qSerial, qPar)
+	}
+	if corrSerial != corrPar {
+		t.Fatalf("estimated correlation differs: %v vs %v", corrSerial, corrPar)
+	}
+	if dSerial.SampleCost() != dPar.SampleCost() {
+		t.Fatalf("sample cost differs: %v vs %v", dSerial.SampleCost(), dPar.SampleCost())
+	}
+	if got, want := len(dPar.Graph().Instances), len(dSerial.Graph().Instances); got != want {
+		t.Fatalf("instance count differs: %d vs %d", got, want)
+	}
+}
+
+// The parallel offline fan-out against a real HTTP marketplace (the case
+// the concurrency exists for) must work and stay deterministic.
+func TestOfflineParallelOverHTTP(t *testing.T) {
+	m, src := buildScenario(1)
+	srv := httptest.NewServer(marketplace.Handler(m))
+	defer srv.Close()
+
+	// Compare equal transports (CSV float round-trips perturb metrics in
+	// the last ulp, so remote never bit-matches local): only the worker
+	// count may vary between the two runs.
+	acquire := func(workers int) *Plan {
+		d := New(marketplace.NewClient(srv.URL), Config{SampleRate: 0.8, SampleSeed: 3, Workers: workers})
+		d.AddSource(src, nil)
+		plan, err := d.Acquire(acquisitionRequest())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return plan
+	}
+	par, serial := acquire(4), acquire(1)
+	if par.Est != serial.Est {
+		t.Fatalf("HTTP-parallel estimates %+v differ from HTTP-serial %+v", par.Est, serial.Est)
+	}
+}
+
+// A first-error during the fan-out must cancel cleanly and surface one
+// deterministic error, not panic or deadlock.
+func TestOfflineFirstErrorCancels(t *testing.T) {
+	m, src := buildScenario(1)
+	d := New(failingMarket{m}, Config{SampleRate: 0.8, SampleSeed: 3, Workers: 4})
+	d.AddSource(src, nil)
+	if err := d.Offline(); err == nil {
+		t.Fatal("expected the injected sampling failure to surface")
+	}
+}
+
+// Several shoppers can share one middleware for read-only planning once
+// the graph is built; -race validates the searcher underneath.
+func TestConcurrentAcquire(t *testing.T) {
+	m, src := buildScenario(1)
+	d := New(m, Config{SampleRate: 1, SampleSeed: 3})
+	d.AddSource(src, nil)
+	if err := d.Offline(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			req := acquisitionRequest()
+			req.Seed = seed
+			if _, err := d.Acquire(req); err != nil {
+				t.Error(err)
+			}
+		}(int64(i%2) + 1)
+	}
+	wg.Wait()
+}
+
+// failingMarket injects an error on one dataset's sample call.
+type failingMarket struct {
+	marketplace.Market
+}
+
+func (f failingMarket) Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+	if name == "mid2" {
+		return nil, 0, fmt.Errorf("injected sample failure for %s", name)
+	}
+	return f.Market.Sample(name, joinAttrs, rate, seed)
+}

@@ -120,6 +120,11 @@ type EnvConfig struct {
 	Rate         float64 // correlated-sampling rate for the LP/heuristic graph
 	NumInstances int     // prefix of the instance order; 0 = all
 	MaxJoinAttrs int
+	// Workers is applied to every request built by Env.Request; 0 falls
+	// back to DefaultWorkers at NewEnv time. Search results are identical
+	// for every worker count — only wall-clock time changes — so timed
+	// experiments stay comparable across settings.
+	Workers int
 }
 
 // Env is a ready-to-search experiment environment: a marketplace over the
@@ -145,6 +150,9 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	if cfg.MaxJoinAttrs <= 0 {
 		cfg.MaxJoinAttrs = 2
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = DefaultWorkers
 	}
 	var order []string
 	tables := map[string]*relation.Table{}
@@ -242,6 +250,13 @@ func (e *Env) buildGraph(rate float64) (*joingraph.Graph, error) {
 	})
 }
 
+// DefaultWorkers seeds EnvConfig.Workers for configs that leave it zero.
+// cmd/dancebench sets it once from -workers before running experiments
+// (the option structs predate the knob); it is read only at NewEnv time,
+// so an Env's behavior is fixed by its own config afterwards. Zero means
+// one MCMC chain per CPU (the search engine's default).
+var DefaultWorkers int
+
 // Request builds the acquisition request for a query with unbounded budget
 // and loose constraints (experiments that sweep a constraint override it).
 func (e *Env) Request(q QuerySpec, seed int64) search.Request {
@@ -253,6 +268,7 @@ func (e *Env) Request(q QuerySpec, seed int64) search.Request {
 		Beta:        0,
 		Iterations:  80,
 		Seed:        seed,
+		Workers:     e.Cfg.Workers,
 	}
 }
 

@@ -2,6 +2,7 @@ package infotheory
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/dance-db/dance/internal/relation"
 )
@@ -81,9 +82,19 @@ func Correlation(t *relation.Table, x, y []string) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
+		// Sum group terms in sorted key order: float addition is not
+		// associative, and map-order summation made CORR differ in the
+		// last ulps between otherwise identical calls (the same guard
+		// EntropyFromCounts applies on the categorical path).
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 		total := float64(t.NumRows())
 		hc := 0.0
-		for _, rows := range groups {
+		for _, k := range keys {
+			rows := groups[k]
 			gv, err := numericColumn(t, a, rows)
 			if err != nil {
 				return 0, err

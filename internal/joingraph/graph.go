@@ -18,6 +18,7 @@ package joingraph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/graphalg"
@@ -89,6 +90,10 @@ type Graph struct {
 
 	cfg        Config
 	edgeByPair map[[2]int]int // instance pair → edge index
+
+	// priceMu guards priceCache: Price is called from every concurrent
+	// MCMC chain of the parallel search engine.
+	priceMu    sync.RWMutex
 	priceCache map[string]float64
 }
 
@@ -219,14 +224,19 @@ func (g *Graph) Price(i int, attrs []string) (float64, error) {
 	for _, a := range sorted {
 		key += "\x00" + a
 	}
-	if p, ok := g.priceCache[key]; ok {
+	g.priceMu.RLock()
+	p, ok := g.priceCache[key]
+	g.priceMu.RUnlock()
+	if ok {
 		return p, nil
 	}
 	p, err := g.cfg.Quoter.QuoteProjection(inst.Name, sorted)
 	if err != nil {
 		return 0, fmt.Errorf("joingraph: price quote for %s%v: %w", inst.Name, sorted, err)
 	}
+	g.priceMu.Lock()
 	g.priceCache[key] = p
+	g.priceMu.Unlock()
 	return p, nil
 }
 

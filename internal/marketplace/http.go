@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"github.com/dance-db/dance/internal/fd"
@@ -243,8 +244,11 @@ func parseKind(s string) (relation.Kind, error) {
 
 // DatasetFDs implements Market.
 func (c *Client) DatasetFDs(name string) ([]fd.FD, error) {
+	// Dataset names are seller-controlled free text: escape, or names with
+	// spaces, '&' or '#' corrupt the query string.
+	q := url.Values{"name": {name}}
 	var wire []string
-	if err := c.get("/fds?name="+name, &wire); err != nil {
+	if err := c.get("/fds?"+q.Encode(), &wire); err != nil {
 		return nil, err
 	}
 	out := make([]fd.FD, len(wire))

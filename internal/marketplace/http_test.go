@@ -1,0 +1,73 @@
+package marketplace
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/dance-db/dance/internal/fd"
+	"github.com/dance-db/dance/internal/pricing"
+)
+
+// Regression: dataset names are seller-controlled free text. The client
+// used to build "/fds?name="+name raw, so a name with a space, '&' or '#'
+// corrupted the query string and the lookup silently hit the wrong (or no)
+// dataset.
+func TestDatasetFDsHostileName(t *testing.T) {
+	const hostile = "weird name&rate=1#frag"
+	m := NewInMemory(nil)
+	m.Register(demoTable(hostile, 50, 1), []fd.FD{fd.New("state", "k")})
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	fds, err := c.DatasetFDs(hostile)
+	if err != nil {
+		t.Fatalf("DatasetFDs(%q): %v", hostile, err)
+	}
+	if len(fds) != 1 || fds[0].String() != "k → state" {
+		t.Fatalf("fds = %v", fds)
+	}
+	if _, err := c.DatasetFDs("still missing&name=" + hostile); err == nil {
+		t.Fatal("unknown hostile name should error, not alias an existing dataset")
+	}
+}
+
+// The HTTP stack must tolerate concurrent shoppers end to end: many Client
+// goroutines against one Handler over a live listener. Run with -race for
+// full value.
+func TestConcurrentHandlerAndClient(t *testing.T) {
+	srv := httptest.NewServer(Handler(demoMarket()))
+	defer srv.Close()
+
+	const shoppers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, shoppers*5)
+	for i := 0; i < shoppers; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			c := NewClient(srv.URL)
+			if _, err := c.Catalog(); err != nil {
+				errs <- err
+			}
+			if _, err := c.DatasetFDs("alpha"); err != nil {
+				errs <- err
+			}
+			if _, err := c.QuoteProjection("alpha", []string{"k", "state"}); err != nil {
+				errs <- err
+			}
+			if _, _, err := c.Sample("beta", []string{"k"}, 0.5, seed); err != nil {
+				errs <- err
+			}
+			if _, _, err := c.ExecuteProjection(pricing.Query{Instance: "alpha", Attrs: []string{"k"}}); err != nil {
+				errs <- err
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

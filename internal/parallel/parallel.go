@@ -1,0 +1,106 @@
+// Package parallel provides the small bounded-concurrency primitives the
+// acquisition engine is built on: a worker pool over an index space with
+// first-error cancellation. It has no dependencies beyond the standard
+// library and is deliberately deterministic where it can be — output slots
+// are indexed, so callers reduce results in input order regardless of
+// scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker-count knob: n > 0 is used as given,
+// anything else means "one worker per available CPU".
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means one per CPU). Items are claimed dynamically, so
+// uneven per-item costs balance across the pool.
+//
+// The first error cancels the pool: items not yet claimed are skipped,
+// in-flight items run to completion, and the error reported is the one
+// with the smallest index among those that failed — the same error a
+// serial loop would have surfaced first among the executed items.
+// workers == 1 degenerates to a plain serial loop with early exit.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		errIdx  = n // smallest failing index seen so far
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	next.Store(-1)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// Map runs fn over [0, n) like ForEach and collects the results in input
+// order. On error the returned slice is nil.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReportsSmallestFailingIndex(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("item %d", i) }
+	for _, workers := range []int{1, 4} {
+		err := ForEach(50, workers, func(i int) error {
+			if i >= 10 {
+				return boom(i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		// Serial stops exactly at 10; parallel must report the smallest
+		// failing index among the items it actually ran — and item 10 is
+		// always claimed before the pool can observe a later failure... not
+		// guaranteed, so only the serial case pins the exact index.
+		if workers == 1 && err.Error() != "item 10" {
+			t.Fatalf("serial error = %v, want item 10", err)
+		}
+	}
+}
+
+func TestForEachCancelsRemainingWork(t *testing.T) {
+	sentinel := errors.New("stop")
+	var ran atomic.Int32
+	err := ForEach(1000, 2, func(i int) error {
+		ran.Add(1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got > 10 {
+		t.Fatalf("ran %d items after first error; cancellation did not bite", got)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	out, err := Map(20, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(5, 2, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out=%v err=%v, want nil out and error", out, err)
+	}
+}

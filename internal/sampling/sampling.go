@@ -30,6 +30,10 @@ type Hasher struct {
 // NewHasher returns a Hasher for the given seed.
 func NewHasher(seed uint64) Hasher { return Hasher{seed: seed} }
 
+// Seed returns the hasher's seed. Two hashers with equal seeds produce
+// identical samples, which is what memoizing evaluators key on.
+func (h Hasher) Seed() uint64 { return h.seed }
+
 // Unit hashes key to [0, 1).
 func (h Hasher) Unit(key []byte) float64 {
 	f := fnv.New64a()
@@ -130,6 +134,21 @@ type PathJoinOptions struct {
 	// Hasher drives the correlated re-sampling (hash of the next join
 	// attribute value), so downstream joins stay correlated.
 	Hasher Hasher
+}
+
+// CacheKey identifies the options up to join-output equivalence: two
+// ResampledJoinPath runs over the same steps with equal keys produce
+// identical tables, so memoized evaluators must include this key —
+// fingerprinting the target graph alone serves stale metrics when Eta,
+// ResampleRate or the hasher seed change between requests.
+func (o PathJoinOptions) CacheKey() string {
+	eta := o.Eta
+	if eta <= 0 {
+		// All disabled-η options are equivalent: ρ and the hasher are
+		// never consulted.
+		return "η=off"
+	}
+	return fmt.Sprintf("η=%d|ρ=%g|h=%d", eta, o.ResampleRate, o.Hasher.Seed())
 }
 
 // ResampleStats reports what the re-sampled path join did, for experiment

@@ -1,0 +1,68 @@
+package search
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// evalCacheShards keeps lock contention low when many MCMC chains evaluate
+// concurrently: keys spread across shards by FNV-1a hash, so two chains
+// only contend when they hash to the same shard.
+const evalCacheShards = 32
+
+// evalCache memoizes target-graph metric evaluations. It is safe for
+// concurrent use — the worker pool of Heuristic/TopK hits it from every
+// chain — and is keyed by the *full* evaluation identity: the target-graph
+// fingerprint, the request's X/Y attribute split (CORR is asymmetric),
+// and the sampling options (η, ρ, hasher seed). The seed-era predecessor
+// keyed on the fingerprint alone and silently served stale metrics when
+// one Searcher was reused across requests with different sampling options
+// or attribute roles.
+type evalCache struct {
+	shards [evalCacheShards]evalCacheShard
+}
+
+type evalCacheShard struct {
+	mu sync.RWMutex
+	m  map[string]Metrics
+}
+
+func newEvalCache() *evalCache {
+	c := &evalCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Metrics)
+	}
+	return c
+}
+
+func (c *evalCache) shard(key string) *evalCacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%evalCacheShards]
+}
+
+func (c *evalCache) get(key string) (Metrics, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	m, ok := s.m[key]
+	s.mu.RUnlock()
+	return m, ok
+}
+
+func (c *evalCache) put(key string, m Metrics) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = m
+	s.mu.Unlock()
+}
+
+// Len reports the number of memoized evaluations (for tests).
+func (c *evalCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,176 @@
+package search
+
+import (
+	"sync"
+	"testing"
+)
+
+// The tentpole guarantee of the concurrent engine: for a fixed seed the
+// worker count changes wall-clock time only. Every chain owns an RNG
+// derived from (Seed, candidate index) and the reduction is in candidate
+// order, so workers=N must reproduce workers=1 bit for bit.
+func TestHeuristicParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 3, 9} {
+		req := baseRequest()
+		req.Seed = seed
+
+		serial, parallelRes := req, req
+		serial.Workers = 1
+		parallelRes.Workers = 8
+
+		s1, _ := buildSearcher(t, 1)
+		r1, err := s1.Heuristic(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := buildSearcher(t, 1)
+		r2, err := s2.Heuristic(parallelRes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(r1.TG) != fingerprint(r2.TG) {
+			t.Fatalf("seed %d: parallel best TG differs from serial:\n%s\nvs\n%s",
+				seed, fingerprint(r1.TG), fingerprint(r2.TG))
+		}
+		if r1.Est != r2.Est {
+			t.Fatalf("seed %d: metrics differ: %+v vs %+v", seed, r1.Est, r2.Est)
+		}
+		if r1.Evals != r2.Evals || r1.Considered != r2.Considered {
+			t.Fatalf("seed %d: counters differ: evals %d/%d considered %d/%d",
+				seed, r1.Evals, r2.Evals, r1.Considered, r2.Considered)
+		}
+	}
+}
+
+func TestTopKParallelMatchesSerial(t *testing.T) {
+	req := baseRequest()
+	serial, par := req, req
+	serial.Workers = 1
+	par.Workers = 8
+
+	s1, _ := buildSearcher(t, 1)
+	o1, err := s1.TopK(serial, 3, DefaultScoreWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := buildSearcher(t, 1)
+	o2, err := s2.TopK(par, 3, DefaultScoreWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("option counts differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i].Score != o2[i].Score {
+			t.Fatalf("option %d score differs: %v vs %v", i, o1[i].Score, o2[i].Score)
+		}
+		if fingerprint(o1[i].Result.TG) != fingerprint(o2[i].Result.TG) {
+			t.Fatalf("option %d TG differs", i)
+		}
+	}
+}
+
+// Regression for the stale-cache bug: the evaluator used to memoize on the
+// target-graph fingerprint alone, so a Searcher reused across requests
+// with different Eta/ResampleRate/Seed served the first request's metrics
+// to the second. The cache now keys on the sampling options too.
+func TestEvaluateCacheKeyedBySamplingOptions(t *testing.T) {
+	s, _ := buildSearcher(t, 10)
+	reqA := baseRequest() // Eta = 0: no re-sampling
+	res, err := s.Heuristic(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mA, err := s.Evaluate(res.TG, reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second request over the same Searcher with aggressive re-sampling:
+	// intermediate joins shrink, so its metrics must come from a fresh
+	// evaluation, not the reqA cache entry.
+	reqB := reqA
+	reqB.Eta = 5
+	reqB.ResampleRate = 0.25
+	reqB.Seed = 99
+	mB, err := s.Evaluate(res.TG, reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := buildSearcher(t, 10)
+	want, err := fresh.Evaluate(res.TG, reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mB != want {
+		t.Fatalf("reused searcher served %+v for reqB, fresh searcher computes %+v (stale cache)", mB, want)
+	}
+	if mB == mA {
+		t.Fatalf("re-sampled metrics identical to unsampled (%+v); η=5/ρ=0.25 must change the join", mB)
+	}
+
+	// And flipping back still serves reqA's own entry.
+	again, err := s.Evaluate(res.TG, reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != mA {
+		t.Fatalf("reqA metrics changed after reqB: %+v vs %+v", again, mA)
+	}
+
+	// CORR is asymmetric: swapping the source/target roles of the same
+	// attribute set must re-evaluate, not reuse the cached CORR(x;y).
+	flipped := reqA
+	flipped.SourceAttrs = reqA.TargetAttrs
+	flipped.TargetAttrs = reqA.SourceAttrs
+	mF, err := s.Evaluate(res.TG, flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshF, _ := buildSearcher(t, 10)
+	wantF, err := freshF.Evaluate(res.TG, flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mF != wantF {
+		t.Fatalf("flipped X/Y served %+v, fresh searcher computes %+v (stale cache)", mF, wantF)
+	}
+	if mF.Correlation == mA.Correlation {
+		t.Fatalf("CORR(yval;xval) = CORR(xval;yval) = %v; the asymmetric metric should differ", mF.Correlation)
+	}
+}
+
+// Hammer one Searcher's evaluator and full searches from many goroutines;
+// -race validates the sharded cache and chain isolation.
+func TestConcurrentSearcherUse(t *testing.T) {
+	s, _ := buildSearcher(t, 4)
+	req := baseRequest()
+	base, err := s.Heuristic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(seed int64) {
+			defer wg.Done()
+			r := req
+			r.Seed = seed
+			if _, err := s.Heuristic(r); err != nil {
+				t.Error(err)
+			}
+		}(int64(i%3) + 1)
+		go func() {
+			defer wg.Done()
+			m, err := s.Evaluate(base.TG, req)
+			if err != nil {
+				t.Error(err)
+			}
+			if m != base.Est {
+				t.Errorf("concurrent Evaluate = %+v, want %+v", m, base.Est)
+			}
+		}()
+	}
+	wg.Wait()
+}

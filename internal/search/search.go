@@ -15,6 +15,7 @@ import (
 	"github.com/dance-db/dance/internal/graphalg"
 	"github.com/dance-db/dance/internal/infotheory"
 	"github.com/dance-db/dance/internal/joingraph"
+	"github.com/dance-db/dance/internal/parallel"
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/sampling"
 )
@@ -48,6 +49,12 @@ type Request struct {
 	MaxIGraphs int
 	// Seed drives the MCMC and landmark selection.
 	Seed int64
+	// Workers bounds the number of concurrent MCMC chains in Step 2 (one
+	// chain per Step 1 candidate, each with its own RNG derived from Seed
+	// and the candidate index). 0 or negative means one worker per CPU;
+	// 1 forces the serial engine. The best result is identical for every
+	// worker count.
+	Workers int
 	// Greedy switches Algorithm 1's Metropolis acceptance
 	// min(1, CORR'/CORR) to strict hill-climbing (accept only
 	// improvements). Used by the acceptance-rule ablation.
@@ -120,16 +127,18 @@ type Result struct {
 	Considered int
 }
 
-// Searcher runs searches over one join graph.
+// Searcher runs searches over one join graph. It is safe for concurrent
+// use: the evaluation cache is sharded and mutex-protected, and every
+// search derives chain-local RNGs instead of mutating shared state.
 type Searcher struct {
 	G *joingraph.Graph
 
-	evalCache map[string]Metrics
+	evalCache *evalCache
 }
 
 // NewSearcher wraps a join graph.
 func NewSearcher(g *joingraph.Graph) *Searcher {
-	return &Searcher{G: g, evalCache: make(map[string]Metrics)}
+	return &Searcher{G: g, evalCache: newEvalCache()}
 }
 
 // fingerprint identifies a target graph up to metrics equivalence.
@@ -161,18 +170,40 @@ func fingerprint(tg *joingraph.TargetGraph) string {
 	return b.String()
 }
 
+// samplingOptions are the re-sampled-join options this request implies.
+// Their CacheKey is part of the evaluator cache identity.
+func (r Request) samplingOptions() sampling.PathJoinOptions {
+	return sampling.PathJoinOptions{
+		Eta:          r.Eta,
+		ResampleRate: r.ResampleRate,
+		Hasher:       sampling.NewHasher(uint64(r.Seed) + 1),
+	}
+}
+
+// corrKey identifies the request's X/Y attribute split for memoization:
+// CORR is asymmetric (Def 2.5 treats X and Y differently), so requests
+// over the same attribute set partitioned differently must not share
+// cached metrics.
+func (r Request) corrKey() string {
+	return strings.Join(r.SourceAttrs, "\x00") + "\x01" + strings.Join(r.TargetAttrs, "\x00")
+}
+
 // Evaluate computes the estimated metrics of tg on the held samples,
-// re-sampling intermediate joins per the request. Results are memoized.
+// re-sampling intermediate joins per the request. Results are memoized
+// under the (target-graph fingerprint, X/Y split, sampling options)
+// triple, so one Searcher can serve requests with different attribute
+// splits or Eta/ResampleRate/Seed without cross-contamination, from any
+// number of goroutines.
 func (s *Searcher) Evaluate(tg *joingraph.TargetGraph, req Request) (Metrics, error) {
-	key := fingerprint(tg)
-	if m, ok := s.evalCache[key]; ok {
+	key := fingerprint(tg) + "|" + req.corrKey() + "|" + req.samplingOptions().CacheKey()
+	if m, ok := s.evalCache.get(key); ok {
 		return m, nil
 	}
 	m, err := s.evaluateUncached(tg, req)
 	if err != nil {
 		return Metrics{}, err
 	}
-	s.evalCache[key] = m
+	s.evalCache.put(key, m)
 	return m, nil
 }
 
@@ -185,12 +216,7 @@ func (s *Searcher) evaluateUncached(tg *joingraph.TargetGraph, req Request) (Met
 	if err != nil {
 		return Metrics{}, err
 	}
-	opts := sampling.PathJoinOptions{
-		Eta:          req.Eta,
-		ResampleRate: req.ResampleRate,
-		Hasher:       sampling.NewHasher(uint64(req.Seed) + 1),
-	}
-	j, _, err := sampling.ResampledJoinPath(steps, opts)
+	j, _, err := sampling.ResampledJoinPath(steps, req.samplingOptions())
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -456,34 +482,64 @@ func dedupeStrings(xs []string) []string {
 	return out
 }
 
+// chainSeed derives a deterministic per-candidate RNG seed from the request
+// seed and the candidate's Step 1 index (splitmix64 mixing), so every MCMC
+// chain is reproducible in isolation, no matter which worker runs it or in
+// what order chains finish.
+func chainSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // Heuristic runs the full two-step search: Step 1 minimal-weight I-graphs,
 // then Algorithm 1's MCMC over join-attribute variants on each candidate,
 // keeping the feasible target graph with the highest estimated correlation.
+//
+// Candidates run as a worker pool of req.Workers concurrent chains; each
+// chain owns an RNG derived from (Seed, candidate index) and the reduction
+// scans chain results in candidate order, so the outcome is bit-identical
+// for every worker count.
 func (s *Searcher) Heuristic(req Request) (*Result, error) {
 	req = req.withDefaults()
 	cands, err := s.step1Candidates(req)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(req.Seed + 17))
+	type chainOut struct {
+		res *Result
+		m   Metrics
+		ok  bool
+	}
+	outs, err := parallel.Map(len(cands), req.Workers, func(i int) (chainOut, error) {
+		tg, err := s.treeToTargetGraph(cands[i], req)
+		if err != nil {
+			return chainOut{}, nil // unconvertible candidate: skip, as the serial loop did
+		}
+		rng := rand.New(rand.NewSource(chainSeed(req.Seed, i)))
+		res, m, ok, err := s.mcmc(tg, req, rng)
+		if err != nil {
+			return chainOut{}, err
+		}
+		return chainOut{res: res, m: m, ok: ok}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	best := &Result{}
 	var bestM Metrics
 	found := false
-	for _, tr := range cands {
-		tg, err := s.treeToTargetGraph(tr, req)
-		if err != nil {
+	for _, o := range outs {
+		if o.res == nil {
 			continue
 		}
-		res, m, ok, err := s.mcmc(tg, req, rng)
-		if err != nil {
-			return nil, err
-		}
-		best.Evals += res.Evals
-		best.Considered += res.Considered
-		if ok && (!found || m.Correlation > bestM.Correlation) {
+		best.Evals += o.res.Evals
+		best.Considered += o.res.Considered
+		if o.ok && (!found || o.m.Correlation > bestM.Correlation) {
 			found = true
-			best.TG = res.TG
-			bestM = m
+			best.TG = o.res.TG
+			bestM = o.m
 		}
 	}
 	if !found {

@@ -2,9 +2,12 @@ package search
 
 import (
 	"fmt"
-	"github.com/dance-db/dance/internal/joingraph"
 	"math/rand"
 	"sort"
+	"sync"
+
+	"github.com/dance-db/dance/internal/joingraph"
+	"github.com/dance-db/dance/internal/parallel"
 )
 
 // The paper's conclusion sketches a future-work extension: "DANCE may
@@ -68,15 +71,20 @@ func (s *Searcher) TopK(req Request, k int, weights ScoreWeights) ([]Option, err
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(req.Seed + 17))
 
-	best := map[string]Option{} // fingerprint → best-scored option
+	// fingerprint → best-scored option. Chains record concurrently; since
+	// equal fingerprints imply equal metrics (hence equal scores), the map
+	// contents are independent of recording order.
+	var mu sync.Mutex
+	best := map[string]Option{}
 	record := func(res *Result, m Metrics) {
 		if res.TG == nil {
 			return
 		}
 		fp := fingerprint(res.TG)
 		score := weights.Score(m, req)
+		mu.Lock()
+		defer mu.Unlock()
 		if cur, ok := best[fp]; !ok || score > cur.Score {
 			best[fp] = Option{
 				Result: &Result{TG: res.TG, Est: m, Evals: res.Evals, Considered: res.Considered},
@@ -85,17 +93,24 @@ func (s *Searcher) TopK(req Request, k int, weights ScoreWeights) ([]Option, err
 		}
 	}
 
-	totalEvals, totalConsidered := 0, 0
-	for _, tr := range cands {
-		tg, err := s.treeToTargetGraph(tr, req)
+	// One walk per Step 1 candidate, pooled exactly like Heuristic: a
+	// chain-local RNG keyed by candidate index keeps every walk — and so
+	// the collected option set — identical across worker counts.
+	walks, err := parallel.Map(len(cands), req.Workers, func(i int) (*Result, error) {
+		tg, err := s.treeToTargetGraph(cands[i], req)
 		if err != nil {
-			continue
+			return nil, nil // unconvertible candidate: skip
 		}
-		walk, err := s.mcmcCollect(tg, req, rng, func(res *Result, m Metrics) {
-			record(res, m)
-		})
-		if err != nil {
-			return nil, err
+		rng := rand.New(rand.NewSource(chainSeed(req.Seed, i)))
+		return s.mcmcCollect(tg, req, rng, record)
+	})
+	if err != nil {
+		return nil, err
+	}
+	totalEvals, totalConsidered := 0, 0
+	for _, walk := range walks {
+		if walk == nil {
+			continue
 		}
 		totalEvals += walk.Evals
 		totalConsidered += walk.Considered

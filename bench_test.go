@@ -9,6 +9,7 @@
 package dance_test
 
 import (
+	"context"
 	"testing"
 
 	dance "github.com/dance-db/dance"
@@ -260,7 +261,7 @@ type benchQuoter struct {
 	d     *tpch.Dataset
 }
 
-func (q benchQuoter) QuoteProjection(name string, attrs []string) (float64, error) {
+func (q benchQuoter) QuoteProjection(_ context.Context, name string, attrs []string) (float64, error) {
 	return q.model.PriceProjection(q.d.Table(name), attrs)
 }
 
@@ -274,7 +275,7 @@ func BenchmarkHeuristicSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		req := env.Request(q, int64(i))
 		req.Iterations = 40
-		if _, err := search.NewSearcher(env.Sampled).Heuristic(req); err != nil {
+		if _, err := search.NewSearcher(env.Sampled).Heuristic(bg, req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -297,7 +298,7 @@ func benchTPCEHeuristic(b *testing.B, workers int) {
 		req.Iterations = 40
 		req.MaxIGraphs = 8 // widen the Step 1 pool: one chain per candidate
 		req.Workers = workers
-		if _, err := search.NewSearcher(env.Sampled).Heuristic(req); err != nil {
+		if _, err := search.NewSearcher(env.Sampled).Heuristic(bg, req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -315,7 +316,7 @@ func BenchmarkEndToEndAcquisition(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mw := dance.New(market, dance.Config{SampleRate: 0.5, SampleSeed: uint64(i)})
-		plan, err := mw.Acquire(dance.Request{
+		plan, err := mw.Acquire(bg, dance.Request{
 			SourceAttrs: []string{"totalprice"},
 			TargetAttrs: []string{"nname"},
 			Iterations:  30,
@@ -324,7 +325,7 @@ func BenchmarkEndToEndAcquisition(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := mw.Execute(plan); err != nil {
+		if _, err := mw.Execute(bg, plan); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/dance-db/dance/internal/core"
 	"github.com/dance-db/dance/internal/marketplace"
@@ -38,6 +42,7 @@ func main() {
 		buy       = flag.Bool("buy", false, "execute the plan (spend the budget)")
 		topk      = flag.Int("topk", 0, "recommend the k best-scored options instead of one plan")
 		workers   = flag.Int("workers", 0, "concurrent sample fetches and MCMC chains (0 = one per CPU, 1 = serial)")
+		timeout   = flag.Duration("timeout", 0, "overall deadline for the acquisition (e.g. 90s; 0 = none)")
 	)
 	flag.Parse()
 	if *target == "" {
@@ -66,6 +71,15 @@ func main() {
 		log.Fatal("provide -market URL or -local tpch|tpce")
 	}
 
+	// Ctrl-C cancels the acquisition mid-search; -timeout adds a deadline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	mw := core.New(market, core.Config{SampleRate: *rate, SampleSeed: uint64(*seed), DiscoverFDs: true, Workers: *workers})
 	req := search.Request{
 		SourceAttrs: splitList(*source),
@@ -78,7 +92,7 @@ func main() {
 		Workers:     *workers,
 	}
 	if *topk > 0 {
-		options, err := mw.AcquireTopK(req, *topk, search.DefaultScoreWeights())
+		options, err := mw.AcquireTopK(ctx, req, *topk, search.DefaultScoreWeights())
 		if err != nil {
 			log.Fatalf("acquisition failed: %v", err)
 		}
@@ -92,7 +106,7 @@ func main() {
 		return
 	}
 
-	plan, err := mw.Acquire(req)
+	plan, err := mw.Acquire(ctx, req)
 	if err != nil {
 		log.Fatalf("acquisition failed: %v", err)
 	}
@@ -108,7 +122,7 @@ func main() {
 		fmt.Println("\n(re-run with -buy to execute)")
 		return
 	}
-	purchase, err := mw.Execute(plan)
+	purchase, err := mw.Execute(ctx, plan)
 	if err != nil {
 		log.Fatalf("purchase failed: %v", err)
 	}

@@ -1,0 +1,125 @@
+// Command danced serves DANCE acquisitions to remote shoppers over the
+// versioned JSON/HTTP v1 API: the middleware runs server-side against a
+// marketplace (remote marketd or locally generated) and shoppers POST
+// acquisition requests, execute stored plans by ID, and read the charge
+// ledger.
+//
+// Usage:
+//
+//	danced -addr :9090 -market http://localhost:8080
+//	danced -addr :9090 -local tpch -scale 5
+//
+// Endpoints:
+//
+//	POST /v1/acquire   POST /v1/topk   POST /v1/execute
+//	GET  /v1/plans/{id}   GET /v1/ledger
+//
+// Request deadlines: the client's HTTP context cancels server-side work,
+// and a timeout_ms request field adds a server-enforced deadline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	dance "github.com/dance-db/dance"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":9090", "listen address")
+		marketURL   = flag.String("market", "", "remote marketplace base URL (e.g. http://localhost:8080)")
+		local       = flag.String("local", "", "serve against a locally generated marketplace instead: tpch or tpce")
+		scale       = flag.Int("scale", 5, "scale for -local")
+		seed        = flag.Int64("seed", 42, "PRNG seed")
+		rate        = flag.Float64("rate", 0.3, "offline sampling rate")
+		workers     = flag.Int("workers", 0, "concurrent sample fetches and MCMC chains (0 = one per CPU)")
+		offline     = flag.Bool("offline", true, "run the offline phase (sample purchases) at startup instead of lazily on the first request")
+		discoverFDs = flag.Bool("discover-fds", true, "mine approximate FDs on samples for datasets that publish none (danceacq does the same; without it the quality floor β is vacuous on FD-less datasets)")
+	)
+	flag.Parse()
+
+	var market dance.Market
+	switch {
+	case *marketURL != "":
+		market = dance.NewMarketClient(*marketURL)
+	case *local == "tpch":
+		m := dance.NewMarketplace(nil)
+		tables, fds := dance.GenerateTPCH(*scale, *seed, -1)
+		for _, t := range tables {
+			m.Register(t, fds[t.Name])
+		}
+		market = m
+	case *local == "tpce":
+		m := dance.NewMarketplace(nil)
+		tables, fds := dance.GenerateTPCE(*scale, *seed, -1)
+		for _, t := range tables {
+			m.Register(t, fds[t.Name])
+		}
+		market = m
+	default:
+		log.Fatal("provide -market URL or -local tpch|tpce")
+	}
+
+	mw := dance.New(market, dance.Config{
+		SampleRate:  *rate,
+		SampleSeed:  uint64(*seed),
+		Workers:     *workers,
+		DiscoverFDs: *discoverFDs,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *offline {
+		fmt.Println("running offline phase (buying correlated samples)…")
+		if err := mw.Offline(ctx); err != nil {
+			log.Fatalf("offline phase: %v", err)
+		}
+		fmt.Printf("offline done: %d instances, sample cost %.2f\n",
+			len(mw.Graph().Instances), mw.SampleCost())
+	}
+
+	fmt.Printf("danced listening on %s\n", *addr)
+	if err := serve(ctx, *addr, dance.AcquireHandler(mw)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs an http.Server with sane timeouts and drains in-flight
+// acquisitions on SIGINT/SIGTERM before exiting. Write timeouts are long:
+// an acquisition legitimately searches for minutes; clients bound their
+// own wait with deadlines.
+func serve(ctx context.Context, addr string, h http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down: draining in-flight acquisitions")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -62,7 +62,7 @@ func main() {
 		log.Fatalf("unknown dataset %q", *dataset)
 	}
 
-	infos, err := market.Catalog()
+	infos, err := market.Catalog(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -34,11 +35,11 @@ func TestLoadDirRoundTrip(t *testing.T) {
 	if err := loadDir(m, dir); err != nil {
 		t.Fatal(err)
 	}
-	cat, err := m.Catalog()
+	cat, err := m.Catalog(context.Background())
 	if err != nil || len(cat) != 1 || cat[0].Name != "alpha" || cat[0].Rows != 2 {
 		t.Fatalf("catalog = %+v, %v", cat, err)
 	}
-	fds, err := m.DatasetFDs("alpha")
+	fds, err := m.DatasetFDs(context.Background(), "alpha")
 	if err != nil || len(fds) != 1 || fds[0].RHS != "v" {
 		t.Fatalf("fds = %v, %v", fds, err)
 	}

@@ -8,25 +8,40 @@
 // correlation CORR(AS, AT) on the joined data is maximized, subject to a
 // purchase budget, a data-quality floor, and a join-informativeness cap.
 //
-// Typical use:
+// The API is context-first: marketplaces are online services, so every
+// marketplace call and every acquisition takes a context.Context whose
+// deadline or cancellation aborts in-flight HTTP requests and stops the
+// MCMC search mid-chain. Typical use:
 //
 //	market := dance.NewMarketplace(nil)
 //	market.Register(table, fds)              // the seller side
 //
+//	ctx := context.Background()              // or a deadline/cancel context
 //	mw := dance.New(market, dance.Config{SampleRate: 0.3})
 //	mw.AddSource(myTable, nil)               // the shopper's own data
-//	plan, err := mw.Acquire(dance.Request{
+//	plan, err := mw.Acquire(ctx, dance.Request{
 //	        SourceAttrs: []string{"totalprice"},
 //	        TargetAttrs: []string{"rname"},
 //	        Budget:      100,
 //	})
-//	purchase, err := mw.Execute(plan)        // buys and joins
+//	purchase, err := mw.Execute(ctx, plan)   // buys and joins
 //
-// The marketplace can also be served over HTTP (Handler / NewMarketClient),
-// in which case the same middleware runs against the remote endpoint.
+// The middleware is safe for concurrent use: simultaneous Acquire calls
+// share the offline sample state, and sample-rate escalation is
+// serialized.
+//
+// The marketplace can be served over HTTP (Handler / NewMarketClient), and
+// the middleware itself can be served to remote shoppers with
+// AcquireHandler / AcquireClient (see cmd/danced) — the versioned v1 JSON
+// API with plan storage, deadlines and a charge ledger.
+//
+// Context-free wrappers (Offline, Acquire, AcquireTopK, Execute as
+// package-level functions) remain for incremental migration; they are
+// deprecated and run under context.Background().
 package dance
 
 import (
+	"context"
 	"net/http"
 
 	"github.com/dance-db/dance/internal/core"
@@ -115,6 +130,12 @@ type (
 	RankedPlan = core.RankedPlan
 )
 
+// ErrInfeasible marks acquisition failures caused by the request itself
+// (constraints admit no plan, or attributes nobody sells) rather than by
+// the marketplace or infrastructure. Test with errors.Is; the danced
+// service maps it to HTTP 422.
+var ErrInfeasible = search.ErrInfeasible
+
 // DefaultScoreWeights are the balanced top-k ranking weights.
 func DefaultScoreWeights() ScoreWeights { return search.DefaultScoreWeights() }
 
@@ -162,6 +183,34 @@ func NewMarketClient(baseURL string) *MarketClient { return marketplace.NewClien
 
 // New creates the DANCE middleware bound to a marketplace.
 func New(market Market, cfg Config) *Middleware { return core.New(market, cfg) }
+
+// Offline runs the middleware's offline phase without a caller context.
+//
+// Deprecated: use (*Middleware).Offline with a context so a hung
+// marketplace can be cancelled.
+func Offline(mw *Middleware) error { return mw.Offline(context.Background()) }
+
+// Acquire runs an acquisition without a caller context.
+//
+// Deprecated: use (*Middleware).Acquire with a context so long searches
+// honor deadlines and cancellation.
+func Acquire(mw *Middleware, req Request) (*Plan, error) {
+	return mw.Acquire(context.Background(), req)
+}
+
+// AcquireTopK runs a top-k acquisition without a caller context.
+//
+// Deprecated: use (*Middleware).AcquireTopK with a context.
+func AcquireTopK(mw *Middleware, req Request, k int, weights ScoreWeights) ([]RankedPlan, error) {
+	return mw.AcquireTopK(context.Background(), req, k, weights)
+}
+
+// Execute buys a plan without a caller context.
+//
+// Deprecated: use (*Middleware).Execute with a context.
+func Execute(mw *Middleware, plan *Plan) (*Purchase, error) {
+	return mw.Execute(context.Background(), plan)
+}
 
 // DefaultEntropyPricing returns the experiments' pricing configuration.
 func DefaultEntropyPricing() EntropyPricing { return pricing.DefaultEntropyModel() }

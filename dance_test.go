@@ -1,12 +1,15 @@
 package dance_test
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 	"testing"
 
 	dance "github.com/dance-db/dance"
 )
+
+var bg = context.Background()
 
 // marketFixture builds a small two-hop marketplace plus the shopper's own
 // table, exercising only the public API.
@@ -46,7 +49,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	mw := dance.New(market, dance.Config{SampleRate: 0.9, SampleSeed: 4})
 	mw.AddSource(own, nil)
 
-	plan, err := mw.Acquire(dance.Request{
+	plan, err := mw.Acquire(bg, dance.Request{
 		SourceAttrs: []string{"income"},
 		TargetAttrs: []string{"riskband"},
 		Budget:      1e9,
@@ -59,7 +62,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if len(plan.Queries) == 0 {
 		t.Fatal("no queries planned")
 	}
-	purchase, err := mw.Execute(plan)
+	purchase, err := mw.Execute(bg, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +81,7 @@ func TestPublicAPIOverHTTP(t *testing.T) {
 
 	mw := dance.New(dance.NewMarketClient(srv.URL), dance.Config{SampleRate: 0.9, SampleSeed: 4})
 	mw.AddSource(own, nil)
-	plan, err := mw.Acquire(dance.Request{
+	plan, err := mw.Acquire(bg, dance.Request{
 		SourceAttrs: []string{"income"},
 		TargetAttrs: []string{"riskband"},
 		Budget:      1e9,
@@ -88,7 +91,7 @@ func TestPublicAPIOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mw.Execute(plan); err != nil {
+	if _, err := mw.Execute(bg, plan); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -165,5 +168,34 @@ func TestFacadeGeneratorsAndHelpers(t *testing.T) {
 	w := dance.DefaultScoreWeights()
 	if w.Correlation <= 0 {
 		t.Fatal("score weights degenerate")
+	}
+}
+
+// The deprecated context-free wrappers must keep the pre-v1 call shape
+// working so examples and downstreams migrate incrementally.
+func TestDeprecatedContextFreeWrappers(t *testing.T) {
+	market, own := marketFixture(5)
+	mw := dance.New(market, dance.Config{SampleRate: 0.9, SampleSeed: 4})
+	mw.AddSource(own, nil)
+	if err := dance.Offline(mw); err != nil {
+		t.Fatal(err)
+	}
+	req := dance.Request{
+		SourceAttrs: []string{"income"},
+		TargetAttrs: []string{"riskband"},
+		Budget:      1e9,
+		Iterations:  30,
+		Seed:        2,
+	}
+	plan, err := dance.Acquire(mw, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dance.Execute(mw, plan); err != nil {
+		t.Fatal(err)
+	}
+	options, err := dance.AcquireTopK(mw, req, 2, dance.DefaultScoreWeights())
+	if err != nil || len(options) == 0 {
+		t.Fatalf("AcquireTopK = %v, %v", options, err)
 	}
 }

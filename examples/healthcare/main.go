@@ -134,7 +134,10 @@ func main() {
 	mw := dance.New(market, dance.Config{SampleRate: 0.8, SampleSeed: 3, DiscoverFDs: true})
 	mw.AddSource(ds, nil)
 
-	plan, err := mw.Acquire(dance.Request{
+	// This example deliberately stays on the deprecated context-free
+	// wrappers (dance.Acquire / dance.Execute) to show the incremental
+	// migration path; new code should call mw.Acquire(ctx, …) directly.
+	plan, err := dance.Acquire(mw, dance.Request{
 		SourceAttrs: []string{"age"},
 		TargetAttrs: []string{"disease"},
 		Budget:      400,
@@ -152,7 +155,7 @@ func main() {
 	fmt.Printf("estimates: correlation=%.3f quality=%.3f price=%.2f\n\n",
 		plan.Est.Correlation, plan.Est.Quality, plan.Est.Price)
 
-	purchase, err := mw.Execute(plan)
+	purchase, err := dance.Execute(mw, plan)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 
 	fmt.Println("== free quotes (query-based pricing) ==")
 	quote := func(attrs ...string) float64 {
-		p, err := market.QuoteProjection("customer", attrs)
+		p, err := market.QuoteProjection(context.Background(), "customer", attrs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,7 +50,7 @@ func main() {
 
 	fmt.Println("\n== samples are discounted by rate ==")
 	for _, rate := range []float64{0.1, 0.5, 1.0} {
-		_, price, err := market.Sample("customer", []string{"custkey"}, rate, 7)
+		_, price, err := market.Sample(context.Background(), "customer", []string{"custkey"}, rate, 7)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -63,7 +64,8 @@ func main() {
 	mw := dance.New(market, dance.Config{SampleRate: 0.6, SampleSeed: 11})
 	mw.AddSource(own, nil)
 
-	plan, err := mw.Acquire(dance.Request{
+	ctx := context.Background()
+	plan, err := mw.Acquire(ctx, dance.Request{
 		SourceAttrs: []string{"income"},
 		TargetAttrs: []string{"riskband"},
 		Budget:      500,
@@ -80,7 +82,7 @@ func main() {
 	fmt.Printf("estimated: correlation=%.3f quality=%.3f price=%.2f (samples cost %.2f)\n",
 		plan.Est.Correlation, plan.Est.Quality, plan.Est.Price, mw.SampleCost())
 
-	purchase, err := mw.Execute(plan)
+	purchase, err := mw.Execute(ctx, plan)
 	if err != nil {
 		log.Fatal(err)
 	}

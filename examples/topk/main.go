@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,8 @@ func main() {
 	}
 	mw := dance.New(market, dance.Config{SampleRate: 0.5, SampleSeed: 9})
 
-	options, err := mw.AcquireTopK(dance.Request{
+	ctx := context.Background()
+	options, err := mw.AcquireTopK(ctx, dance.Request{
 		SourceAttrs: []string{"totalprice"},
 		TargetAttrs: []string{"nname"},
 		Budget:      400,
@@ -50,7 +52,7 @@ func main() {
 			cheapest = o
 		}
 	}
-	purchase, err := mw.Execute(cheapest.Plan)
+	purchase, err := mw.Execute(ctx, cheapest.Plan)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	fmt.Println("budget  price_paid  est_correlation  queries")
 	for _, budget := range []float64{40, 80, 160, 320, 640} {
 		req.Budget = budget
-		plan, err := mw.Acquire(req)
+		plan, err := mw.Acquire(context.Background(), req)
 		if err != nil {
 			fmt.Printf("%6.0f  %10s  %15s  (not affordable)\n", budget, "-", "-")
 			continue
@@ -45,11 +46,11 @@ func main() {
 
 	// Execute the final (richest) plan.
 	req.Budget = 640
-	plan, err := mw.Acquire(req)
+	plan, err := mw.Acquire(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	purchase, err := mw.Execute(plan)
+	purchase, err := mw.Execute(context.Background(), plan)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/search"
+)
+
+// Regression for the concurrent-Acquire data race: sample-rate escalation
+// used to mutate d.rate and d.graph with no synchronization, so two
+// simultaneous acquisitions that both fail their first round raced on the
+// shared middleware state. Both requests here are infeasible (quality floor
+// no sample can reach), forcing every goroutine through the escalation
+// path. Run with -race for full value.
+func TestConcurrentAcquireEscalationIsRaceFree(t *testing.T) {
+	m, src := buildScenario(50)
+	d := New(m, Config{SampleRate: 0.05, SampleSeed: 9, MaxSampleRounds: 6, RateGrowth: 3})
+	d.AddSource(src, nil)
+
+	req := acquisitionRequest()
+	req.Beta = 2 // quality is ≤ 1: infeasible at every rate → escalate to the cap
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := req
+			r.Seed = seed
+			if _, err := d.Acquire(bg, r); err == nil {
+				t.Error("β > 1 must be infeasible")
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	if got := d.SampleRate(); got != 1 {
+		t.Fatalf("escalation should cap the rate at 1, got %v", got)
+	}
+	// Escalation is serialized: the rate walks 0.05 → 0.15 → 0.45 → 1
+	// exactly once per step no matter how many requests demanded it, so the
+	// marketplace bills one sample round per distinct rate — 4 rounds of 3
+	// datasets each — not one per (request, round).
+	entries := 0
+	for _, e := range m.Ledger().Entries() {
+		if e.Kind == "sample" {
+			entries++
+		}
+	}
+	if entries > 12 {
+		t.Fatalf("duplicate escalation rounds: %d sample charges, want ≤ 12", entries)
+	}
+}
+
+// slowMarketHandler delays every marketplace response until the client
+// gives up or the test releases the stall.
+func slowMarketHandler(m marketplace.Market, release <-chan struct{}) http.Handler {
+	inner := marketplace.Handler(m)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// Cancelling mid-Offline against a slow remote marketplace must abort the
+// in-flight HTTP calls and return promptly with context.Canceled — the
+// pre-context client blocked forever here.
+func TestOfflineCancelsAgainstSlowMarketplace(t *testing.T) {
+	m, src := buildScenario(51)
+	release := make(chan struct{})
+	srv := httptest.NewServer(slowMarketHandler(m, release))
+	// LIFO: release any stalled handlers first so Close can drain them.
+	defer srv.Close()
+	defer close(release)
+
+	d := New(marketplace.NewClient(srv.URL), Config{SampleRate: 0.8, SampleSeed: 3})
+	d.AddSource(src, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := d.Offline(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// buildSwappableScenario lists b(k,j1,j2) and c(j1,j2,y) for sale: the b–c
+// edge shares two attributes, so the MCMC has variants to walk over and a
+// huge iteration budget keeps it busy until cancelled. (buildScenario's
+// single-attribute edges give the walk nothing to swap, so it exits
+// immediately regardless of Iterations.)
+func buildSwappableScenario() (*marketplace.InMemory, *relation.Table) {
+	src := relation.NewTable("a", relation.NewSchema(
+		relation.Cat("k", relation.KindInt),
+		relation.Num("x", relation.KindFloat),
+	))
+	b := relation.NewTable("b", relation.NewSchema(
+		relation.Cat("k", relation.KindInt),
+		relation.Cat("j1", relation.KindInt),
+		relation.Cat("j2", relation.KindInt),
+	))
+	c := relation.NewTable("c", relation.NewSchema(
+		relation.Cat("j1", relation.KindInt),
+		relation.Cat("j2", relation.KindInt),
+		relation.Cat("y", relation.KindString),
+	))
+	for k := int64(0); k < 30; k++ {
+		src.AppendValues(relation.IntValue(k), relation.FloatValue(float64(k)))
+		b.AppendValues(relation.IntValue(k), relation.IntValue(k%6), relation.IntValue(k%5))
+	}
+	for j1 := int64(0); j1 < 6; j1++ {
+		for j2 := int64(0); j2 < 5; j2++ {
+			c.AppendValues(relation.IntValue(j1), relation.IntValue(j2),
+				relation.StringValue(string(rune('a'+(j1+j2)%4))))
+		}
+	}
+	m := marketplace.NewInMemory(nil)
+	m.Register(b, nil)
+	m.Register(c, nil)
+	return m, src
+}
+
+// A deadline on Acquire must interrupt a long MCMC search mid-chain.
+func TestAcquireDeadlineStopsLongSearch(t *testing.T) {
+	m, src := buildSwappableScenario()
+	d := New(m, Config{SampleRate: 1, SampleSeed: 3})
+	d.AddSource(src, nil)
+	if err := d.Offline(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req := search.Request{
+		SourceAttrs: []string{"x"},
+		TargetAttrs: []string{"y"},
+		Budget:      1e9,
+		Alpha:       100,
+		Iterations:  1 << 30, // far beyond what can run before the deadline
+		Seed:        5,
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := d.Acquire(ctx, req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline took %v to stop the search", elapsed)
+	}
+}

@@ -4,11 +4,19 @@
 // acquisition request into a search over the join graph, escalating the
 // sample rate when no feasible plan exists, and finally emits the SQL
 // projection queries the shopper sends to the marketplace.
+//
+// Every entry point takes a context.Context: deadlines and cancellation
+// propagate through marketplace I/O and down into the MCMC search loop. The
+// middleware is safe for concurrent use — per-request execution runs on an
+// immutable snapshot of the offline state, and sample-rate escalation
+// serializes graph rebuilds behind a mutex.
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/infotheory"
@@ -76,16 +84,28 @@ type source struct {
 }
 
 // Dance is the middleware. Construct with New, register owned data with
-// AddSource, run Offline once, then Acquire/Execute per request.
+// AddSource, then Acquire/Execute per request (Offline runs lazily on first
+// use; call it explicitly to refresh samples). All methods are safe for
+// concurrent use.
 type Dance struct {
-	market  marketplace.Market
-	cfg     Config
-	rate    float64
-	sources []source
+	market marketplace.Market
+	cfg    Config
 
+	// offlineMu serializes offline rebuilds (catalog fetch, sample
+	// purchases, graph construction): concurrent escalations must not buy
+	// duplicate sample rounds. It is never held while mu is wanted by
+	// readers for long — the slow work happens with only offlineMu held.
+	offlineMu sync.Mutex
+
+	// mu guards the mutable middleware state below. Requests read a
+	// consistent (rate, graph, searcher) snapshot under mu and then run on
+	// it lock-free; rebuilds commit a fully-built replacement under mu.
+	mu         sync.Mutex
+	rate       float64
+	sources    []source
+	sampleCost float64
 	graph      *joingraph.Graph
 	searcher   *search.Searcher
-	sampleCost float64
 }
 
 // New creates a middleware bound to a marketplace.
@@ -95,19 +115,41 @@ func New(market marketplace.Market, cfg Config) *Dance {
 }
 
 // AddSource registers shopper-owned data (the S of the acquisition request).
-// Must be called before Offline.
+// Must be called before the first Offline/Acquire.
 func (d *Dance) AddSource(t *relation.Table, fds []fd.FD) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.sources = append(d.sources, source{table: t, fds: fds})
 }
 
 // SampleCost returns what DANCE has paid the marketplace for samples so far.
-func (d *Dance) SampleCost() float64 { return d.sampleCost }
+func (d *Dance) SampleCost() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sampleCost
+}
 
 // SampleRate returns the current offline sampling rate.
-func (d *Dance) SampleRate() float64 { return d.rate }
+func (d *Dance) SampleRate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rate
+}
 
 // Graph exposes the current join graph (nil before Offline).
-func (d *Dance) Graph() *joingraph.Graph { return d.graph }
+func (d *Dance) Graph() *joingraph.Graph {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.graph
+}
+
+// snapshot is the per-request view of the offline state: requests search a
+// consistent graph even while another request escalates the sample rate.
+type snapshot struct {
+	rate     float64
+	graph    *joingraph.Graph
+	searcher *search.Searcher
+}
 
 // primaryJoinAttr picks the attribute of info shared with the most other
 // catalog entries: correlated sampling needs a join attribute, and the most
@@ -137,9 +179,81 @@ func primaryJoinAttr(info marketplace.DatasetInfo, catalog []marketplace.Dataset
 // Offline runs the offline phase: fetch the catalog, buy correlated samples
 // of every dataset at the current rate, collect published (or discovered)
 // AFDs, and build the join graph. Calling it again re-samples at the
-// current rate (used by the iterative refresh).
-func (d *Dance) Offline() error {
-	catalog, err := d.market.Catalog()
+// current rate (used by the iterative refresh). Cancelling ctx aborts the
+// in-flight marketplace calls and returns ctx.Err().
+func (d *Dance) Offline(ctx context.Context) error {
+	d.offlineMu.Lock()
+	defer d.offlineMu.Unlock()
+	return d.rebuild(ctx, d.SampleRate())
+}
+
+// ensure returns the current offline snapshot, running the offline phase
+// first if it has never completed.
+func (d *Dance) ensure(ctx context.Context) (snapshot, error) {
+	d.mu.Lock()
+	if d.graph != nil {
+		snap := snapshot{rate: d.rate, graph: d.graph, searcher: d.searcher}
+		d.mu.Unlock()
+		return snap, nil
+	}
+	d.mu.Unlock()
+
+	d.offlineMu.Lock()
+	defer d.offlineMu.Unlock()
+	// Double-check: another request may have finished offline while this
+	// one waited on offlineMu.
+	d.mu.Lock()
+	if d.graph != nil {
+		snap := snapshot{rate: d.rate, graph: d.graph, searcher: d.searcher}
+		d.mu.Unlock()
+		return snap, nil
+	}
+	rate := d.rate
+	d.mu.Unlock()
+	if err := d.rebuild(ctx, rate); err != nil {
+		return snapshot{}, err
+	}
+	d.mu.Lock()
+	snap := snapshot{rate: d.rate, graph: d.graph, searcher: d.searcher}
+	d.mu.Unlock()
+	return snap, nil
+}
+
+// escalate grows the sample rate past seenRate and re-runs the offline
+// phase. It reports whether the caller should retry its search: false means
+// the rate was already at 1 (nothing more to buy). When a concurrent
+// request already escalated past seenRate, escalate skips the duplicate
+// rebuild and the caller retries against the fresher graph.
+func (d *Dance) escalate(ctx context.Context, seenRate float64) (retry bool, err error) {
+	d.offlineMu.Lock()
+	defer d.offlineMu.Unlock()
+	d.mu.Lock()
+	cur := d.rate
+	d.mu.Unlock()
+	if cur != seenRate {
+		return true, nil // someone else escalated while we searched
+	}
+	if cur >= 1 {
+		return false, nil // cannot sample more than everything
+	}
+	next := cur * d.cfg.RateGrowth
+	if next > 1 {
+		next = 1
+	}
+	if err := d.rebuild(ctx, next); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// rebuild runs one offline round at the given rate and commits the
+// resulting graph. The caller must hold offlineMu (not mu).
+func (d *Dance) rebuild(ctx context.Context, rate float64) error {
+	d.mu.Lock()
+	srcs := append([]source(nil), d.sources...)
+	d.mu.Unlock()
+
+	catalog, err := d.market.Catalog(ctx)
 	if err != nil {
 		return fmt.Errorf("dance: catalog: %w", err)
 	}
@@ -147,7 +261,7 @@ func (d *Dance) Offline() error {
 		return fmt.Errorf("dance: marketplace catalog is empty")
 	}
 	var instances []*joingraph.Instance
-	for _, s := range d.sources {
+	for _, s := range srcs {
 		instances = append(instances, &joingraph.Instance{
 			Name:     s.table.Name,
 			Sample:   s.table, // owned data needs no sampling
@@ -158,25 +272,25 @@ func (d *Dance) Offline() error {
 	}
 	// Fetch each dataset's correlated sample and FDs concurrently — pure
 	// I/O fan-out when the marketplace is remote — with bounded workers
-	// and first-error cancellation. Indexed result slots keep instance
-	// numbering and the summed sample cost deterministic. Costs are
-	// recorded per slot so that even on a partial failure SampleCost
-	// reflects every sample the marketplace actually charged for.
-	rate := d.rate
+	// and first-error (or cancellation) early exit. Indexed result slots
+	// keep instance numbering and the summed sample cost deterministic.
+	// Costs are recorded per slot so that even on a partial failure
+	// SampleCost reflects every sample the marketplace actually charged
+	// for.
 	if rate > 1 {
 		rate = 1
 	}
 	fetched := make([]*joingraph.Instance, len(catalog))
 	costs := make([]float64, len(catalog))
-	err = parallel.ForEach(len(catalog), d.cfg.Workers, func(i int) error {
+	err = parallel.ForEach(ctx, len(catalog), d.cfg.Workers, func(i int) error {
 		info := catalog[i]
 		joinAttr := primaryJoinAttr(info, catalog)
-		sample, cost, err := d.market.Sample(info.Name, []string{joinAttr}, rate, d.cfg.SampleSeed)
+		sample, cost, err := d.market.Sample(ctx, info.Name, []string{joinAttr}, rate, d.cfg.SampleSeed)
 		if err != nil {
 			return fmt.Errorf("dance: sampling %s: %w", info.Name, err)
 		}
 		costs[i] = cost
-		fds, err := d.market.DatasetFDs(info.Name)
+		fds, err := d.market.DatasetFDs(ctx, info.Name)
 		if err != nil {
 			return fmt.Errorf("dance: FDs of %s: %w", info.Name, err)
 		}
@@ -194,10 +308,14 @@ func (d *Dance) Offline() error {
 		}
 		return nil
 	})
+	spent := 0.0
 	for _, c := range costs {
-		d.sampleCost += c
+		spent += c
 	}
 	if err != nil {
+		d.mu.Lock()
+		d.sampleCost += spent
+		d.mu.Unlock()
 		return err
 	}
 	for _, inst := range fetched {
@@ -208,10 +326,17 @@ func (d *Dance) Offline() error {
 		Quoter:       d.market,
 	})
 	if err != nil {
+		d.mu.Lock()
+		d.sampleCost += spent
+		d.mu.Unlock()
 		return fmt.Errorf("dance: join graph: %w", err)
 	}
+	d.mu.Lock()
+	d.sampleCost += spent
+	d.rate = rate
 	d.graph = g
 	d.searcher = search.NewSearcher(g)
+	d.mu.Unlock()
 	return nil
 }
 
@@ -228,36 +353,36 @@ type Plan struct {
 // Acquire runs the online phase: search the join graph for the optimal
 // target graph under the request's constraints. When no feasible plan is
 // found it iteratively buys more samples (up to MaxSampleRounds) before
-// giving up — the refresh loop of Sec 2.1.
-func (d *Dance) Acquire(req search.Request) (*Plan, error) {
+// giving up — the refresh loop of Sec 2.1. Cancelling ctx stops the search
+// mid-chain and aborts in-flight marketplace calls.
+func (d *Dance) Acquire(ctx context.Context, req search.Request) (*Plan, error) {
 	if req.Workers == 0 {
 		req.Workers = d.cfg.Workers
 	}
-	if d.graph == nil {
-		if err := d.Offline(); err != nil {
-			return nil, err
-		}
-	}
 	var lastErr error
 	for round := 0; round < d.cfg.MaxSampleRounds; round++ {
-		if round > 0 {
-			if d.rate >= 1 {
-				break // cannot sample more than everything
-			}
-			d.rate = d.rate * d.cfg.RateGrowth
-			if d.rate > 1 {
-				d.rate = 1
-			}
-			if err := d.Offline(); err != nil {
-				return nil, err
-			}
-		}
-		res, err := d.searcher.Heuristic(req)
+		snap, err := d.ensure(ctx)
 		if err != nil {
-			lastErr = err
-			continue
+			return nil, err
 		}
-		return d.planFromResult(res, req), nil
+		res, err := snap.searcher.Heuristic(ctx, req)
+		if err == nil {
+			return planFromResult(res, req), nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		if round == d.cfg.MaxSampleRounds-1 {
+			break // out of rounds: don't buy samples nothing will search
+		}
+		retry, err := d.escalate(ctx, snap.rate)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			break
+		}
 	}
 	return nil, fmt.Errorf("dance: no feasible acquisition after %d sample rounds: %w",
 		d.cfg.MaxSampleRounds, lastErr)
@@ -273,46 +398,49 @@ type RankedPlan struct {
 // AcquireTopK returns up to k scored acquisition options instead of the
 // single correlation-best plan, ranked by the combined score of
 // correlation, quality, join informativeness and price. Sample-rate
-// escalation applies as in Acquire.
-func (d *Dance) AcquireTopK(req search.Request, k int, weights search.ScoreWeights) ([]RankedPlan, error) {
+// escalation and cancellation apply as in Acquire.
+func (d *Dance) AcquireTopK(ctx context.Context, req search.Request, k int, weights search.ScoreWeights) ([]RankedPlan, error) {
 	if req.Workers == 0 {
 		req.Workers = d.cfg.Workers
 	}
-	if d.graph == nil {
-		if err := d.Offline(); err != nil {
-			return nil, err
-		}
-	}
 	var lastErr error
 	for round := 0; round < d.cfg.MaxSampleRounds; round++ {
-		if round > 0 {
-			if d.rate >= 1 {
-				break
-			}
-			d.rate = d.rate * d.cfg.RateGrowth
-			if d.rate > 1 {
-				d.rate = 1
-			}
-			if err := d.Offline(); err != nil {
-				return nil, err
-			}
-		}
-		options, err := d.searcher.TopK(req, k, weights)
+		snap, err := d.ensure(ctx)
 		if err != nil {
-			lastErr = err
-			continue
+			return nil, err
 		}
-		out := make([]RankedPlan, len(options))
-		for i, o := range options {
-			out[i] = RankedPlan{Plan: d.planFromResult(o.Result, req), Score: o.Score}
+		options, err := snap.searcher.TopK(ctx, req, k, weights)
+		if err == nil {
+			out := make([]RankedPlan, len(options))
+			for i, o := range options {
+				out[i] = RankedPlan{Plan: planFromResult(o.Result, req), Score: o.Score}
+			}
+			return out, nil
 		}
-		return out, nil
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		if round == d.cfg.MaxSampleRounds-1 {
+			break
+		}
+		retry, err := d.escalate(ctx, snap.rate)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			break
+		}
 	}
 	return nil, fmt.Errorf("dance: no feasible acquisition options after %d sample rounds: %w",
 		d.cfg.MaxSampleRounds, lastErr)
 }
 
-func (d *Dance) planFromResult(res *search.Result, req search.Request) *Plan {
+// planFromResult materializes the purchase queries of a search result. It
+// resolves instance names through the result's own graph, so plans stay
+// consistent with the snapshot that produced them even if the middleware
+// has re-sampled since.
+func planFromResult(res *search.Result, req search.Request) *Plan {
 	purchase := res.TG.Purchase()
 	idxs := make([]int, 0, len(purchase))
 	for v := range purchase {
@@ -322,7 +450,7 @@ func (d *Dance) planFromResult(res *search.Result, req search.Request) *Plan {
 	plan := &Plan{TG: res.TG, Est: res.Est, Request: req}
 	for _, v := range idxs {
 		plan.Queries = append(plan.Queries, pricing.Query{
-			Instance: d.graph.Instances[v].Name,
+			Instance: res.TG.G.Instances[v].Name,
 			Attrs:    purchase[v],
 		})
 	}
@@ -344,56 +472,64 @@ type Purchase struct {
 }
 
 // Execute buys every query of the plan and reassembles the join.
-func (d *Dance) Execute(plan *Plan) (*Purchase, error) {
+//
+// On error the returned *Purchase is still non-nil once any projection was
+// bought: its Tables and TotalPrice record what the marketplace actually
+// charged before the failure, so callers (ledgers, billing) can account
+// for partial spend. Only a nil or never-started plan returns a nil
+// Purchase.
+func (d *Dance) Execute(ctx context.Context, plan *Plan) (*Purchase, error) {
 	if plan == nil || plan.TG == nil {
 		return nil, fmt.Errorf("dance: nil plan")
 	}
 	bought := map[string]*relation.Table{}
 	p := &Purchase{}
 	for _, q := range plan.Queries {
-		t, price, err := d.market.ExecuteProjection(q)
+		t, price, err := d.market.ExecuteProjection(ctx, q)
 		if err != nil {
-			return nil, fmt.Errorf("dance: executing %s: %w", q, err)
+			return p, fmt.Errorf("dance: executing %s: %w", q, err)
 		}
 		p.Tables = append(p.Tables, t)
 		p.TotalPrice += price
 		bought[q.Instance] = t
 	}
 	// Owned sources join with their full local tables.
+	d.mu.Lock()
 	for _, s := range d.sources {
 		bought[s.table.Name] = s.table
 	}
+	d.mu.Unlock()
 	steps, err := plan.TG.JoinSteps()
 	if err != nil {
-		return nil, err
+		return p, err
 	}
 	full := make([]relation.PathStep, len(steps))
 	for i, st := range steps {
 		bt, ok := bought[st.Table.Name]
 		if !ok {
-			return nil, fmt.Errorf("dance: plan references %q which was neither bought nor owned", st.Table.Name)
+			return p, fmt.Errorf("dance: plan references %q which was neither bought nor owned", st.Table.Name)
 		}
 		full[i] = relation.PathStep{Table: bt, On: st.On}
 	}
 	joined, err := relation.JoinPath(full)
 	if err != nil {
-		return nil, err
+		return p, err
 	}
 	p.Joined = joined
 
 	// Realized metrics on the actual purchase.
 	x, y, err := corrAttrsOf(plan.Request)
 	if err != nil {
-		return nil, err
+		return p, err
 	}
 	p.Realized.Weight = plan.TG.Weight()
 	p.Realized.Price = p.TotalPrice
 	if joined.NumRows() > 0 {
 		if p.Realized.Correlation, err = infotheory.Correlation(joined, x, y); err != nil {
-			return nil, err
+			return p, err
 		}
 		if p.Realized.Quality, err = fd.QualitySet(joined, plan.TG.FDs()); err != nil {
-			return nil, err
+			return p, err
 		}
 	}
 	return p, nil

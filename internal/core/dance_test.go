@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,8 @@ import (
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/search"
 )
+
+var bg = context.Background()
 
 // buildScenario populates a marketplace with a correlated chain
 // mid1(key1,key2) — mid2(key2,key3) — tgt(key3,yval) and returns the
@@ -77,7 +80,7 @@ func TestOfflineBuildsGraphAndPaysForSamples(t *testing.T) {
 	m, src := buildScenario(1)
 	d := New(m, Config{SampleRate: 0.8, SampleSeed: 3})
 	d.AddSource(src, nil)
-	if err := d.Offline(); err != nil {
+	if err := d.Offline(bg); err != nil {
 		t.Fatal(err)
 	}
 	g := d.Graph()
@@ -101,7 +104,7 @@ func TestAcquireProducesExecutablePlan(t *testing.T) {
 	m, src := buildScenario(2)
 	d := New(m, Config{SampleRate: 0.9, SampleSeed: 5})
 	d.AddSource(src, nil)
-	plan, err := d.Acquire(acquisitionRequest())
+	plan, err := d.Acquire(bg, acquisitionRequest())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +119,7 @@ func TestAcquireProducesExecutablePlan(t *testing.T) {
 			t.Fatalf("query %q is not SQL-shaped", q.String())
 		}
 	}
-	purchase, err := d.Execute(plan)
+	purchase, err := d.Execute(bg, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +146,7 @@ func TestAcquireRespectsBudget(t *testing.T) {
 	d.AddSource(src, nil)
 	req := acquisitionRequest()
 	req.Budget = 1e-9
-	if _, err := d.Acquire(req); err == nil {
+	if _, err := d.Acquire(bg, req); err == nil {
 		t.Fatal("unaffordable acquisition should fail")
 	}
 }
@@ -154,7 +157,7 @@ func TestAcquireEscalatesSampleRate(t *testing.T) {
 	d.AddSource(src, nil)
 	req := acquisitionRequest()
 	req.Beta = 0.2 // empty sample joins have quality 0 → infeasible until samples suffice
-	plan, err := d.Acquire(req)
+	plan, err := d.Acquire(bg, req)
 	if err != nil {
 		t.Fatalf("escalation should eventually succeed: %v", err)
 	}
@@ -169,7 +172,7 @@ func TestAcquireEscalatesSampleRate(t *testing.T) {
 func TestExecuteNilPlan(t *testing.T) {
 	m, _ := buildScenario(5)
 	d := New(m, Config{})
-	if _, err := d.Execute(nil); err == nil {
+	if _, err := d.Execute(bg, nil); err == nil {
 		t.Fatal("nil plan should error")
 	}
 }
@@ -178,7 +181,7 @@ func TestAcquireWithoutOfflineAutoRuns(t *testing.T) {
 	m, src := buildScenario(6)
 	d := New(m, Config{SampleRate: 0.9, SampleSeed: 2})
 	d.AddSource(src, nil)
-	if _, err := d.Acquire(acquisitionRequest()); err != nil {
+	if _, err := d.Acquire(bg, acquisitionRequest()); err != nil {
 		t.Fatal(err)
 	}
 	if d.Graph() == nil {
@@ -202,7 +205,7 @@ func TestDiscoverFDsWhenUnpublished(t *testing.T) {
 	m := marketplace.NewInMemory(nil)
 	m.Register(tab, nil) // no published FDs
 	d := New(m, Config{SampleRate: 1, DiscoverFDs: true})
-	if err := d.Offline(); err != nil {
+	if err := d.Offline(bg); err != nil {
 		t.Fatal(err)
 	}
 	gi := d.Graph().InstanceIndex("zips")
@@ -228,11 +231,11 @@ func TestEndToEndOverHTTP(t *testing.T) {
 
 	d := New(marketplace.NewClient(srv.URL), Config{SampleRate: 0.9, SampleSeed: 5})
 	d.AddSource(src, nil)
-	plan, err := d.Acquire(acquisitionRequest())
+	plan, err := d.Acquire(bg, acquisitionRequest())
 	if err != nil {
 		t.Fatal(err)
 	}
-	purchase, err := d.Execute(plan)
+	purchase, err := d.Execute(bg, plan)
 	if err != nil {
 		t.Fatal(err)
 	}

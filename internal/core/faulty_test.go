@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -25,46 +26,46 @@ type faultyMarket struct {
 
 var errInjected = errors.New("injected marketplace failure")
 
-func (f *faultyMarket) Catalog() ([]marketplace.DatasetInfo, error) {
+func (f *faultyMarket) Catalog(ctx context.Context) ([]marketplace.DatasetInfo, error) {
 	if f.failCatalog {
 		return nil, errInjected
 	}
-	return f.inner.Catalog()
+	return f.inner.Catalog(ctx)
 }
 
-func (f *faultyMarket) DatasetFDs(name string) ([]fd.FD, error) {
+func (f *faultyMarket) DatasetFDs(ctx context.Context, name string) ([]fd.FD, error) {
 	if name == f.failFDs {
 		return nil, errInjected
 	}
-	return f.inner.DatasetFDs(name)
+	return f.inner.DatasetFDs(ctx, name)
 }
 
-func (f *faultyMarket) QuoteProjection(name string, attrs []string) (float64, error) {
+func (f *faultyMarket) QuoteProjection(ctx context.Context, name string, attrs []string) (float64, error) {
 	if name == f.failQuote {
 		return 0, errInjected
 	}
-	return f.inner.QuoteProjection(name, attrs)
+	return f.inner.QuoteProjection(ctx, name, attrs)
 }
 
-func (f *faultyMarket) Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+func (f *faultyMarket) Sample(ctx context.Context, name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
 	if name == f.failSample {
 		return nil, 0, errInjected
 	}
-	return f.inner.Sample(name, joinAttrs, rate, seed)
+	return f.inner.Sample(ctx, name, joinAttrs, rate, seed)
 }
 
-func (f *faultyMarket) ExecuteProjection(q pricing.Query) (*relation.Table, float64, error) {
+func (f *faultyMarket) ExecuteProjection(ctx context.Context, q pricing.Query) (*relation.Table, float64, error) {
 	if q.Instance == f.failQuery {
 		return nil, 0, errInjected
 	}
-	return f.inner.ExecuteProjection(q)
+	return f.inner.ExecuteProjection(ctx, q)
 }
 
 func TestOfflineSurfacesCatalogFailure(t *testing.T) {
 	m, src := buildScenario(40)
 	d := New(&faultyMarket{inner: m, failCatalog: true}, Config{SampleRate: 0.9})
 	d.AddSource(src, nil)
-	err := d.Offline()
+	err := d.Offline(bg)
 	if err == nil || !errors.Is(err, errInjected) {
 		t.Fatalf("catalog failure not surfaced: %v", err)
 	}
@@ -74,7 +75,7 @@ func TestOfflineSurfacesSampleFailure(t *testing.T) {
 	m, src := buildScenario(41)
 	d := New(&faultyMarket{inner: m, failSample: "mid2"}, Config{SampleRate: 0.9})
 	d.AddSource(src, nil)
-	err := d.Offline()
+	err := d.Offline(bg)
 	if err == nil || !strings.Contains(err.Error(), "mid2") {
 		t.Fatalf("sample failure not surfaced with dataset name: %v", err)
 	}
@@ -84,7 +85,7 @@ func TestOfflineSurfacesFDFailure(t *testing.T) {
 	m, src := buildScenario(42)
 	d := New(&faultyMarket{inner: m, failFDs: "tgt"}, Config{SampleRate: 0.9})
 	d.AddSource(src, nil)
-	if err := d.Offline(); err == nil {
+	if err := d.Offline(bg); err == nil {
 		t.Fatal("FD metadata failure not surfaced")
 	}
 }
@@ -95,7 +96,7 @@ func TestAcquireSurfacesQuoteFailure(t *testing.T) {
 	d.AddSource(src, nil)
 	// Quotes fail during the search (pricing target graphs touching tgt);
 	// acquisition must fail cleanly, not return an unpriced plan.
-	if _, err := d.Acquire(acquisitionRequest()); err == nil {
+	if _, err := d.Acquire(bg, acquisitionRequest()); err == nil {
 		t.Fatal("quote failure not surfaced")
 	}
 }
@@ -105,17 +106,33 @@ func TestExecuteSurfacesQueryFailure(t *testing.T) {
 	// Plan against the healthy market, then fail the purchase step only.
 	healthy := New(m, Config{SampleRate: 0.9, SampleSeed: 5})
 	healthy.AddSource(src, nil)
-	plan, err := healthy.Acquire(acquisitionRequest())
+	plan, err := healthy.Acquire(bg, acquisitionRequest())
 	if err != nil {
 		t.Fatal(err)
 	}
-	victim := plan.Queries[0].Instance
+	// Fail the *last* query so earlier projections are bought and charged
+	// before the failure — Execute must surface the error AND return the
+	// partial purchase so the spend stays accountable.
+	victim := plan.Queries[len(plan.Queries)-1].Instance
 	broken := New(&faultyMarket{inner: m, failQuery: victim}, Config{SampleRate: 0.9, SampleSeed: 5})
 	broken.AddSource(src, nil)
-	if err := broken.Offline(); err != nil {
+	if err := broken.Offline(bg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := broken.Execute(plan); err == nil || !errors.Is(err, errInjected) {
+	partial, err := broken.Execute(bg, plan)
+	if err == nil || !errors.Is(err, errInjected) {
 		t.Fatalf("purchase failure not surfaced: %v", err)
+	}
+	if partial == nil {
+		t.Fatal("failed Execute must return the partial purchase for spend accounting")
+	}
+	if len(plan.Queries) > 1 {
+		if partial.TotalPrice <= 0 || len(partial.Tables) != len(plan.Queries)-1 {
+			t.Fatalf("partial purchase = %d tables, %v charged; want the pre-failure buys",
+				len(partial.Tables), partial.TotalPrice)
+		}
+		if got := m.Ledger().TotalByKind("query"); got != partial.TotalPrice {
+			t.Fatalf("marketplace charged %v but partial purchase records %v", got, partial.TotalPrice)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -19,7 +20,7 @@ func TestOfflineParallelMatchesSerial(t *testing.T) {
 		m, src := buildScenario(1)
 		d := New(m, Config{SampleRate: 0.8, SampleSeed: 3, Workers: workers})
 		d.AddSource(src, nil)
-		plan, err := d.Acquire(acquisitionRequest())
+		plan, err := d.Acquire(bg, acquisitionRequest())
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -58,7 +59,7 @@ func TestOfflineParallelOverHTTP(t *testing.T) {
 	acquire := func(workers int) *Plan {
 		d := New(marketplace.NewClient(srv.URL), Config{SampleRate: 0.8, SampleSeed: 3, Workers: workers})
 		d.AddSource(src, nil)
-		plan, err := d.Acquire(acquisitionRequest())
+		plan, err := d.Acquire(bg, acquisitionRequest())
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -76,7 +77,7 @@ func TestOfflineFirstErrorCancels(t *testing.T) {
 	m, src := buildScenario(1)
 	d := New(failingMarket{m}, Config{SampleRate: 0.8, SampleSeed: 3, Workers: 4})
 	d.AddSource(src, nil)
-	if err := d.Offline(); err == nil {
+	if err := d.Offline(bg); err == nil {
 		t.Fatal("expected the injected sampling failure to surface")
 	}
 }
@@ -87,7 +88,7 @@ func TestConcurrentAcquire(t *testing.T) {
 	m, src := buildScenario(1)
 	d := New(m, Config{SampleRate: 1, SampleSeed: 3})
 	d.AddSource(src, nil)
-	if err := d.Offline(); err != nil {
+	if err := d.Offline(bg); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -97,7 +98,7 @@ func TestConcurrentAcquire(t *testing.T) {
 			defer wg.Done()
 			req := acquisitionRequest()
 			req.Seed = seed
-			if _, err := d.Acquire(req); err != nil {
+			if _, err := d.Acquire(bg, req); err != nil {
 				t.Error(err)
 			}
 		}(int64(i%2) + 1)
@@ -110,9 +111,9 @@ type failingMarket struct {
 	marketplace.Market
 }
 
-func (f failingMarket) Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+func (f failingMarket) Sample(ctx context.Context, name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
 	if name == "mid2" {
 		return nil, 0, fmt.Errorf("injected sample failure for %s", name)
 	}
-	return f.Market.Sample(name, joinAttrs, rate, seed)
+	return f.Market.Sample(ctx, name, joinAttrs, rate, seed)
 }

@@ -11,7 +11,7 @@ func TestAcquireTopK(t *testing.T) {
 	d := New(m, Config{SampleRate: 0.9, SampleSeed: 5})
 	d.AddSource(src, nil)
 	req := acquisitionRequest()
-	options, err := d.AcquireTopK(req, 3, search.DefaultScoreWeights())
+	options, err := d.AcquireTopK(bg, req, 3, search.DefaultScoreWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestAcquireTopK(t *testing.T) {
 		}
 	}
 	// The best option must be executable.
-	purchase, err := d.Execute(options[0].Plan)
+	purchase, err := d.Execute(bg, options[0].Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestAcquireTopKInfeasible(t *testing.T) {
 	d.AddSource(src, nil)
 	req := acquisitionRequest()
 	req.Budget = 1e-9
-	if _, err := d.AcquireTopK(req, 3, search.DefaultScoreWeights()); err == nil {
+	if _, err := d.AcquireTopK(bg, req, 3, search.DefaultScoreWeights()); err == nil {
 		t.Fatal("unaffordable top-k should fail")
 	}
 }

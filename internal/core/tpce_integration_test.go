@@ -21,7 +21,7 @@ func TestTPCEEndToEnd(t *testing.T) {
 		m.Register(tab, d.FDs[tab.Name])
 	}
 	mw := New(m, Config{SampleRate: 0.8, SampleSeed: 11})
-	plan, err := mw.Acquire(search.Request{
+	plan, err := mw.Acquire(bg, search.Request{
 		SourceAttrs: []string{"cabalance"},
 		TargetAttrs: []string{"sectorname"},
 		Iterations:  60,
@@ -33,7 +33,7 @@ func TestTPCEEndToEnd(t *testing.T) {
 	if len(plan.Queries) < 5 {
 		t.Fatalf("the cabalance→sectorname spine needs several instances, plan buys %d", len(plan.Queries))
 	}
-	purchase, err := mw.Execute(plan)
+	purchase, err := mw.Execute(bg, plan)
 	if err != nil {
 		t.Fatal(err)
 	}

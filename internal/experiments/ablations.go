@@ -101,7 +101,7 @@ func AblationMCMC(opts AblationOptions) (Table, error) {
 			req.Iterations = opts.Iterations
 			req.Greedy = greedy
 			s := env.SampledSearcher()
-			res, err := s.Heuristic(req)
+			res, err := s.Heuristic(expCtx, req)
 			if err != nil {
 				return "N/A", nil
 			}
@@ -142,11 +142,11 @@ func AblationPricing(opts AblationOptions) (Table, error) {
 		req := env.Request(q, opts.Seed)
 		req.Iterations = opts.Iterations
 		s := env.SampledSearcher()
-		res, err := s.Heuristic(req)
+		res, err := s.Heuristic(expCtx, req)
 		if err != nil {
 			return tab, err
 		}
-		entropyPrice, err := res.TG.Price()
+		entropyPrice, err := res.TG.Price(expCtx)
 		if err != nil {
 			return tab, err
 		}
@@ -190,7 +190,7 @@ func AblationEta(opts AblationOptions) (Table, error) {
 		var res *search.Result
 		elapsed, err := timeSearch(func() error {
 			var e error
-			res, e = s.Heuristic(req)
+			res, e = s.Heuristic(expCtx, req)
 			return e
 		})
 		if err != nil {

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,6 +19,10 @@ import (
 	"github.com/dance-db/dance/internal/tpce"
 	"github.com/dance-db/dance/internal/tpch"
 )
+
+// expCtx is the context experiments run under: batch regeneration of the
+// paper's tables has no caller-imposed deadline.
+var expCtx = context.Background()
 
 // Table is one rendered experiment artifact (a paper table or one panel of
 // a figure).
@@ -286,7 +291,7 @@ func (e *Env) FullSearcher() *search.Searcher { return search.NewSearcher(e.Full
 // The Weight field is recomputed from full-data join informativeness so
 // sample-based and full-data searches are compared on the same scale.
 func (e *Env) RealMetrics(s *search.Searcher, res *search.Result, req search.Request) (search.Metrics, error) {
-	m, err := s.EvaluateOnTables(res.TG, req, e.Tables)
+	m, err := s.EvaluateOnTables(context.Background(), res.TG, req, e.Tables)
 	if err != nil {
 		return m, err
 	}

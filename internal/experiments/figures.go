@@ -58,14 +58,14 @@ func Fig4(opts Fig4Options) ([]Table, error) {
 			req.Iterations = opts.Iterations
 
 			hTime, err := timeSearch(func() error {
-				_, err := env.SampledSearcher().Heuristic(req)
+				_, err := env.SampledSearcher().Heuristic(expCtx, req)
 				return err
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig4 %s n=%d heuristic: %w", q.Name, n, err)
 			}
 			lpTime, err := timeSearch(func() error {
-				_, err := env.SampledSearcher().BruteForce(req, search.BruteForceLimits{})
+				_, err := env.SampledSearcher().BruteForce(expCtx, req, search.BruteForceLimits{})
 				return err
 			})
 			if err != nil {
@@ -74,7 +74,7 @@ func Fig4(opts Fig4Options) ([]Table, error) {
 			gpCell := "skipped"
 			if !opts.SkipGP {
 				gpTime, err := timeSearch(func() error {
-					_, err := env.FullSearcher().BruteForce(req, search.BruteForceLimits{})
+					_, err := env.FullSearcher().BruteForce(expCtx, req, search.BruteForceLimits{})
 					return err
 				})
 				if err != nil {
@@ -155,7 +155,7 @@ func Fig5ab(opts Fig5Options) (Table, Table, error) {
 			req := env.Request(q, opts.Seed)
 			req.Iterations = opts.Iterations
 			start := time.Now()
-			res, err := env.SampledSearcher().Heuristic(req)
+			res, err := env.SampledSearcher().Heuristic(expCtx, req)
 			elapsed := time.Since(start).Seconds()
 			if err != nil {
 				return ta, tb, fmt.Errorf("fig5 %s n=%d: %w", q.Name, n, err)
@@ -184,7 +184,7 @@ func Fig5c(opts Fig5Options) (Table, error) {
 	ubs := make([]float64, len(queries))
 	for qi, q := range queries {
 		req := env.Request(q, opts.Seed)
-		_, ub, err := env.SampledSearcher().ApproxPriceRange(req, 32)
+		_, ub, err := env.SampledSearcher().ApproxPriceRange(expCtx, req, 32)
 		if err != nil {
 			return tab, fmt.Errorf("fig5c %s price range: %w", q.Name, err)
 		}
@@ -197,7 +197,7 @@ func Fig5c(opts Fig5Options) (Table, error) {
 			req.Iterations = opts.Iterations
 			req.Budget = r * ubs[qi]
 			start := time.Now()
-			_, err := env.SampledSearcher().Heuristic(req)
+			_, err := env.SampledSearcher().Heuristic(expCtx, req)
 			elapsed := time.Since(start).Seconds()
 			if err != nil {
 				row = append(row, "N/A")
@@ -253,7 +253,7 @@ func Fig6(opts Fig6Options) ([]Table, error) {
 			req.Iterations = opts.Iterations
 
 			ss := env.SampledSearcher()
-			hres, err := ss.Heuristic(req)
+			hres, err := ss.Heuristic(expCtx, req)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s rate=%v heuristic: %w", q.Name, rate, err)
 			}
@@ -262,7 +262,7 @@ func Fig6(opts Fig6Options) ([]Table, error) {
 				return nil, err
 			}
 			lp := env.SampledSearcher()
-			lpres, err := lp.BruteForce(req, search.BruteForceLimits{})
+			lpres, err := lp.BruteForce(expCtx, req, search.BruteForceLimits{})
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s rate=%v LP: %w", q.Name, rate, err)
 			}
@@ -271,7 +271,7 @@ func Fig6(opts Fig6Options) ([]Table, error) {
 				return nil, err
 			}
 			gp := env.FullSearcher()
-			gpres, err := gp.BruteForce(req, search.BruteForceLimits{})
+			gpres, err := gp.BruteForce(expCtx, req, search.BruteForceLimits{})
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s rate=%v GP: %w", q.Name, rate, err)
 			}
@@ -348,7 +348,7 @@ func Fig7(opts Fig7Options) ([]Table, error) {
 			Headers: []string{"budget_ratio", "heuristic", "lp", "gp"},
 		}
 		req := env.Request(q, opts.Seed)
-		_, ub, err := env.FullSearcher().PriceRange(req, search.BruteForceLimits{})
+		_, ub, err := env.FullSearcher().PriceRange(expCtx, req, search.BruteForceLimits{})
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s price range: %w", q.Name, err)
 		}
@@ -366,7 +366,7 @@ func Fig7(opts Fig7Options) ([]Table, error) {
 			}
 			hCell := cell(func() (search.Metrics, error) {
 				s := env.SampledSearcher()
-				res, err := s.Heuristic(req)
+				res, err := s.Heuristic(expCtx, req)
 				if err != nil {
 					return search.Metrics{}, err
 				}
@@ -374,7 +374,7 @@ func Fig7(opts Fig7Options) ([]Table, error) {
 			})
 			lpCell := cell(func() (search.Metrics, error) {
 				s := env.SampledSearcher()
-				res, err := s.BruteForce(req, search.BruteForceLimits{})
+				res, err := s.BruteForce(expCtx, req, search.BruteForceLimits{})
 				if err != nil {
 					return search.Metrics{}, err
 				}
@@ -382,7 +382,7 @@ func Fig7(opts Fig7Options) ([]Table, error) {
 			})
 			gpCell := cell(func() (search.Metrics, error) {
 				s := env.FullSearcher()
-				res, err := s.BruteForce(req, search.BruteForceLimits{})
+				res, err := s.BruteForce(expCtx, req, search.BruteForceLimits{})
 				if err != nil {
 					return search.Metrics{}, err
 				}
@@ -449,7 +449,7 @@ func Fig8(opts Fig8Options) ([]Table, error) {
 		reqBase := env.Request(q, opts.Seed)
 		reqBase.Iterations = opts.Iterations
 		sBase := env.SampledSearcher()
-		base, err := sBase.Heuristic(reqBase)
+		base, err := sBase.Heuristic(expCtx, reqBase)
 		if err != nil {
 			return nil, fmt.Errorf("fig8 %s baseline: %w", q.Name, err)
 		}
@@ -461,7 +461,7 @@ func Fig8(opts Fig8Options) ([]Table, error) {
 			req.Iterations = opts.Iterations
 			req.Eta = opts.Eta
 			req.ResampleRate = rho
-			withRes, err := env.SampledSearcher().Evaluate(base.TG, req)
+			withRes, err := env.SampledSearcher().Evaluate(expCtx, base.TG, req)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %s ρ=%v: %w", q.Name, rho, err)
 			}

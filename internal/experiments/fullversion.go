@@ -27,7 +27,7 @@ func FigTPCHBudgetTime(opts Fig5Options) (Table, error) {
 	ubs := make([]float64, len(queries))
 	for qi, q := range queries {
 		req := env.Request(q, opts.Seed)
-		_, ub, err := env.FullSearcher().PriceRange(req, search.BruteForceLimits{})
+		_, ub, err := env.FullSearcher().PriceRange(expCtx, req, search.BruteForceLimits{})
 		if err != nil {
 			return tab, fmt.Errorf("tpch budget time %s price range: %w", q.Name, err)
 		}
@@ -40,7 +40,7 @@ func FigTPCHBudgetTime(opts Fig5Options) (Table, error) {
 			req.Iterations = opts.Iterations
 			req.Budget = r * ubs[qi]
 			start := time.Now()
-			_, err := env.SampledSearcher().Heuristic(req)
+			_, err := env.SampledSearcher().Heuristic(expCtx, req)
 			elapsed := time.Since(start).Seconds()
 			if err != nil {
 				row = append(row, "N/A")

@@ -165,7 +165,7 @@ func Table6(opts Table6Options) (Table, error) {
 	for _, q := range TPCHQueries() {
 		req := env.Request(q, opts.Seed)
 		req.Iterations = opts.Iterations
-		lb, ub, err := env.FullSearcher().PriceRange(req, search.BruteForceLimits{})
+		lb, ub, err := env.FullSearcher().PriceRange(expCtx, req, search.BruteForceLimits{})
 		if err != nil {
 			return tab, fmt.Errorf("table6 %s price range: %w", q.Name, err)
 		}
@@ -180,7 +180,7 @@ func Table6(opts Table6Options) (Table, error) {
 		}
 
 		ss := env.SampledSearcher()
-		hres, err := ss.Heuristic(req)
+		hres, err := ss.Heuristic(expCtx, req)
 		if err != nil {
 			return tab, fmt.Errorf("table6 %s DANCE: %w", q.Name, err)
 		}
@@ -194,7 +194,7 @@ func Table6(opts Table6Options) (Table, error) {
 		})
 
 		gs := env.FullSearcher()
-		gres, err := gs.BruteForce(req, search.BruteForceLimits{})
+		gres, err := gs.BruteForce(expCtx, req, search.BruteForceLimits{})
 		if err != nil {
 			return tab, fmt.Errorf("table6 %s GP: %w", q.Name, err)
 		}

@@ -16,6 +16,7 @@
 package joingraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -47,9 +48,11 @@ type Instance struct {
 
 // PriceQuoter returns exact marketplace price quotes for projection queries.
 // Query-based pricing means prices are queryable without buying (the
-// AS-vertices of Def 4.2 carry prices).
+// AS-vertices of Def 4.2 carry prices). Quotes happen lazily during search,
+// so the caller's context threads through: against a remote marketplace a
+// cancelled search stops quoting mid-chain.
 type PriceQuoter interface {
-	QuoteProjection(instance string, attrs []string) (float64, error)
+	QuoteProjection(ctx context.Context, instance string, attrs []string) (float64, error)
 }
 
 // Config controls join-graph construction.
@@ -210,7 +213,7 @@ func (g *Graph) ILayer() *graphalg.Graph {
 
 // Price quotes the price of purchasing attrs from instance i, with caching.
 // Owned instances are free.
-func (g *Graph) Price(i int, attrs []string) (float64, error) {
+func (g *Graph) Price(ctx context.Context, i int, attrs []string) (float64, error) {
 	inst := g.Instances[i]
 	if inst.Owned || len(attrs) == 0 {
 		return 0, nil
@@ -230,7 +233,7 @@ func (g *Graph) Price(i int, attrs []string) (float64, error) {
 	if ok {
 		return p, nil
 	}
-	p, err := g.cfg.Quoter.QuoteProjection(inst.Name, sorted)
+	p, err := g.cfg.Quoter.QuoteProjection(ctx, inst.Name, sorted)
 	if err != nil {
 		return 0, fmt.Errorf("joingraph: price quote for %s%v: %w", inst.Name, sorted, err)
 	}

@@ -1,6 +1,7 @@
 package joingraph
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,6 +38,8 @@ func figure3Instances(seed int64) []*Instance {
 	}
 }
 
+var bg = context.Background()
+
 type quoter struct {
 	model     pricing.Model
 	instances map[string]*relation.Table
@@ -51,7 +54,7 @@ func newQuoter(instances []*Instance) *quoter {
 	return q
 }
 
-func (q *quoter) QuoteProjection(instance string, attrs []string) (float64, error) {
+func (q *quoter) QuoteProjection(_ context.Context, instance string, attrs []string) (float64, error) {
 	q.calls++
 	return q.model.PriceProjection(q.instances[instance], attrs)
 }
@@ -151,16 +154,16 @@ func TestPriceCachingAndOwnedFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := g.Price(0, []string{"A", "B"})
+	p, err := g.Price(bg, 0, []string{"A", "B"})
 	if err != nil || p != 0 {
 		t.Fatalf("owned price = %v, %v; want 0", p, err)
 	}
 	base := q.calls
-	p1, err := g.Price(1, []string{"D", "E"})
+	p1, err := g.Price(bg, 1, []string{"D", "E"})
 	if err != nil || p1 <= 0 {
 		t.Fatalf("price = %v, %v", p1, err)
 	}
-	p2, _ := g.Price(1, []string{"E", "D"}) // different order, same set
+	p2, _ := g.Price(bg, 1, []string{"E", "D"}) // different order, same set
 	if p2 != p1 {
 		t.Fatal("price should be order-insensitive")
 	}
@@ -172,7 +175,7 @@ func TestPriceCachingAndOwnedFree(t *testing.T) {
 func TestPriceWithoutQuoterErrors(t *testing.T) {
 	insts := figure3Instances(4)
 	g, _ := Build(insts, Config{})
-	if _, err := g.Price(0, []string{"A"}); err == nil {
+	if _, err := g.Price(bg, 0, []string{"A"}); err == nil {
 		t.Fatal("missing quoter should error")
 	}
 }

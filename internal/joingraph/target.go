@@ -1,6 +1,7 @@
 package joingraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -169,7 +170,7 @@ func (tg *TargetGraph) Purchase() map[int][]string {
 }
 
 // Price returns p(TG): the summed marketplace quotes for all purchase sets.
-func (tg *TargetGraph) Price() (float64, error) {
+func (tg *TargetGraph) Price(ctx context.Context) (float64, error) {
 	total := 0.0
 	purchase := tg.Purchase()
 	// Deterministic order for error reproducibility.
@@ -179,7 +180,7 @@ func (tg *TargetGraph) Price() (float64, error) {
 	}
 	sort.Ints(idxs)
 	for _, v := range idxs {
-		p, err := tg.G.Price(v, purchase[v])
+		p, err := tg.G.Price(ctx, v, purchase[v])
 		if err != nil {
 			return 0, err
 		}

@@ -102,7 +102,7 @@ func TestTargetGraphWeightPricePurchase(t *testing.T) {
 		t.Fatalf("purchase[c] = %v", got)
 	}
 
-	p, err := tg.Price()
+	p, err := tg.Price(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,12 +123,12 @@ func TestTargetGraphOwnedInstanceNotPurchased(t *testing.T) {
 	if _, ok := purchase[0]; ok {
 		t.Fatal("owned instance must not appear in purchase sets")
 	}
-	pOwned, err := tg.Price()
+	pOwned, err := tg.Price(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g2 := buildChain(t)
-	pAll, _ := chainTG(t, g2).Price()
+	pAll, _ := chainTG(t, g2).Price(bg)
 	if pOwned >= pAll {
 		t.Fatalf("price with owned source (%v) should be below full price (%v)", pOwned, pAll)
 	}

@@ -19,16 +19,16 @@ func TestConcurrentShoppers(t *testing.T) {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
-			if _, err := m.Catalog(); err != nil {
+			if _, err := m.Catalog(bg); err != nil {
 				errs <- err
 			}
-			if _, err := m.QuoteProjection("alpha", []string{"k", "state"}); err != nil {
+			if _, err := m.QuoteProjection(bg, "alpha", []string{"k", "state"}); err != nil {
 				errs <- err
 			}
-			if _, _, err := m.Sample("alpha", []string{"k"}, 0.5, seed); err != nil {
+			if _, _, err := m.Sample(bg, "alpha", []string{"k"}, 0.5, seed); err != nil {
 				errs <- err
 			}
-			if _, _, err := m.ExecuteProjection(pricing.Query{Instance: "beta", Attrs: []string{"k"}}); err != nil {
+			if _, _, err := m.ExecuteProjection(bg, pricing.Query{Instance: "beta", Attrs: []string{"k"}}); err != nil {
 				errs <- err
 			}
 			m.Ledger().Total()
@@ -56,13 +56,13 @@ func TestConcurrentRegisterAndBrowse(t *testing.T) {
 		}(i)
 		go func() {
 			defer wg.Done()
-			if _, err := m.Catalog(); err != nil {
+			if _, err := m.Catalog(bg); err != nil {
 				t.Error(err)
 			}
 		}()
 	}
 	wg.Wait()
-	cat, err := m.Catalog()
+	cat, err := m.Catalog(bg)
 	if err != nil || len(cat) != 2 {
 		t.Fatalf("catalog after concurrent re-registration: %v, %v", cat, err)
 	}

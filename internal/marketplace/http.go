@@ -2,12 +2,15 @@ package marketplace
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/pricing"
@@ -61,10 +64,16 @@ type errorResponse struct {
 //	POST /quote {name,attrs} → {price}
 //	POST /sample {…}         → {csv, price}
 //	POST /query {name,attrs} → {csv, price}
+//
+// Each marketplace call runs under the request's context, so a client that
+// disconnects (or whose deadline expires) stops the work server-side.
 func Handler(m Market) http.Handler {
 	mux := http.NewServeMux()
 
 	writeErr := func(w http.ResponseWriter, code int, err error) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
 		json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
@@ -83,7 +92,7 @@ func Handler(m Market) http.Handler {
 	}
 
 	mux.HandleFunc("GET /catalog", func(w http.ResponseWriter, r *http.Request) {
-		infos, err := m.Catalog()
+		infos, err := m.Catalog(r.Context())
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
@@ -100,7 +109,7 @@ func Handler(m Market) http.Handler {
 	})
 
 	mux.HandleFunc("GET /fds", func(w http.ResponseWriter, r *http.Request) {
-		fds, err := m.DatasetFDs(r.URL.Query().Get("name"))
+		fds, err := m.DatasetFDs(r.Context(), r.URL.Query().Get("name"))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
@@ -118,7 +127,7 @@ func Handler(m Market) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		price, err := m.QuoteProjection(req.Name, req.Attrs)
+		price, err := m.QuoteProjection(r.Context(), req.Name, req.Attrs)
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
@@ -132,7 +141,7 @@ func Handler(m Market) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		t, price, err := m.Sample(req.Name, req.JoinAttrs, req.Rate, req.Seed)
+		t, price, err := m.Sample(r.Context(), req.Name, req.JoinAttrs, req.Rate, req.Seed)
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
@@ -146,7 +155,7 @@ func Handler(m Market) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		t, price, err := m.ExecuteProjection(pricing.Query{Instance: req.Name, Attrs: req.Attrs})
+		t, price, err := m.ExecuteProjection(r.Context(), pricing.Query{Instance: req.Name, Attrs: req.Attrs})
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
@@ -157,21 +166,52 @@ func Handler(m Market) http.Handler {
 	return mux
 }
 
-// Client is a Market backed by a remote HTTP marketplace.
+// DefaultClientTimeout caps a single marketplace round trip when the caller
+// supplies no context deadline of its own. Full-table projections on large
+// marketplaces are slow but finite; a hung remote must never block an
+// acquisition forever. Caller deadlines — shorter or longer — always win.
+const DefaultClientTimeout = 2 * time.Minute
+
+// Client is a Market backed by a remote HTTP marketplace. Every call honors
+// its context: deadlines and cancellation abort the in-flight HTTP request.
 type Client struct {
 	BaseURL string
-	HTTP    *http.Client
+	// HTTP is the underlying client. Replace it to tune the transport.
+	HTTP *http.Client
+	// Timeout bounds one round trip when the caller's context carries no
+	// deadline; a caller deadline of any length takes precedence. NewClient
+	// sets DefaultClientTimeout; zero or negative disables the fallback.
+	Timeout time.Duration
 }
 
 var _ Market = (*Client)(nil)
 
-// NewClient returns a client for the marketplace at baseURL.
+// NewClient returns a client for the marketplace at baseURL with a sane
+// default timeout for deadline-less calls (DefaultClientTimeout).
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: http.DefaultClient}
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{},
+		Timeout: DefaultClientTimeout,
+	}
 }
 
-func (c *Client) get(path string, out interface{}) error {
-	resp, err := c.HTTP.Get(c.BaseURL + path)
+// callCtx applies the fallback timeout to contexts without a deadline.
+func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); !ok && c.Timeout > 0 {
+		return context.WithTimeout(ctx, c.Timeout)
+	}
+	return ctx, func() {}
+}
+
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("marketplace client: GET %s: %w", path, err)
 	}
@@ -179,12 +219,19 @@ func (c *Client) get(path string, out interface{}) error {
 	return decodeResponse(resp, out)
 }
 
-func (c *Client) post(path string, in, out interface{}) error {
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("marketplace client: POST %s: %w", path, err)
 	}
@@ -208,9 +255,9 @@ func decodeResponse(resp *http.Response, out interface{}) error {
 }
 
 // Catalog implements Market.
-func (c *Client) Catalog() ([]DatasetInfo, error) {
+func (c *Client) Catalog(ctx context.Context) ([]DatasetInfo, error) {
 	var wire []wireDatasetInfo
-	if err := c.get("/catalog", &wire); err != nil {
+	if err := c.get(ctx, "/catalog", &wire); err != nil {
 		return nil, err
 	}
 	out := make([]DatasetInfo, len(wire))
@@ -243,12 +290,12 @@ func parseKind(s string) (relation.Kind, error) {
 }
 
 // DatasetFDs implements Market.
-func (c *Client) DatasetFDs(name string) ([]fd.FD, error) {
+func (c *Client) DatasetFDs(ctx context.Context, name string) ([]fd.FD, error) {
 	// Dataset names are seller-controlled free text: escape, or names with
 	// spaces, '&' or '#' corrupt the query string.
 	q := url.Values{"name": {name}}
 	var wire []string
-	if err := c.get("/fds?"+q.Encode(), &wire); err != nil {
+	if err := c.get(ctx, "/fds?"+q.Encode(), &wire); err != nil {
 		return nil, err
 	}
 	out := make([]fd.FD, len(wire))
@@ -263,18 +310,18 @@ func (c *Client) DatasetFDs(name string) ([]fd.FD, error) {
 }
 
 // QuoteProjection implements Market.
-func (c *Client) QuoteProjection(name string, attrs []string) (float64, error) {
+func (c *Client) QuoteProjection(ctx context.Context, name string, attrs []string) (float64, error) {
 	var resp quoteResponse
-	if err := c.post("/quote", quoteRequest{Name: name, Attrs: attrs}, &resp); err != nil {
+	if err := c.post(ctx, "/quote", quoteRequest{Name: name, Attrs: attrs}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Price, nil
 }
 
 // Sample implements Market.
-func (c *Client) Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+func (c *Client) Sample(ctx context.Context, name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
 	var resp wireTableResponse
-	if err := c.post("/sample", sampleRequest{Name: name, JoinAttrs: joinAttrs, Rate: rate, Seed: seed}, &resp); err != nil {
+	if err := c.post(ctx, "/sample", sampleRequest{Name: name, JoinAttrs: joinAttrs, Rate: rate, Seed: seed}, &resp); err != nil {
 		return nil, 0, err
 	}
 	t, err := relation.ReadCSV(name, strings.NewReader(resp.CSV))
@@ -285,9 +332,9 @@ func (c *Client) Sample(name string, joinAttrs []string, rate float64, seed uint
 }
 
 // ExecuteProjection implements Market.
-func (c *Client) ExecuteProjection(q pricing.Query) (*relation.Table, float64, error) {
+func (c *Client) ExecuteProjection(ctx context.Context, q pricing.Query) (*relation.Table, float64, error) {
 	var resp wireTableResponse
-	if err := c.post("/query", quoteRequest{Name: q.Instance, Attrs: q.Attrs}, &resp); err != nil {
+	if err := c.post(ctx, "/query", quoteRequest{Name: q.Instance, Attrs: q.Attrs}, &resp); err != nil {
 		return nil, 0, err
 	}
 	t, err := relation.ReadCSV(q.Instance, strings.NewReader(resp.CSV))

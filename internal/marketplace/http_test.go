@@ -1,9 +1,13 @@
 package marketplace
 
 import (
+	"context"
+	"errors"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/pricing"
@@ -21,14 +25,14 @@ func TestDatasetFDsHostileName(t *testing.T) {
 	defer srv.Close()
 
 	c := NewClient(srv.URL)
-	fds, err := c.DatasetFDs(hostile)
+	fds, err := c.DatasetFDs(bg, hostile)
 	if err != nil {
 		t.Fatalf("DatasetFDs(%q): %v", hostile, err)
 	}
 	if len(fds) != 1 || fds[0].String() != "k → state" {
 		t.Fatalf("fds = %v", fds)
 	}
-	if _, err := c.DatasetFDs("still missing&name=" + hostile); err == nil {
+	if _, err := c.DatasetFDs(bg, "still missing&name="+hostile); err == nil {
 		t.Fatal("unknown hostile name should error, not alias an existing dataset")
 	}
 }
@@ -48,19 +52,19 @@ func TestConcurrentHandlerAndClient(t *testing.T) {
 		go func(seed uint64) {
 			defer wg.Done()
 			c := NewClient(srv.URL)
-			if _, err := c.Catalog(); err != nil {
+			if _, err := c.Catalog(bg); err != nil {
 				errs <- err
 			}
-			if _, err := c.DatasetFDs("alpha"); err != nil {
+			if _, err := c.DatasetFDs(bg, "alpha"); err != nil {
 				errs <- err
 			}
-			if _, err := c.QuoteProjection("alpha", []string{"k", "state"}); err != nil {
+			if _, err := c.QuoteProjection(bg, "alpha", []string{"k", "state"}); err != nil {
 				errs <- err
 			}
-			if _, _, err := c.Sample("beta", []string{"k"}, 0.5, seed); err != nil {
+			if _, _, err := c.Sample(bg, "beta", []string{"k"}, 0.5, seed); err != nil {
 				errs <- err
 			}
-			if _, _, err := c.ExecuteProjection(pricing.Query{Instance: "alpha", Attrs: []string{"k"}}); err != nil {
+			if _, _, err := c.ExecuteProjection(bg, pricing.Query{Instance: "alpha", Attrs: []string{"k"}}); err != nil {
 				errs <- err
 			}
 		}(uint64(i))
@@ -69,5 +73,86 @@ func TestConcurrentHandlerAndClient(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// A pre-cancelled context must fail fast against the in-memory market too,
+// so the Market contract is uniform across implementations.
+func TestInMemoryHonorsCancelledContext(t *testing.T) {
+	m := demoMarket()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Catalog(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Catalog err = %v", err)
+	}
+	if _, _, err := m.Sample(ctx, "alpha", []string{"k"}, 0.5, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sample err = %v", err)
+	}
+	if _, _, err := m.ExecuteProjection(ctx, pricing.Query{Instance: "alpha", Attrs: []string{"k"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteProjection err = %v", err)
+	}
+}
+
+// Regression: the client used to ship with http.DefaultClient (no timeout),
+// so a hung marketplace blocked an acquisition forever. Deadline-less calls
+// now fall back to Client.Timeout, and per-call context deadlines abort
+// in-flight calls.
+func TestClientDefaultTimeoutAndContextDeadline(t *testing.T) {
+	if NewClient("http://example.invalid").Timeout != DefaultClientTimeout {
+		t.Fatal("NewClient must install a default timeout")
+	}
+
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	// LIFO: release the handlers first, then Close can drain them.
+	defer slow.Close()
+	defer close(release)
+
+	c := NewClient(slow.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Catalog(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to bite", elapsed)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel2()
+	}()
+	if _, _, err := c.Sample(ctx2, "alpha", []string{"k"}, 0.5, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sample err = %v, want context.Canceled", err)
+	}
+
+	// Deadline-less calls fall back to Client.Timeout against a hung server…
+	c.Timeout = 30 * time.Millisecond
+	if _, err := c.Catalog(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("fallback timeout err = %v, want context.DeadlineExceeded", err)
+	}
+	// …but a caller deadline longer than Client.Timeout takes precedence.
+	ctx3, cancel3 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel3()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Catalog(ctx3)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("call with a 10s caller deadline ended early: %v (Client.Timeout must not override it)", err)
+	case <-time.After(200 * time.Millisecond):
+		// Still in flight well past Client.Timeout: the caller deadline won.
+		cancel3()
+		<-done
 	}
 }

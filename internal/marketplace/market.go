@@ -8,6 +8,7 @@
 package marketplace
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,21 +27,24 @@ type DatasetInfo struct {
 	Attrs []relation.Column
 }
 
-// Market is the full marketplace API used by DANCE.
+// Market is the full marketplace API used by DANCE. Every call takes a
+// context: marketplaces are *online* services, so callers own deadlines and
+// cancellation. Implementations must return promptly (with an error wrapping
+// ctx.Err()) once the context is done.
 type Market interface {
 	// Catalog lists all datasets with schema-level info. Free.
-	Catalog() ([]DatasetInfo, error)
+	Catalog(ctx context.Context) ([]DatasetInfo, error)
 	// DatasetFDs returns the published AFDs of a dataset. Free metadata.
-	DatasetFDs(name string) ([]fd.FD, error)
+	DatasetFDs(ctx context.Context, name string) ([]fd.FD, error)
 	// QuoteProjection prices π_attrs(dataset) without purchasing. Free.
-	QuoteProjection(name string, attrs []string) (float64, error)
+	QuoteProjection(ctx context.Context, name string, attrs []string) (float64, error)
 	// Sample returns a correlated sample of the dataset on the given join
 	// attributes at the given rate and hash seed, charging
 	// rate × full price. All attributes are included (DANCE estimates
 	// arbitrary correlations on samples).
-	Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error)
+	Sample(ctx context.Context, name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error)
 	// ExecuteProjection sells π_attrs(dataset), charging the quoted price.
-	ExecuteProjection(q pricing.Query) (*relation.Table, float64, error)
+	ExecuteProjection(ctx context.Context, q pricing.Query) (*relation.Table, float64, error)
 }
 
 // Listing is one dataset offered for sale.
@@ -150,7 +154,10 @@ func (m *InMemory) listing(name string) (*Listing, error) {
 }
 
 // Catalog implements Market.
-func (m *InMemory) Catalog() ([]DatasetInfo, error) {
+func (m *InMemory) Catalog(ctx context.Context) ([]DatasetInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make([]DatasetInfo, 0, len(m.order))
@@ -166,7 +173,10 @@ func (m *InMemory) Catalog() ([]DatasetInfo, error) {
 }
 
 // DatasetFDs implements Market.
-func (m *InMemory) DatasetFDs(name string) ([]fd.FD, error) {
+func (m *InMemory) DatasetFDs(ctx context.Context, name string) ([]fd.FD, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	l, err := m.listing(name)
 	if err != nil {
 		return nil, err
@@ -175,7 +185,10 @@ func (m *InMemory) DatasetFDs(name string) ([]fd.FD, error) {
 }
 
 // QuoteProjection implements Market.
-func (m *InMemory) QuoteProjection(name string, attrs []string) (float64, error) {
+func (m *InMemory) QuoteProjection(ctx context.Context, name string, attrs []string) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	l, err := m.listing(name)
 	if err != nil {
 		return 0, err
@@ -184,7 +197,10 @@ func (m *InMemory) QuoteProjection(name string, attrs []string) (float64, error)
 }
 
 // Sample implements Market.
-func (m *InMemory) Sample(name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+func (m *InMemory) Sample(ctx context.Context, name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	l, err := m.listing(name)
 	if err != nil {
 		return nil, 0, err
@@ -206,7 +222,10 @@ func (m *InMemory) Sample(name string, joinAttrs []string, rate float64, seed ui
 }
 
 // ExecuteProjection implements Market.
-func (m *InMemory) ExecuteProjection(q pricing.Query) (*relation.Table, float64, error) {
+func (m *InMemory) ExecuteProjection(ctx context.Context, q pricing.Query) (*relation.Table, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	l, err := m.listing(q.Instance)
 	if err != nil {
 		return nil, 0, err

@@ -1,6 +1,7 @@
 package marketplace
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 	"testing"
@@ -9,6 +10,9 @@ import (
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
 )
+
+// bg is the do-not-cancel context most tests run under.
+var bg = context.Background()
 
 func demoTable(name string, n int, seed int64) *relation.Table {
 	rng := rand.New(rand.NewSource(seed))
@@ -38,7 +42,7 @@ func demoMarket() *InMemory {
 
 func TestCatalog(t *testing.T) {
 	m := demoMarket()
-	cat, err := m.Catalog()
+	cat, err := m.Catalog(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,22 +56,22 @@ func TestCatalog(t *testing.T) {
 
 func TestDatasetFDs(t *testing.T) {
 	m := demoMarket()
-	fds, err := m.DatasetFDs("alpha")
+	fds, err := m.DatasetFDs(bg, "alpha")
 	if err != nil || len(fds) != 1 || fds[0].String() != "k → state" {
 		t.Fatalf("fds = %v, %v", fds, err)
 	}
-	if _, err := m.DatasetFDs("missing"); err == nil {
+	if _, err := m.DatasetFDs(bg, "missing"); err == nil {
 		t.Fatal("unknown dataset should error")
 	}
 }
 
 func TestQuoteIsFreeAndConsistent(t *testing.T) {
 	m := demoMarket()
-	p1, err := m.QuoteProjection("alpha", []string{"k", "state"})
+	p1, err := m.QuoteProjection(bg, "alpha", []string{"k", "state"})
 	if err != nil || p1 <= 0 {
 		t.Fatalf("quote = %v, %v", p1, err)
 	}
-	p2, _ := m.QuoteProjection("alpha", []string{"k", "state"})
+	p2, _ := m.QuoteProjection(bg, "alpha", []string{"k", "state"})
 	if p1 != p2 {
 		t.Fatal("quotes must be stable")
 	}
@@ -78,7 +82,7 @@ func TestQuoteIsFreeAndConsistent(t *testing.T) {
 
 func TestSampleChargesAndIsCorrelated(t *testing.T) {
 	m := demoMarket()
-	s, price, err := m.Sample("alpha", []string{"k"}, 0.5, 7)
+	s, price, err := m.Sample(bg, "alpha", []string{"k"}, 0.5, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,38 +92,38 @@ func TestSampleChargesAndIsCorrelated(t *testing.T) {
 	if price <= 0 {
 		t.Fatal("sample should be charged")
 	}
-	full, _ := m.QuoteProjection("alpha", []string{"k", "state", "amount"})
+	full, _ := m.QuoteProjection(bg, "alpha", []string{"k", "state", "amount"})
 	if price != pricing.SampleDiscount(full, 0.5) {
 		t.Fatalf("sample price %v != discounted full price %v", price, pricing.SampleDiscount(full, 0.5))
 	}
 	if got := m.Ledger().TotalByKind("sample"); got != price {
 		t.Fatalf("ledger sample total = %v, want %v", got, price)
 	}
-	if _, _, err := m.Sample("alpha", []string{"k"}, 0, 7); err == nil {
+	if _, _, err := m.Sample(bg, "alpha", []string{"k"}, 0, 7); err == nil {
 		t.Fatal("rate 0 should error")
 	}
-	if _, _, err := m.Sample("alpha", []string{"k"}, 1.5, 7); err == nil {
+	if _, _, err := m.Sample(bg, "alpha", []string{"k"}, 1.5, 7); err == nil {
 		t.Fatal("rate > 1 should error")
 	}
 }
 
 func TestExecuteProjection(t *testing.T) {
 	m := demoMarket()
-	tab, price, err := m.ExecuteProjection(pricing.Query{Instance: "beta", Attrs: []string{"state", "k"}})
+	tab, price, err := m.ExecuteProjection(bg, pricing.Query{Instance: "beta", Attrs: []string{"state", "k"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tab.NumRows() != 150 || tab.NumCols() != 2 {
 		t.Fatalf("projection shape %dx%d", tab.NumRows(), tab.NumCols())
 	}
-	quote, _ := m.QuoteProjection("beta", []string{"k", "state"})
+	quote, _ := m.QuoteProjection(bg, "beta", []string{"k", "state"})
 	if price != quote {
 		t.Fatalf("charged %v, quoted %v", price, quote)
 	}
 	if got := m.Ledger().TotalByKind("query"); got != price {
 		t.Fatalf("ledger query total = %v", got)
 	}
-	if _, _, err := m.ExecuteProjection(pricing.Query{Instance: "zz", Attrs: []string{"k"}}); err == nil {
+	if _, _, err := m.ExecuteProjection(bg, pricing.Query{Instance: "zz", Attrs: []string{"k"}}); err == nil {
 		t.Fatal("unknown dataset should error")
 	}
 }
@@ -127,7 +131,7 @@ func TestExecuteProjection(t *testing.T) {
 func TestRegisterReplaces(t *testing.T) {
 	m := demoMarket()
 	m.Register(demoTable("alpha", 50, 3), nil)
-	cat, _ := m.Catalog()
+	cat, _ := m.Catalog(bg)
 	if len(cat) != 2 {
 		t.Fatalf("catalog length changed: %d", len(cat))
 	}
@@ -138,8 +142,8 @@ func TestRegisterReplaces(t *testing.T) {
 
 func TestLedgerEntries(t *testing.T) {
 	m := demoMarket()
-	m.Sample("alpha", []string{"k"}, 0.5, 1)
-	m.ExecuteProjection(pricing.Query{Instance: "beta", Attrs: []string{"k"}})
+	m.Sample(bg, "alpha", []string{"k"}, 0.5, 1)
+	m.ExecuteProjection(bg, pricing.Query{Instance: "beta", Attrs: []string{"k"}})
 	entries := m.Ledger().Entries()
 	if len(entries) != 2 {
 		t.Fatalf("entries = %d", len(entries))
@@ -157,7 +161,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	defer srv.Close()
 	c := NewClient(srv.URL)
 
-	cat, err := c.Catalog()
+	cat, err := c.Catalog(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,25 +172,25 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Fatalf("column metadata lost: %+v", cat[0].Attrs[2])
 	}
 
-	fds, err := c.DatasetFDs("alpha")
+	fds, err := c.DatasetFDs(bg, "alpha")
 	if err != nil || len(fds) != 1 || fds[0].RHS != "state" {
 		t.Fatalf("fds over http = %v, %v", fds, err)
 	}
 
-	quote, err := c.QuoteProjection("alpha", []string{"k"})
+	quote, err := c.QuoteProjection(bg, "alpha", []string{"k"})
 	if err != nil || quote <= 0 {
 		t.Fatalf("quote over http = %v, %v", quote, err)
 	}
-	direct, _ := backend.QuoteProjection("alpha", []string{"k"})
+	direct, _ := backend.QuoteProjection(bg, "alpha", []string{"k"})
 	if quote != direct {
 		t.Fatalf("http quote %v != direct %v", quote, direct)
 	}
 
-	s, price, err := c.Sample("alpha", []string{"k"}, 0.5, 7)
+	s, price, err := c.Sample(bg, "alpha", []string{"k"}, 0.5, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct2, _, _ := backend.Sample("alpha", []string{"k"}, 0.5, 7)
+	direct2, _, _ := backend.Sample(bg, "alpha", []string{"k"}, 0.5, 7)
 	if s.NumRows() != direct2.NumRows() {
 		t.Fatalf("http sample %d rows != direct %d", s.NumRows(), direct2.NumRows())
 	}
@@ -197,7 +201,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Fatal("schema lost over the wire")
 	}
 
-	tab, _, err := c.ExecuteProjection(pricing.Query{Instance: "beta", Attrs: []string{"k", "state"}})
+	tab, _, err := c.ExecuteProjection(bg, pricing.Query{Instance: "beta", Attrs: []string{"k", "state"}})
 	if err != nil || tab.NumRows() != 150 {
 		t.Fatalf("query over http: %v rows, err %v", tab.NumRows(), err)
 	}
@@ -207,13 +211,13 @@ func TestHTTPErrorPropagation(t *testing.T) {
 	srv := httptest.NewServer(Handler(demoMarket()))
 	defer srv.Close()
 	c := NewClient(srv.URL)
-	if _, err := c.DatasetFDs("missing"); err == nil {
+	if _, err := c.DatasetFDs(bg, "missing"); err == nil {
 		t.Fatal("remote error should propagate")
 	}
-	if _, err := c.QuoteProjection("alpha", []string{"nope"}); err == nil {
+	if _, err := c.QuoteProjection(bg, "alpha", []string{"nope"}); err == nil {
 		t.Fatal("bad attribute should propagate")
 	}
-	if _, _, err := c.Sample("alpha", []string{"k"}, -1, 1); err == nil {
+	if _, _, err := c.Sample(bg, "alpha", []string{"k"}, -1, 1); err == nil {
 		t.Fatal("bad rate should propagate")
 	}
 }

@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,9 +31,14 @@ func DefaultWorkers(n int) int {
 // with the smallest index among those that failed — the same error a
 // serial loop would have surfaced first among the executed items.
 // workers == 1 degenerates to a plain serial loop with early exit.
-func ForEach(n, workers int, fn func(i int) error) error {
+//
+// Cancelling ctx stops the pool the same way: unclaimed items are skipped
+// and ctx.Err() is returned, unless some fn had already failed, in which
+// case that (smaller-index) error wins. fn itself is responsible for
+// honoring ctx inside long-running items.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = DefaultWorkers(workers)
 	if workers > n {
@@ -40,11 +46,16 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
-		return nil
+		// Mirror the pooled path: a context cancelled during the final item
+		// reports ctx.Err() no matter the worker count.
+		return ctx.Err()
 	}
 
 	var (
@@ -69,7 +80,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
-				if stopped.Load() {
+				if stopped.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1))
@@ -84,14 +95,17 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstEr
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
 }
 
 // Map runs fn over [0, n) like ForEach and collects the results in input
 // order. On error the returned slice is nil.
-func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, workers, func(i int) error {
+	err := ForEach(ctx, n, workers, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -11,7 +12,7 @@ func TestForEachRunsEveryItem(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 64} {
 		const n = 100
 		var hits [n]atomic.Int32
-		err := ForEach(n, workers, func(i int) error {
+		err := ForEach(context.Background(), n, workers, func(i int) error {
 			hits[i].Add(1)
 			return nil
 		})
@@ -27,7 +28,8 @@ func TestForEachRunsEveryItem(t *testing.T) {
 }
 
 func TestForEachEmpty(t *testing.T) {
-	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+	err := ForEach(context.Background(), 0, 4, func(int) error { t.Fatal("called"); return nil })
+	if err != nil {
 		t.Fatal(err)
 	}
 }
@@ -35,7 +37,7 @@ func TestForEachEmpty(t *testing.T) {
 func TestForEachReportsSmallestFailingIndex(t *testing.T) {
 	boom := func(i int) error { return fmt.Errorf("item %d", i) }
 	for _, workers := range []int{1, 4} {
-		err := ForEach(50, workers, func(i int) error {
+		err := ForEach(context.Background(), 50, workers, func(i int) error {
 			if i >= 10 {
 				return boom(i)
 			}
@@ -57,7 +59,7 @@ func TestForEachReportsSmallestFailingIndex(t *testing.T) {
 func TestForEachCancelsRemainingWork(t *testing.T) {
 	sentinel := errors.New("stop")
 	var ran atomic.Int32
-	err := ForEach(1000, 2, func(i int) error {
+	err := ForEach(context.Background(), 1000, 2, func(i int) error {
 		ran.Add(1)
 		return sentinel
 	})
@@ -69,8 +71,55 @@ func TestForEachCancelsRemainingWork(t *testing.T) {
 	}
 }
 
+func TestForEachHonorsContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEach(ctx, 10000, workers, func(i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got > 100 {
+			t.Fatalf("workers=%d: ran %d items after cancellation", workers, got)
+		}
+	}
+}
+
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 5, 2, func(int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachItemErrorBeatsCancellation(t *testing.T) {
+	// When an item fails and the context is cancelled, the item error (the
+	// root cause) is the one reported by the serial path.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sentinel := errors.New("boom")
+	err := ForEach(ctx, 10, 1, func(i int) error {
+		if i == 2 {
+			cancel()
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the item error", err)
+	}
+}
+
 func TestMapPreservesOrder(t *testing.T) {
-	out, err := Map(20, 4, func(i int) (int, error) { return i * i, nil })
+	out, err := Map(context.Background(), 20, 4, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +131,7 @@ func TestMapPreservesOrder(t *testing.T) {
 }
 
 func TestMapError(t *testing.T) {
-	out, err := Map(5, 2, func(i int) (int, error) {
+	out, err := Map(context.Background(), 5, 2, func(i int) (int, error) {
 		if i == 3 {
 			return 0, errors.New("nope")
 		}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -33,7 +34,7 @@ func (l BruteForceLimits) withDefaults() BruteForceLimits {
 // combination, evaluates each candidate, and returns the feasible target
 // graph with maximum correlation. Run against a join graph built from
 // samples this is the paper's LP; against full data it is GP.
-func (s *Searcher) BruteForce(req Request, limits BruteForceLimits) (*Result, error) {
+func (s *Searcher) BruteForce(ctx context.Context, req Request, limits BruteForceLimits) (*Result, error) {
 	req = req.withDefaults()
 	limits = limits.withDefaults()
 	n := len(s.G.Instances)
@@ -85,13 +86,13 @@ func (s *Searcher) BruteForce(req Request, limits BruteForceLimits) (*Result, er
 			if err != nil {
 				continue
 			}
-			if err := s.enumerateVariants(verts, treeEdges, assign, req, limits, res, &bestM, &found); err != nil {
+			if err := s.enumerateVariants(ctx, verts, treeEdges, assign, req, limits, res, &bestM, &found); err != nil {
 				return nil, err
 			}
 		}
 	}
 	if !found {
-		return nil, fmt.Errorf("search: brute force found no feasible target graph")
+		return nil, fmt.Errorf("search: brute force found no feasible target graph: %w", ErrInfeasible)
 	}
 	res.Est = bestM
 	return res, nil
@@ -123,7 +124,7 @@ func (s *Searcher) holderMasks(attrs []string, req Request) ([]uint32, error) {
 			holders[ai] |= 1 << uint(i)
 		}
 		if holders[ai] == 0 {
-			return nil, fmt.Errorf("search: attribute %q not offered by any instance", a)
+			return nil, fmt.Errorf("search: attribute %q not offered by any instance: %w", a, ErrInfeasible)
 		}
 	}
 	return holders, nil
@@ -266,7 +267,7 @@ func isSpanningTree(verts []int, edges [][2]int) bool {
 
 // enumerateVariants walks the cartesian product of per-edge join-attribute
 // variants, evaluating every resulting target graph.
-func (s *Searcher) enumerateVariants(verts []int, treeEdges [][2]int, assign map[string]int,
+func (s *Searcher) enumerateVariants(ctx context.Context, verts []int, treeEdges [][2]int, assign map[string]int,
 	req Request, limits BruteForceLimits, res *Result, bestM *Metrics, found *bool) error {
 
 	counts := make([]int, len(treeEdges))
@@ -284,6 +285,9 @@ func (s *Searcher) enumerateVariants(verts []int, treeEdges [][2]int, assign map
 	}
 	pick := make([]int, len(treeEdges))
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		edges := make([]joingraph.TGEdge, len(treeEdges))
 		for i, e := range treeEdges {
 			a, b := e[0], e[1]
@@ -294,7 +298,7 @@ func (s *Searcher) enumerateVariants(verts []int, treeEdges [][2]int, assign map
 		}
 		tg, err := joingraph.NewTargetGraph(s.G, verts, edges, assign)
 		if err == nil {
-			m, err := s.Evaluate(tg, req)
+			m, err := s.Evaluate(ctx, tg, req)
 			if err != nil {
 				return err
 			}
@@ -325,7 +329,7 @@ func (s *Searcher) enumerateVariants(verts []int, treeEdges [][2]int, assign map
 // full enumeration is infeasible (e.g. the 29-instance TPC-E graph): it takes
 // the Step 1 candidate I-graphs and scans random variant assignments per
 // tree. Used to define budget ratios on large marketplaces (Sec 6.1).
-func (s *Searcher) ApproxPriceRange(req Request, samples int) (lb, ub float64, err error) {
+func (s *Searcher) ApproxPriceRange(ctx context.Context, req Request, samples int) (lb, ub float64, err error) {
 	req = req.withDefaults()
 	req.Alpha = 0 // price range ignores the weight constraint
 	req.MaxIGraphs = 16
@@ -344,7 +348,7 @@ func (s *Searcher) ApproxPriceRange(req Request, samples int) (lb, ub float64, e
 			continue
 		}
 		consider := func(t *joingraph.TargetGraph) error {
-			p, err := t.Price()
+			p, err := t.Price(ctx)
 			if err != nil {
 				return err
 			}
@@ -372,7 +376,7 @@ func (s *Searcher) ApproxPriceRange(req Request, samples int) (lb, ub float64, e
 			}
 		}
 		// Whole-instance purchases bound the upper end (see PriceRange).
-		full, err := s.fullInstancesPrice(tg.Vertices)
+		full, err := s.fullInstancesPrice(ctx, tg.Vertices)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -389,7 +393,7 @@ func (s *Searcher) ApproxPriceRange(req Request, samples int) (lb, ub float64, e
 // PriceRange scans all feasible target graphs (ignoring budget) and returns
 // the min and max price — the paper's LB/UB used to define budget ratios
 // (Sec 6.1). It reuses the brute-force enumeration with constraints relaxed.
-func (s *Searcher) PriceRange(req Request, limits BruteForceLimits) (lb, ub float64, err error) {
+func (s *Searcher) PriceRange(ctx context.Context, req Request, limits BruteForceLimits) (lb, ub float64, err error) {
 	relaxed := req
 	relaxed.Budget = 0
 	relaxed.Alpha = 0
@@ -454,7 +458,7 @@ func (s *Searcher) PriceRange(req Request, limits BruteForceLimits) (lb, ub floa
 				}
 				tg, err := joingraph.NewTargetGraph(s.G, verts, edges, assign)
 				if err == nil {
-					p, err := tg.Price()
+					p, err := tg.Price(ctx)
 					if err != nil {
 						return 0, 0, err
 					}
@@ -481,7 +485,7 @@ func (s *Searcher) PriceRange(req Request, limits BruteForceLimits) (lb, ub floa
 			// The marketplace also sells whole instances (the paper's
 			// "Purchase D1 and D2" options); the price range's upper end
 			// spans buying every attribute of each instance on the path.
-			full, err := s.fullInstancesPrice(verts)
+			full, err := s.fullInstancesPrice(ctx, verts)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -502,14 +506,14 @@ func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // fullInstancesPrice sums the whole-instance price over the given vertices
 // (owned instances stay free).
-func (s *Searcher) fullInstancesPrice(verts []int) (float64, error) {
+func (s *Searcher) fullInstancesPrice(ctx context.Context, verts []int) (float64, error) {
 	total := 0.0
 	for _, v := range verts {
 		inst := s.G.Instances[v]
 		if inst.Owned {
 			continue
 		}
-		p, err := s.G.Price(v, inst.Sample.Schema.Names())
+		p, err := s.G.Price(ctx, v, inst.Sample.Schema.Names())
 		if err != nil {
 			return 0, err
 		}

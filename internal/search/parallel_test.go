@@ -19,12 +19,12 @@ func TestHeuristicParallelMatchesSerial(t *testing.T) {
 		parallelRes.Workers = 8
 
 		s1, _ := buildSearcher(t, 1)
-		r1, err := s1.Heuristic(serial)
+		r1, err := s1.Heuristic(bg, serial)
 		if err != nil {
 			t.Fatal(err)
 		}
 		s2, _ := buildSearcher(t, 1)
-		r2, err := s2.Heuristic(parallelRes)
+		r2, err := s2.Heuristic(bg, parallelRes)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,12 +49,12 @@ func TestTopKParallelMatchesSerial(t *testing.T) {
 	par.Workers = 8
 
 	s1, _ := buildSearcher(t, 1)
-	o1, err := s1.TopK(serial, 3, DefaultScoreWeights())
+	o1, err := s1.TopK(bg, serial, 3, DefaultScoreWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2, _ := buildSearcher(t, 1)
-	o2, err := s2.TopK(par, 3, DefaultScoreWeights())
+	o2, err := s2.TopK(bg, par, 3, DefaultScoreWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +78,11 @@ func TestTopKParallelMatchesSerial(t *testing.T) {
 func TestEvaluateCacheKeyedBySamplingOptions(t *testing.T) {
 	s, _ := buildSearcher(t, 10)
 	reqA := baseRequest() // Eta = 0: no re-sampling
-	res, err := s.Heuristic(reqA)
+	res, err := s.Heuristic(bg, reqA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mA, err := s.Evaluate(res.TG, reqA)
+	mA, err := s.Evaluate(bg, res.TG, reqA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,12 +94,12 @@ func TestEvaluateCacheKeyedBySamplingOptions(t *testing.T) {
 	reqB.Eta = 5
 	reqB.ResampleRate = 0.25
 	reqB.Seed = 99
-	mB, err := s.Evaluate(res.TG, reqB)
+	mB, err := s.Evaluate(bg, res.TG, reqB)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fresh, _ := buildSearcher(t, 10)
-	want, err := fresh.Evaluate(res.TG, reqB)
+	want, err := fresh.Evaluate(bg, res.TG, reqB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestEvaluateCacheKeyedBySamplingOptions(t *testing.T) {
 	}
 
 	// And flipping back still serves reqA's own entry.
-	again, err := s.Evaluate(res.TG, reqA)
+	again, err := s.Evaluate(bg, res.TG, reqA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,12 +124,12 @@ func TestEvaluateCacheKeyedBySamplingOptions(t *testing.T) {
 	flipped := reqA
 	flipped.SourceAttrs = reqA.TargetAttrs
 	flipped.TargetAttrs = reqA.SourceAttrs
-	mF, err := s.Evaluate(res.TG, flipped)
+	mF, err := s.Evaluate(bg, res.TG, flipped)
 	if err != nil {
 		t.Fatal(err)
 	}
 	freshF, _ := buildSearcher(t, 10)
-	wantF, err := freshF.Evaluate(res.TG, flipped)
+	wantF, err := freshF.Evaluate(bg, res.TG, flipped)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestEvaluateCacheKeyedBySamplingOptions(t *testing.T) {
 func TestConcurrentSearcherUse(t *testing.T) {
 	s, _ := buildSearcher(t, 4)
 	req := baseRequest()
-	base, err := s.Heuristic(req)
+	base, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,13 +157,13 @@ func TestConcurrentSearcherUse(t *testing.T) {
 			defer wg.Done()
 			r := req
 			r.Seed = seed
-			if _, err := s.Heuristic(r); err != nil {
+			if _, err := s.Heuristic(bg, r); err != nil {
 				t.Error(err)
 			}
 		}(int64(i%3) + 1)
 		go func() {
 			defer wg.Done()
-			m, err := s.Evaluate(base.TG, req)
+			m, err := s.Evaluate(bg, base.TG, req)
 			if err != nil {
 				t.Error(err)
 			}

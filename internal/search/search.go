@@ -5,6 +5,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -19,6 +21,14 @@ import (
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/sampling"
 )
+
+// ErrInfeasible marks failures caused by the acquisition request itself —
+// its constraints admit no plan, or it names attributes nobody sells —
+// as opposed to marketplace or infrastructure errors. Wrapped (errors.Is)
+// by every search entry point, and preserved through core.Dance's
+// escalation wrapper, so service layers can map it to a client-side
+// status.
+var ErrInfeasible = errors.New("request infeasible")
 
 // Request is one data-acquisition request (Sec 2.5).
 type Request struct {
@@ -194,12 +204,12 @@ func (r Request) corrKey() string {
 // triple, so one Searcher can serve requests with different attribute
 // splits or Eta/ResampleRate/Seed without cross-contamination, from any
 // number of goroutines.
-func (s *Searcher) Evaluate(tg *joingraph.TargetGraph, req Request) (Metrics, error) {
+func (s *Searcher) Evaluate(ctx context.Context, tg *joingraph.TargetGraph, req Request) (Metrics, error) {
 	key := fingerprint(tg) + "|" + req.corrKey() + "|" + req.samplingOptions().CacheKey()
 	if m, ok := s.evalCache.get(key); ok {
 		return m, nil
 	}
-	m, err := s.evaluateUncached(tg, req)
+	m, err := s.evaluateUncached(ctx, tg, req)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -207,7 +217,7 @@ func (s *Searcher) Evaluate(tg *joingraph.TargetGraph, req Request) (Metrics, er
 	return m, nil
 }
 
-func (s *Searcher) evaluateUncached(tg *joingraph.TargetGraph, req Request) (Metrics, error) {
+func (s *Searcher) evaluateUncached(ctx context.Context, tg *joingraph.TargetGraph, req Request) (Metrics, error) {
 	x, y, err := req.corrAttrs()
 	if err != nil {
 		return Metrics{}, err
@@ -221,7 +231,7 @@ func (s *Searcher) evaluateUncached(tg *joingraph.TargetGraph, req Request) (Met
 		return Metrics{}, err
 	}
 	m := Metrics{Weight: tg.Weight()}
-	m.Price, err = tg.Price()
+	m.Price, err = tg.Price(ctx)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -245,7 +255,7 @@ func (s *Searcher) evaluateUncached(tg *joingraph.TargetGraph, req Request) (Met
 // tables (keyed by instance name) instead of the samples — the evaluation
 // protocol of Sec 6 measures real correlation even for sample-based
 // searches. Prices remain marketplace quotes.
-func (s *Searcher) EvaluateOnTables(tg *joingraph.TargetGraph, req Request, tables map[string]*relation.Table) (Metrics, error) {
+func (s *Searcher) EvaluateOnTables(ctx context.Context, tg *joingraph.TargetGraph, req Request, tables map[string]*relation.Table) (Metrics, error) {
 	x, y, err := req.corrAttrs()
 	if err != nil {
 		return Metrics{}, err
@@ -268,7 +278,7 @@ func (s *Searcher) EvaluateOnTables(tg *joingraph.TargetGraph, req Request, tabl
 		return Metrics{}, err
 	}
 	m := Metrics{Weight: tg.Weight()}
-	m.Price, err = tg.Price()
+	m.Price, err = tg.Price(ctx)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -373,7 +383,7 @@ func (s *Searcher) step1Candidates(req Request) ([]*graphalg.SteinerTree, error)
 		cands = cands[:req.MaxIGraphs]
 	}
 	if len(cands) == 0 {
-		return nil, fmt.Errorf("search: no I-graph connects the source and target attributes within α=%v", req.Alpha)
+		return nil, fmt.Errorf("search: no I-graph connects the source and target attributes within α=%v: %w", req.Alpha, ErrInfeasible)
 	}
 	return cands, nil
 }
@@ -500,8 +510,9 @@ func chainSeed(seed int64, i int) int64 {
 // Candidates run as a worker pool of req.Workers concurrent chains; each
 // chain owns an RNG derived from (Seed, candidate index) and the reduction
 // scans chain results in candidate order, so the outcome is bit-identical
-// for every worker count.
-func (s *Searcher) Heuristic(req Request) (*Result, error) {
+// for every worker count. Cancelling ctx stops every chain mid-walk and
+// returns ctx.Err().
+func (s *Searcher) Heuristic(ctx context.Context, req Request) (*Result, error) {
 	req = req.withDefaults()
 	cands, err := s.step1Candidates(req)
 	if err != nil {
@@ -512,13 +523,13 @@ func (s *Searcher) Heuristic(req Request) (*Result, error) {
 		m   Metrics
 		ok  bool
 	}
-	outs, err := parallel.Map(len(cands), req.Workers, func(i int) (chainOut, error) {
+	outs, err := parallel.Map(ctx, len(cands), req.Workers, func(i int) (chainOut, error) {
 		tg, err := s.treeToTargetGraph(cands[i], req)
 		if err != nil {
 			return chainOut{}, nil // unconvertible candidate: skip, as the serial loop did
 		}
 		rng := rand.New(rand.NewSource(chainSeed(req.Seed, i)))
-		res, m, ok, err := s.mcmc(tg, req, rng)
+		res, m, ok, err := s.mcmc(ctx, tg, req, rng)
 		if err != nil {
 			return chainOut{}, err
 		}
@@ -543,7 +554,7 @@ func (s *Searcher) Heuristic(req Request) (*Result, error) {
 		}
 	}
 	if !found {
-		return nil, fmt.Errorf("search: no feasible target graph (budget %v, α %v, β %v)", req.Budget, req.Alpha, req.Beta)
+		return nil, fmt.Errorf("search: no feasible target graph (budget %v, α %v, β %v): %w", req.Budget, req.Alpha, req.Beta, ErrInfeasible)
 	}
 	best.Est = bestM
 	return best, nil
@@ -551,15 +562,16 @@ func (s *Searcher) Heuristic(req Request) (*Result, error) {
 
 // mcmc is Algorithm 1 (FindJoinTree_AttSet): ℓ iterations of variant swaps
 // with Metropolis acceptance min(1, CORR'/CORR), tracking the best feasible
-// sample.
-func (s *Searcher) mcmc(tg *joingraph.TargetGraph, req Request, rng *rand.Rand) (*Result, Metrics, bool, error) {
+// sample. The context is checked every iteration, so a cancelled request
+// stops mid-chain rather than draining all ℓ iterations.
+func (s *Searcher) mcmc(ctx context.Context, tg *joingraph.TargetGraph, req Request, rng *rand.Rand) (*Result, Metrics, bool, error) {
 	res := &Result{}
 	var bestM, curM Metrics
 	var bestTG *joingraph.TargetGraph
 	found := false
 
 	cur := tg
-	curM, err := s.Evaluate(cur, req)
+	curM, err := s.Evaluate(ctx, cur, req)
 	if err != nil {
 		return nil, Metrics{}, false, err
 	}
@@ -579,6 +591,9 @@ func (s *Searcher) mcmc(tg *joingraph.TargetGraph, req Request, rng *rand.Rand) 
 	}
 
 	for it := 0; it < req.Iterations && len(swappable) > 0; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, Metrics{}, false, err
+		}
 		ei := swappable[rng.Intn(len(swappable))]
 		edge := cur.Edges[ei]
 		variants := s.G.EdgeBetween(edge.I, edge.J).Variants
@@ -589,7 +604,7 @@ func (s *Searcher) mcmc(tg *joingraph.TargetGraph, req Request, rng *rand.Rand) 
 		cand := cur.Clone()
 		cand.Edges[ei].Variant = nv
 
-		candM, err := s.Evaluate(cand, req)
+		candM, err := s.Evaluate(ctx, cand, req)
 		if err != nil {
 			return nil, Metrics{}, false, err
 		}

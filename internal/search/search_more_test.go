@@ -11,7 +11,7 @@ import (
 func TestApproxPriceRange(t *testing.T) {
 	s, _ := buildSearcher(t, 50)
 	req := baseRequest()
-	lb, ub, err := s.ApproxPriceRange(req, 16)
+	lb, ub, err := s.ApproxPriceRange(bg, req, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestApproxPriceRange(t *testing.T) {
 		t.Fatalf("approx range [%v, %v] invalid", lb, ub)
 	}
 	// The approximate range must bracket the heuristic's found price.
-	res, err := s.Heuristic(req)
+	res, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,11 +31,11 @@ func TestApproxPriceRange(t *testing.T) {
 func TestApproxPriceRangeVsExact(t *testing.T) {
 	s, _ := buildSearcher(t, 51)
 	req := baseRequest()
-	albm, aub, err := s.ApproxPriceRange(req, 32)
+	albm, aub, err := s.ApproxPriceRange(bg, req, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
-	elb, eub, err := s.PriceRange(req, BruteForceLimits{})
+	elb, eub, err := s.PriceRange(bg, req, BruteForceLimits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestApproxPriceRangeVsExact(t *testing.T) {
 func TestEvaluateOnTablesMissingTable(t *testing.T) {
 	s, tables := buildSearcher(t, 52)
 	req := baseRequest()
-	res, err := s.Heuristic(req)
+	res, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,10 +62,10 @@ func TestEvaluateOnTablesMissingTable(t *testing.T) {
 			partial[k] = v
 		}
 	}
-	if _, err := s.EvaluateOnTables(res.TG, req, partial); err == nil {
+	if _, err := s.EvaluateOnTables(bg, res.TG, req, partial); err == nil {
 		// Only fails when mid1 is actually part of the chosen graph;
 		// force the issue with an empty map.
-		if _, err := s.EvaluateOnTables(res.TG, req, map[string]*relation.Table{}); err == nil {
+		if _, err := s.EvaluateOnTables(bg, res.TG, req, map[string]*relation.Table{}); err == nil {
 			t.Fatal("missing tables should error")
 		}
 	}
@@ -115,7 +115,7 @@ func TestGreedyNeverAcceptsWorse(t *testing.T) {
 	s, _ := buildSearcher(t, 53)
 	req := baseRequest()
 	req.Greedy = true
-	res, err := s.Heuristic(req)
+	res, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestQuickPurchaseContainsJoinAttrs(t *testing.T) {
 	f := func(seedRaw uint8) bool {
 		req := baseRequest()
 		req.Seed = int64(seedRaw)
-		res, err := s.Heuristic(req)
+		res, err := s.Heuristic(bg, req)
 		if err != nil {
 			return true // infeasible for this seed is fine
 		}
@@ -167,7 +167,7 @@ func contains(xs []string, v string) bool {
 
 func TestResultStringRendering(t *testing.T) {
 	s, _ := buildSearcher(t, 55)
-	res, err := s.Heuristic(baseRequest())
+	res, err := s.Heuristic(bg, baseRequest())
 	if err != nil {
 		t.Fatal(err)
 	}

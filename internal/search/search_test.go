@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -11,13 +12,15 @@ import (
 	"github.com/dance-db/dance/internal/relation"
 )
 
+var bg = context.Background()
+
 // testQuoter prices projections on the instances' own tables.
 type testQuoter struct {
 	model  pricing.Model
 	tables map[string]*relation.Table
 }
 
-func (q *testQuoter) QuoteProjection(name string, attrs []string) (float64, error) {
+func (q *testQuoter) QuoteProjection(_ context.Context, name string, attrs []string) (float64, error) {
 	return q.model.PriceProjection(q.tables[name], attrs)
 }
 
@@ -114,7 +117,7 @@ func baseRequest() Request {
 
 func TestHeuristicFindsFeasible(t *testing.T) {
 	s, _ := buildSearcher(t, 1)
-	res, err := s.Heuristic(baseRequest())
+	res, err := s.Heuristic(bg, baseRequest())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +144,11 @@ func TestHeuristicPrefersCorrelatedPath(t *testing.T) {
 	// chain via tgt1 has real correlation. With a generous budget the
 	// search should reach correlation well above the noise level.
 	s, tables := buildSearcher(t, 2)
-	res, err := s.Heuristic(baseRequest())
+	res, err := s.Heuristic(bg, baseRequest())
 	if err != nil {
 		t.Fatal(err)
 	}
-	real, err := s.EvaluateOnTables(res.TG, baseRequest(), tables)
+	real, err := s.EvaluateOnTables(bg, res.TG, baseRequest(), tables)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +160,11 @@ func TestHeuristicPrefersCorrelatedPath(t *testing.T) {
 func TestBruteForceAtLeastHeuristic(t *testing.T) {
 	s, _ := buildSearcher(t, 3)
 	req := baseRequest()
-	h, err := s.Heuristic(req)
+	h, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bf, err := s.BruteForce(req, BruteForceLimits{})
+	bf, err := s.BruteForce(bg, req, BruteForceLimits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,10 +180,10 @@ func TestBudgetConstraint(t *testing.T) {
 	s, _ := buildSearcher(t, 4)
 	req := baseRequest()
 	req.Budget = 1e-6 // nothing is affordable
-	if _, err := s.Heuristic(req); err == nil {
+	if _, err := s.Heuristic(bg, req); err == nil {
 		t.Fatal("unaffordable request should fail")
 	}
-	if _, err := s.BruteForce(req, BruteForceLimits{}); err == nil {
+	if _, err := s.BruteForce(bg, req, BruteForceLimits{}); err == nil {
 		t.Fatal("unaffordable brute force should fail")
 	}
 }
@@ -189,7 +192,7 @@ func TestAlphaConstraint(t *testing.T) {
 	s, _ := buildSearcher(t, 5)
 	req := baseRequest()
 	req.Alpha = 1e-9 // no multi-edge I-graph can be this informative
-	if _, err := s.Heuristic(req); err == nil {
+	if _, err := s.Heuristic(bg, req); err == nil {
 		t.Fatal("alpha-infeasible request should fail")
 	}
 }
@@ -198,7 +201,7 @@ func TestBetaConstraint(t *testing.T) {
 	s, _ := buildSearcher(t, 6)
 	req := baseRequest()
 	req.Beta = 1.01 // quality cannot exceed 1
-	if _, err := s.Heuristic(req); err == nil {
+	if _, err := s.Heuristic(bg, req); err == nil {
 		t.Fatal("beta-infeasible request should fail")
 	}
 }
@@ -208,7 +211,7 @@ func TestSourcelessRequest(t *testing.T) {
 	req := baseRequest()
 	req.SourceAttrs = nil
 	req.TargetAttrs = []string{"xval", "yval"}
-	res, err := s.Heuristic(req)
+	res, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +219,7 @@ func TestSourcelessRequest(t *testing.T) {
 		t.Fatal("nil result")
 	}
 	req.TargetAttrs = []string{"yval"}
-	if _, err := s.Heuristic(req); err == nil {
+	if _, err := s.Heuristic(bg, req); err == nil {
 		t.Fatal("source-less single-attribute request should fail")
 	}
 }
@@ -225,10 +228,10 @@ func TestUnknownAttributeFails(t *testing.T) {
 	s, _ := buildSearcher(t, 8)
 	req := baseRequest()
 	req.TargetAttrs = []string{"no_such_attr"}
-	if _, err := s.Heuristic(req); err == nil {
+	if _, err := s.Heuristic(bg, req); err == nil {
 		t.Fatal("unknown target attribute should fail")
 	}
-	if _, err := s.BruteForce(req, BruteForceLimits{}); err == nil {
+	if _, err := s.BruteForce(bg, req, BruteForceLimits{}); err == nil {
 		t.Fatal("unknown target attribute should fail in brute force")
 	}
 }
@@ -236,7 +239,7 @@ func TestUnknownAttributeFails(t *testing.T) {
 func TestPriceRange(t *testing.T) {
 	s, _ := buildSearcher(t, 9)
 	req := baseRequest()
-	lb, ub, err := s.PriceRange(req, BruteForceLimits{})
+	lb, ub, err := s.PriceRange(bg, req, BruteForceLimits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +248,7 @@ func TestPriceRange(t *testing.T) {
 	}
 	// Budget = UB must be feasible.
 	req.Budget = ub
-	if _, err := s.Heuristic(req); err != nil {
+	if _, err := s.Heuristic(bg, req); err != nil {
 		t.Fatalf("budget=UB should be feasible: %v", err)
 	}
 }
@@ -253,15 +256,15 @@ func TestPriceRange(t *testing.T) {
 func TestEvaluateCaching(t *testing.T) {
 	s, _ := buildSearcher(t, 10)
 	req := baseRequest()
-	res, err := s.Heuristic(req)
+	res, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, err := s.Evaluate(res.TG, req)
+	m1, err := s.Evaluate(bg, res.TG, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := s.Evaluate(res.TG, req)
+	m2, err := s.Evaluate(bg, res.TG, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,15 +278,15 @@ func TestEvaluateOnTablesMatchesFullRateSamples(t *testing.T) {
 	// and full-table metrics must agree exactly.
 	s, tables := buildSearcher(t, 11)
 	req := baseRequest()
-	res, err := s.Heuristic(req)
+	res, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := s.Evaluate(res.TG, req)
+	est, err := s.Evaluate(bg, res.TG, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	real, err := s.EvaluateOnTables(res.TG, req, tables)
+	real, err := s.EvaluateOnTables(bg, res.TG, req, tables)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +352,7 @@ func TestMCMCFindsBetterVariant(t *testing.T) {
 		Iterations:  80,
 		Seed:        5,
 	}
-	res, err := s.Heuristic(req)
+	res, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}

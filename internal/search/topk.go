@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -62,7 +63,7 @@ type Option struct {
 // candidates are collected during the MCMC walk across every Step 1
 // I-graph and ranked at the end — exactly the brute-ranking fallback the
 // paper anticipates for non-monotone scores.
-func (s *Searcher) TopK(req Request, k int, weights ScoreWeights) ([]Option, error) {
+func (s *Searcher) TopK(ctx context.Context, req Request, k int, weights ScoreWeights) ([]Option, error) {
 	if k <= 0 {
 		k = 3
 	}
@@ -96,13 +97,13 @@ func (s *Searcher) TopK(req Request, k int, weights ScoreWeights) ([]Option, err
 	// One walk per Step 1 candidate, pooled exactly like Heuristic: a
 	// chain-local RNG keyed by candidate index keeps every walk — and so
 	// the collected option set — identical across worker counts.
-	walks, err := parallel.Map(len(cands), req.Workers, func(i int) (*Result, error) {
+	walks, err := parallel.Map(ctx, len(cands), req.Workers, func(i int) (*Result, error) {
 		tg, err := s.treeToTargetGraph(cands[i], req)
 		if err != nil {
 			return nil, nil // unconvertible candidate: skip
 		}
 		rng := rand.New(rand.NewSource(chainSeed(req.Seed, i)))
-		return s.mcmcCollect(tg, req, rng, record)
+		return s.mcmcCollect(ctx, tg, req, rng, record)
 	})
 	if err != nil {
 		return nil, err
@@ -116,8 +117,8 @@ func (s *Searcher) TopK(req Request, k int, weights ScoreWeights) ([]Option, err
 		totalConsidered += walk.Considered
 	}
 	if len(best) == 0 {
-		return nil, fmt.Errorf("search: no feasible acquisition options (budget %v, α %v, β %v)",
-			req.Budget, req.Alpha, req.Beta)
+		return nil, fmt.Errorf("search: no feasible acquisition options (budget %v, α %v, β %v): %w",
+			req.Budget, req.Alpha, req.Beta, ErrInfeasible)
 	}
 	options := make([]Option, 0, len(best))
 	for _, o := range best {
@@ -142,12 +143,12 @@ func (s *Searcher) TopK(req Request, k int, weights ScoreWeights) ([]Option, err
 
 // mcmcCollect is Algorithm 1 with a visitor: every *feasible* sample the
 // walk evaluates is reported, so callers can rank with arbitrary scores.
-func (s *Searcher) mcmcCollect(tg *joingraph.TargetGraph, req Request, rng *rand.Rand,
+func (s *Searcher) mcmcCollect(ctx context.Context, tg *joingraph.TargetGraph, req Request, rng *rand.Rand,
 	visit func(*Result, Metrics)) (*Result, error) {
 
 	res := &Result{}
 	cur := tg
-	curM, err := s.Evaluate(cur, req)
+	curM, err := s.Evaluate(ctx, cur, req)
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +164,9 @@ func (s *Searcher) mcmcCollect(tg *joingraph.TargetGraph, req Request, rng *rand
 		}
 	}
 	for it := 0; it < req.Iterations && len(swappable) > 0; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ei := swappable[rng.Intn(len(swappable))]
 		edge := cur.Edges[ei]
 		variants := s.G.EdgeBetween(edge.I, edge.J).Variants
@@ -172,7 +176,7 @@ func (s *Searcher) mcmcCollect(tg *joingraph.TargetGraph, req Request, rng *rand
 		}
 		cand := cur.Clone()
 		cand.Edges[ei].Variant = nv
-		candM, err := s.Evaluate(cand, req)
+		candM, err := s.Evaluate(ctx, cand, req)
 		if err != nil {
 			return nil, err
 		}

@@ -8,7 +8,7 @@ func TestTopKReturnsRankedDistinctOptions(t *testing.T) {
 	s, _ := buildSearcher(t, 20)
 	req := baseRequest()
 	req.Iterations = 80
-	options, err := s.TopK(req, 3, DefaultScoreWeights())
+	options, err := s.TopK(bg, req, 3, DefaultScoreWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,12 +41,12 @@ func TestTopKBestMatchesHeuristicDirection(t *testing.T) {
 	// good as the plain heuristic's result (same walk, same evidence).
 	s, _ := buildSearcher(t, 21)
 	req := baseRequest()
-	h, err := s.Heuristic(req)
+	h, err := s.Heuristic(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	corrOnly := ScoreWeights{Correlation: 1}
-	options, err := s.TopK(req, 1, corrOnly)
+	options, err := s.TopK(bg, req, 1, corrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestTopKBestMatchesHeuristicDirection(t *testing.T) {
 func TestTopKDefaultK(t *testing.T) {
 	s, _ := buildSearcher(t, 22)
 	req := baseRequest()
-	options, err := s.TopK(req, 0, DefaultScoreWeights())
+	options, err := s.TopK(bg, req, 0, DefaultScoreWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestTopKInfeasibleFails(t *testing.T) {
 	s, _ := buildSearcher(t, 23)
 	req := baseRequest()
 	req.Budget = 1e-9
-	if _, err := s.TopK(req, 3, DefaultScoreWeights()); err == nil {
+	if _, err := s.TopK(bg, req, 3, DefaultScoreWeights()); err == nil {
 		t.Fatal("unaffordable top-k should fail")
 	}
 }
@@ -101,7 +101,7 @@ func TestScoreWeights(t *testing.T) {
 func TestSpreadScore(t *testing.T) {
 	s, _ := buildSearcher(t, 24)
 	req := baseRequest()
-	options, err := s.TopK(req, 3, DefaultScoreWeights())
+	options, err := s.TopK(bg, req, 3, DefaultScoreWeights())
 	if err != nil {
 		t.Fatal(err)
 	}

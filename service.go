@@ -1,0 +1,527 @@
+package dance
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dance-db/dance/internal/search"
+)
+
+// This file is the danced service layer: the versioned JSON/HTTP API that
+// serves DANCE acquisitions to remote shoppers. AcquireHandler wraps a
+// Middleware; AcquireClient is the matching client. The v1 endpoints:
+//
+//	POST /v1/acquire        {request…}            → {plan}
+//	POST /v1/topk           {request…, k, weights} → {options: [{plan, score}]}
+//	POST /v1/execute        {plan_id}             → {purchase summary}
+//	GET  /v1/plans/{id}                           → {plan}
+//	GET  /v1/ledger                               → {entries, total}
+//
+// Plans are stored server-side under opaque IDs so Execute can buy exactly
+// what Acquire recommended. Request deadlines map onto contexts: the HTTP
+// request context (client disconnect) always applies, and an optional
+// timeout_ms field adds a server-enforced deadline. Errors use the same
+// {"error": …} payload as the marketplace wire protocol.
+
+// AcquireRequest is the v1 wire form of a data-acquisition request.
+type AcquireRequest struct {
+	SourceAttrs  []string `json:"source_attrs,omitempty"`
+	TargetAttrs  []string `json:"target_attrs"`
+	Budget       float64  `json:"budget,omitempty"`
+	Alpha        float64  `json:"alpha,omitempty"`
+	Beta         float64  `json:"beta,omitempty"`
+	Iterations   int      `json:"iterations,omitempty"`
+	Eta          int      `json:"eta,omitempty"`
+	ResampleRate float64  `json:"resample_rate,omitempty"`
+	Landmarks    int      `json:"landmarks,omitempty"`
+	MaxCovers    int      `json:"max_covers,omitempty"`
+	MaxIGraphs   int      `json:"max_igraphs,omitempty"`
+	Seed         int64    `json:"seed,omitempty"`
+	Workers      int      `json:"workers,omitempty"`
+	Greedy       bool     `json:"greedy,omitempty"`
+	// TimeoutMS bounds the server-side search; 0 means no extra deadline
+	// beyond the HTTP request context.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+func (r AcquireRequest) toRequest() Request {
+	return Request{
+		SourceAttrs:  r.SourceAttrs,
+		TargetAttrs:  r.TargetAttrs,
+		Budget:       r.Budget,
+		Alpha:        r.Alpha,
+		Beta:         r.Beta,
+		Iterations:   r.Iterations,
+		Eta:          r.Eta,
+		ResampleRate: r.ResampleRate,
+		Landmarks:    r.Landmarks,
+		MaxCovers:    r.MaxCovers,
+		MaxIGraphs:   r.MaxIGraphs,
+		Seed:         r.Seed,
+		Workers:      r.Workers,
+		Greedy:       r.Greedy,
+	}
+}
+
+// MetricsInfo is the v1 wire form of the four search metrics.
+type MetricsInfo struct {
+	Correlation float64 `json:"correlation"`
+	Quality     float64 `json:"quality"`
+	Weight      float64 `json:"weight"`
+	Price       float64 `json:"price"`
+}
+
+func metricsInfo(m search.Metrics) MetricsInfo {
+	return MetricsInfo{Correlation: m.Correlation, Quality: m.Quality, Weight: m.Weight, Price: m.Price}
+}
+
+// PlanQuery is one projection purchase of a plan.
+type PlanQuery struct {
+	Instance string   `json:"instance"`
+	Attrs    []string `json:"attrs"`
+	SQL      string   `json:"sql"`
+}
+
+// PlanInfo is the v1 wire form of an acquisition plan.
+type PlanInfo struct {
+	ID      string      `json:"id"`
+	Queries []PlanQuery `json:"queries"`
+	Est     MetricsInfo `json:"est"`
+}
+
+// RankedPlanInfo is one scored top-k option.
+type RankedPlanInfo struct {
+	Plan  PlanInfo `json:"plan"`
+	Score float64  `json:"score"`
+}
+
+// PurchaseTableInfo summarizes one bought projection.
+type PurchaseTableInfo struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+}
+
+// PurchaseInfo is the v1 wire form of an executed plan.
+type PurchaseInfo struct {
+	PlanID     string              `json:"plan_id"`
+	TotalPrice float64             `json:"total_price"`
+	JoinedRows int                 `json:"joined_rows"`
+	Realized   MetricsInfo         `json:"realized"`
+	Tables     []PurchaseTableInfo `json:"tables"`
+}
+
+// ServiceLedgerEntry is one charge the service incurred on behalf of its
+// shoppers: offline sample purchases and plan executions.
+type ServiceLedgerEntry struct {
+	Kind   string  `json:"kind"` // "sample" or "purchase"
+	PlanID string  `json:"plan_id,omitempty"`
+	Amount float64 `json:"amount"`
+}
+
+// LedgerInfo is the v1 wire form of the service ledger.
+type LedgerInfo struct {
+	Entries []ServiceLedgerEntry `json:"entries"`
+	Total   float64              `json:"total"`
+}
+
+type topkWireRequest struct {
+	AcquireRequest
+	K       int           `json:"k,omitempty"`
+	Weights *ScoreWeights `json:"weights,omitempty"`
+}
+
+type topkWireResponse struct {
+	Options []RankedPlanInfo `json:"options"`
+}
+
+type executeWireRequest struct {
+	PlanID    string `json:"plan_id"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+type serviceError struct {
+	Error string `json:"error"`
+}
+
+// acquireServer is the state behind AcquireHandler: the middleware, the
+// plan store, and the service ledger.
+type acquireServer struct {
+	mw *Middleware
+
+	mu             sync.Mutex
+	plans          map[string]*Plan
+	planInfos      map[string]PlanInfo
+	ledger         []ServiceLedgerEntry
+	lastSampleCost float64
+}
+
+// AcquireHandler serves a Middleware over the versioned JSON/HTTP v1 API
+// described above. The handler is safe for concurrent use; plans live in
+// memory for the life of the handler.
+func AcquireHandler(mw *Middleware) http.Handler {
+	s := &acquireServer{
+		mw:        mw,
+		plans:     make(map[string]*Plan),
+		planInfos: make(map[string]PlanInfo),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/acquire", s.handleAcquire)
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	mux.HandleFunc("GET /v1/plans/{id}", s.handlePlan)
+	mux.HandleFunc("GET /v1/ledger", s.handleLedger)
+	return mux
+}
+
+func writeServiceJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeServiceErr maps an error to the wire: the {"error"} payload of the
+// marketplace protocol plus a status that tells deadline (504), infeasible
+// (422) and not-found (404) apart from generic failures.
+func writeServiceErr(w http.ResponseWriter, code int, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		code = http.StatusGatewayTimeout
+	}
+	writeServiceJSON(w, code, serviceError{Error: err.Error()})
+}
+
+// newPlanID mints an opaque identifier. IDs carry no meaning; the store is
+// the only way to resolve them.
+func newPlanID() string {
+	var b [9]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("dance: plan id entropy: %v", err)) // crypto/rand does not fail on supported platforms
+	}
+	return "pl_" + hex.EncodeToString(b[:])
+}
+
+// requestCtx derives the working context: the HTTP request context plus the
+// optional server-enforced timeout.
+func requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	if timeoutMS > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(timeoutMS)*time.Millisecond)
+	}
+	return r.Context(), func() {}
+}
+
+// recordSampleSpendLocked appends a ledger entry for any offline sample
+// spending since the last check. Caller holds s.mu.
+func (s *acquireServer) recordSampleSpendLocked() {
+	cur := s.mw.SampleCost()
+	if cur > s.lastSampleCost {
+		s.ledger = append(s.ledger, ServiceLedgerEntry{Kind: "sample", Amount: cur - s.lastSampleCost})
+		s.lastSampleCost = cur
+	}
+}
+
+// storePlan registers a plan under a fresh opaque ID and returns its wire
+// form; it also settles sample spending into the ledger.
+func (s *acquireServer) storePlan(plan *Plan) PlanInfo {
+	info := PlanInfo{ID: newPlanID(), Est: metricsInfo(plan.Est)}
+	for _, q := range plan.Queries {
+		info.Queries = append(info.Queries, PlanQuery{Instance: q.Instance, Attrs: q.Attrs, SQL: q.String()})
+	}
+	s.mu.Lock()
+	s.plans[info.ID] = plan
+	s.planInfos[info.ID] = info
+	s.recordSampleSpendLocked()
+	s.mu.Unlock()
+	return info
+}
+
+// statusFor distinguishes infeasible acquisitions (the request's
+// constraints admit no plan — the shopper's problem) from server failures.
+func statusFor(err error) int {
+	if errors.Is(err, ErrInfeasible) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *acquireServer) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req AcquireRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeServiceErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	plan, err := s.mw.Acquire(ctx, req.toRequest())
+	if err != nil {
+		writeServiceErr(w, statusFor(err), err)
+		return
+	}
+	writeServiceJSON(w, http.StatusOK, s.storePlan(plan))
+}
+
+func (s *acquireServer) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkWireRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeServiceErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	weights := DefaultScoreWeights()
+	if req.Weights != nil {
+		weights = *req.Weights
+	}
+	options, err := s.mw.AcquireTopK(ctx, req.toRequest(), req.K, weights)
+	if err != nil {
+		writeServiceErr(w, statusFor(err), err)
+		return
+	}
+	resp := topkWireResponse{Options: make([]RankedPlanInfo, len(options))}
+	for i, o := range options {
+		resp.Options[i] = RankedPlanInfo{Plan: s.storePlan(o.Plan), Score: o.Score}
+	}
+	writeServiceJSON(w, http.StatusOK, resp)
+}
+
+func (s *acquireServer) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req executeWireRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeServiceErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	plan, ok := s.plans[req.PlanID]
+	s.mu.Unlock()
+	if !ok {
+		writeServiceErr(w, http.StatusNotFound, fmt.Errorf("dance: no plan %q", req.PlanID))
+		return
+	}
+	ctx, cancel := requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	purchase, err := s.mw.Execute(ctx, plan)
+	if err != nil {
+		// A failed execution may still have bought (and been charged for)
+		// some projections; the ledger must not lose that spend.
+		if purchase != nil && purchase.TotalPrice > 0 {
+			s.mu.Lock()
+			s.ledger = append(s.ledger, ServiceLedgerEntry{Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice})
+			s.mu.Unlock()
+		}
+		writeServiceErr(w, statusFor(err), err)
+		return
+	}
+	info := PurchaseInfo{
+		PlanID:     req.PlanID,
+		TotalPrice: purchase.TotalPrice,
+		JoinedRows: purchase.Joined.NumRows(),
+		Realized:   metricsInfo(purchase.Realized),
+	}
+	for _, t := range purchase.Tables {
+		info.Tables = append(info.Tables, PurchaseTableInfo{Name: t.Name, Rows: t.NumRows()})
+	}
+	s.mu.Lock()
+	s.ledger = append(s.ledger, ServiceLedgerEntry{Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice})
+	s.mu.Unlock()
+	writeServiceJSON(w, http.StatusOK, info)
+}
+
+func (s *acquireServer) handlePlan(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	info, ok := s.planInfos[id]
+	s.mu.Unlock()
+	if !ok {
+		writeServiceErr(w, http.StatusNotFound, fmt.Errorf("dance: no plan %q", id))
+		return
+	}
+	writeServiceJSON(w, http.StatusOK, info)
+}
+
+func (s *acquireServer) handleLedger(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.recordSampleSpendLocked()
+	out := LedgerInfo{Entries: append([]ServiceLedgerEntry(nil), s.ledger...)}
+	s.mu.Unlock()
+	for _, e := range out.Entries {
+		out.Total += e.Amount
+	}
+	writeServiceJSON(w, http.StatusOK, out)
+}
+
+// DefaultAcquireClientTimeout caps one danced round trip when the caller
+// supplies no context deadline of its own. Acquisitions search sample
+// joins and can legitimately run for minutes; a hung service still must
+// not block a shopper forever. Caller deadlines — shorter or longer —
+// always win.
+const DefaultAcquireClientTimeout = 10 * time.Minute
+
+// AcquireClient talks to a danced service (AcquireHandler / cmd/danced).
+// Every call honors its context: cancellation and deadlines abort the
+// in-flight HTTP request.
+type AcquireClient struct {
+	BaseURL string
+	// HTTP is the underlying client; replace it to tune the transport.
+	HTTP *http.Client
+	// Timeout bounds one round trip when the caller's context carries no
+	// deadline; a caller deadline of any length takes precedence.
+	// NewAcquireClient sets DefaultAcquireClientTimeout; zero or negative
+	// disables the fallback.
+	Timeout time.Duration
+}
+
+// NewAcquireClient returns a client for the danced service at baseURL.
+func NewAcquireClient(baseURL string) *AcquireClient {
+	return &AcquireClient{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{},
+		Timeout: DefaultAcquireClientTimeout,
+	}
+}
+
+func (c *AcquireClient) do(ctx context.Context, method, path string, in, out interface{}) error {
+	if _, ok := ctx.Deadline(); !ok && c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("dance client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		// Map the service's status contract back onto sentinel errors so
+		// remote shoppers can errors.Is-distinguish "your request admits no
+		// plan" (422) and server-enforced deadlines (504) from transient
+		// failures.
+		var sentinel error
+		switch resp.StatusCode {
+		case http.StatusUnprocessableEntity:
+			sentinel = ErrInfeasible
+		case http.StatusGatewayTimeout:
+			sentinel = context.DeadlineExceeded
+		}
+		var e serviceError
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			if sentinel != nil {
+				// The server message usually already ends with the sentinel
+				// text; don't print it twice.
+				msg := strings.TrimSuffix(strings.TrimSuffix(e.Error, sentinel.Error()), ": ")
+				if msg == "" {
+					return fmt.Errorf("dance client: %w", sentinel)
+				}
+				return fmt.Errorf("dance client: %s: %w", msg, sentinel)
+			}
+			return fmt.Errorf("dance client: %s", e.Error)
+		}
+		if sentinel != nil {
+			return fmt.Errorf("dance client: status %d: %w", resp.StatusCode, sentinel)
+		}
+		return fmt.Errorf("dance client: status %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// deadlineMS converts a context deadline into a timeout_ms wire value so
+// the server enforces the shopper's deadline too, instead of relying only
+// on disconnect propagation. Returns 0 when ctx has no deadline.
+func deadlineMS(ctx context.Context) int64 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// Acquire asks the service for one acquisition plan. A context deadline is
+// forwarded as timeout_ms (unless the request sets its own), so the server
+// stops searching when the shopper's deadline expires.
+func (c *AcquireClient) Acquire(ctx context.Context, req AcquireRequest) (*PlanInfo, error) {
+	if req.TimeoutMS == 0 {
+		req.TimeoutMS = deadlineMS(ctx)
+	}
+	var out PlanInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/acquire", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AcquireTopK asks the service for up to k scored acquisition options. A
+// nil weights uses the service defaults. Context deadlines forward as in
+// Acquire.
+func (c *AcquireClient) AcquireTopK(ctx context.Context, req AcquireRequest, k int, weights *ScoreWeights) ([]RankedPlanInfo, error) {
+	if req.TimeoutMS == 0 {
+		req.TimeoutMS = deadlineMS(ctx)
+	}
+	var out topkWireResponse
+	in := topkWireRequest{AcquireRequest: req, K: k, Weights: weights}
+	if err := c.do(ctx, http.MethodPost, "/v1/topk", in, &out); err != nil {
+		return nil, err
+	}
+	return out.Options, nil
+}
+
+// Execute buys a previously returned plan by ID. A context deadline is
+// forwarded as timeout_ms so the server bounds the purchase too.
+func (c *AcquireClient) Execute(ctx context.Context, planID string) (*PurchaseInfo, error) {
+	var out PurchaseInfo
+	in := executeWireRequest{PlanID: planID, TimeoutMS: deadlineMS(ctx)}
+	if err := c.do(ctx, http.MethodPost, "/v1/execute", in, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Plan fetches a stored plan by ID.
+func (c *AcquireClient) Plan(ctx context.Context, planID string) (*PlanInfo, error) {
+	var out PlanInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/plans/"+planID, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ledger fetches the service's charge record.
+func (c *AcquireClient) Ledger(ctx context.Context) (*LedgerInfo, error) {
+	var out LedgerInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/ledger", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

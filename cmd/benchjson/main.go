@@ -1,0 +1,181 @@
+// benchjson converts `go test -bench -benchmem` output into a stable JSON
+// map (benchmark name → ns/op, B/op, allocs/op) and gates benchmarks against
+// a committed baseline. It anchors the repo's performance trajectory: each
+// perf PR checks in a BENCH_<n>.json emitted by this tool, and CI fails when
+// a gated benchmark regresses past the tolerance against the baseline.
+//
+// Emit (reads bench output from stdin):
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -out BENCH_3.json
+//
+// Gate (reads bench output from stdin, compares ns/op against a baseline):
+//
+//	go test -run '^$' -bench BenchmarkHeuristicTPCEParallel -benchmem . |
+//	    go run ./cmd/benchjson -baseline BENCH_3.json \
+//	        -check BenchmarkHeuristicTPCEParallel -max-regress 0.20
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches `BenchmarkName-8   123   456.7 ns/op   89 B/op   10 allocs/op`.
+// The -N GOMAXPROCS suffix is stripped so names are stable across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r *bufio.Scanner) (map[string]Result, error) {
+	out := map[string]Result{}
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", r.Text(), err)
+		}
+		res := Result{NsPerOp: ns}
+		if m[3] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		out[m[1]] = res
+	}
+	return out, r.Err()
+}
+
+func main() {
+	out := flag.String("out", "", "write parsed results as JSON to this file ('-' for stdout)")
+	baseline := flag.String("baseline", "", "committed baseline JSON to gate against")
+	check := flag.String("check", "", "comma-separated benchmark names to gate (ns/op)")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression vs the baseline")
+	calibrate := flag.String("calibrate", "", "benchmark used as a machine-speed anchor: gated ns/op are divided by this benchmark's ns/op in both the current run and the baseline, so a baseline measured on different hardware still gates relative regressions")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results, err := parse(sc)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines on stdin"))
+	}
+
+	if *out != "" {
+		enc, err := marshalStable(results)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "-" {
+			fmt.Println(string(enc))
+		} else if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *baseline != "" && *check != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base map[string]Result
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal(fmt.Errorf("benchjson: parse baseline %s: %w", *baseline, err))
+		}
+		// With -calibrate, both sides are expressed as multiples of the
+		// anchor benchmark's ns/op on their own machine, cancelling raw
+		// machine speed (CI runners vs the laptop that emitted the
+		// baseline).
+		curScale, baseScale, unit := 1.0, 1.0, "ns/op"
+		if *calibrate != "" {
+			cb, ok := base[*calibrate]
+			if !ok || cb.NsPerOp <= 0 {
+				fatal(fmt.Errorf("benchjson: calibration benchmark %s missing from baseline", *calibrate))
+			}
+			cc, ok := results[*calibrate]
+			if !ok || cc.NsPerOp <= 0 {
+				fatal(fmt.Errorf("benchjson: calibration benchmark %s missing from input", *calibrate))
+			}
+			curScale, baseScale, unit = cc.NsPerOp, cb.NsPerOp, "×"+*calibrate
+		}
+		failed := false
+		for _, name := range strings.Split(*check, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			b, ok := base[name]
+			if !ok {
+				// "once one exists": a baseline without the benchmark does
+				// not gate it.
+				fmt.Printf("benchjson: %s absent from baseline, skipping gate\n", name)
+				continue
+			}
+			cur, ok := results[name]
+			if !ok {
+				fatal(fmt.Errorf("benchjson: gated benchmark %s missing from input", name))
+			}
+			got, ref := cur.NsPerOp/curScale, b.NsPerOp/baseScale
+			limit := ref * (1 + *maxRegress)
+			if got > limit {
+				fmt.Printf("benchjson: FAIL %s: %.4g %s exceeds baseline %.4g %s by more than %.0f%%\n",
+					name, got, unit, ref, unit, *maxRegress*100)
+				failed = true
+			} else {
+				fmt.Printf("benchjson: ok %s: %.4g %s (baseline %.4g, limit %.4g)\n",
+					name, got, unit, ref, limit)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// marshalStable renders the map with sorted keys so emitted files diff
+// cleanly between runs.
+func marshalStable(results map[string]Result) ([]byte, error) {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		enc, err := json.Marshal(results[n])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, enc)
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}")
+	return []byte(b.String()), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: github.com/dance-db/dance
+BenchmarkCorrelation-8   	  126180	     19071 ns/op	   18344 B/op	      50 allocs/op
+BenchmarkHeuristicTPCESerial 	    1716	   1439719.5 ns/op	 1316721 B/op	    5163 allocs/op
+BenchmarkNoMem-4         	     100	      1234 ns/op
+PASS
+`
+	got, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	c := got["BenchmarkCorrelation"]
+	if c.NsPerOp != 19071 || c.BytesPerOp != 18344 || c.AllocsPerOp != 50 {
+		t.Fatalf("BenchmarkCorrelation = %+v", c)
+	}
+	h := got["BenchmarkHeuristicTPCESerial"]
+	if h.NsPerOp != 1439719.5 || h.AllocsPerOp != 5163 {
+		t.Fatalf("BenchmarkHeuristicTPCESerial = %+v", h)
+	}
+	n := got["BenchmarkNoMem"]
+	if n.NsPerOp != 1234 || n.BytesPerOp != 0 || n.AllocsPerOp != 0 {
+		t.Fatalf("BenchmarkNoMem = %+v", n)
+	}
+}
+
+func TestMarshalStable(t *testing.T) {
+	m := map[string]Result{
+		"BenchmarkB": {NsPerOp: 2},
+		"BenchmarkA": {NsPerOp: 1},
+	}
+	out, err := marshalStable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "BenchmarkA") || strings.Index(s, "BenchmarkA") > strings.Index(s, "BenchmarkB") {
+		t.Fatalf("keys not sorted: %s", s)
+	}
+}

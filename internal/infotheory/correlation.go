@@ -2,7 +2,6 @@ package infotheory
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/dance-db/dance/internal/relation"
 )
@@ -25,27 +24,38 @@ import (
 // dominate bit-valued Shannon terms (Nguyen et al. normalize the same way).
 // The result is ≥ 0 up to floating-point error; larger means more
 // correlated. Columns of X missing in t are an error.
+//
+// The computation runs on the columnar fast path: the grouping columns
+// (Xc ∪ Y) are dictionary-encoded once, the numerical attributes extracted
+// as raw floats, and all groupings count fused integer codes instead of
+// byte-string map keys. The result is bit-identical to CorrelationOnRows.
 func Correlation(t *relation.Table, x, y []string) (float64, error) {
 	if len(x) == 0 || len(y) == 0 || t.NumRows() == 0 {
 		return 0, nil
 	}
-	var xc []string
-	var xn []string
-	for _, name := range x {
-		ci := t.Schema.Index(name)
-		if ci < 0 {
-			return 0, fmt.Errorf("infotheory: correlation: table %s has no column %q", t.Name, name)
-		}
-		if t.Schema.Column(ci).IsCategorical() {
-			xc = append(xc, name)
-		} else {
-			xn = append(xn, name)
-		}
+	xc, xn, err := splitCorrAttrs(t.Schema, t.Name, x, y)
+	if err != nil {
+		return 0, err
 	}
-	for _, name := range y {
-		if !t.Schema.Has(name) {
-			return 0, fmt.Errorf("infotheory: correlation: table %s has no column %q", t.Name, name)
-		}
+	coded := append(append([]string{}, xc...), y...)
+	c, err := relation.ToColumnarSubset(t, coded, xn)
+	if err != nil {
+		return 0, err
+	}
+	return CorrelationColumnar(c, x, y)
+}
+
+// CorrelationOnRows is the row-store reference implementation of
+// Correlation. It groups rows through injective byte-string keys and exists
+// so equivalence tests can pin the columnar fast path bit-for-bit against
+// the original formulation; use Correlation everywhere else.
+func CorrelationOnRows(t *relation.Table, x, y []string) (float64, error) {
+	if len(x) == 0 || len(y) == 0 || t.NumRows() == 0 {
+		return 0, nil
+	}
+	xc, xn, err := splitCorrAttrs(t.Schema, t.Name, x, y)
+	if err != nil {
+		return 0, err
 	}
 
 	corr := 0.0
@@ -78,23 +88,18 @@ func Correlation(t *relation.Table, x, y []string) (float64, error) {
 			return out
 		}
 		h := CumulativeEntropy(normalize(vals))
-		groups, err := t.GroupIndices(y...)
+		// Sum group terms in first-appearance order: float addition is not
+		// associative, and map-order summation made CORR differ in the
+		// last ulps between otherwise identical calls. First-appearance
+		// order is deterministic for a given table and is the order the
+		// columnar path uses, so the two stay bit-identical.
+		groups, err := t.GroupRowLists(y...)
 		if err != nil {
 			return 0, err
 		}
-		// Sum group terms in sorted key order: float addition is not
-		// associative, and map-order summation made CORR differ in the
-		// last ulps between otherwise identical calls (the same guard
-		// EntropyFromCounts applies on the categorical path).
-		keys := make([]string, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
 		total := float64(t.NumRows())
 		hc := 0.0
-		for _, k := range keys {
-			rows := groups[k]
+		for _, rows := range groups {
 			gv, err := numericColumn(t, a, rows)
 			if err != nil {
 				return 0, err
@@ -103,10 +108,36 @@ func Correlation(t *relation.Table, x, y []string) (float64, error) {
 		}
 		corr += h - hc
 	}
-	if corr < 0 && corr > -1e-9 {
-		corr = 0 // clamp floating point noise
+	return clampCorr(corr), nil
+}
+
+// splitCorrAttrs partitions X into categorical and numerical attributes and
+// validates that every X and Y column exists in the schema.
+func splitCorrAttrs(schema *relation.Schema, name string, x, y []string) (xc, xn []string, err error) {
+	for _, a := range x {
+		ci := schema.Index(a)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("infotheory: correlation: table %s has no column %q", name, a)
+		}
+		if schema.Column(ci).IsCategorical() {
+			xc = append(xc, a)
+		} else {
+			xn = append(xn, a)
+		}
 	}
-	return corr, nil
+	for _, a := range y {
+		if !schema.Has(a) {
+			return nil, nil, fmt.Errorf("infotheory: correlation: table %s has no column %q", name, a)
+		}
+	}
+	return xc, xn, nil
+}
+
+func clampCorr(corr float64) float64 {
+	if corr < 0 && corr > -1e-9 {
+		return 0 // clamp floating point noise
+	}
+	return corr
 }
 
 func rangeOf(xs []float64) (lo, hi float64) {

@@ -18,45 +18,60 @@ func log2(p float64) float64 { return math.Log2(p) }
 
 // EntropyFromCounts returns the Shannon entropy (bits) of the empirical
 // distribution given by non-negative counts. Zero counts are skipped.
-// Counts are summed in sorted order so the result is deterministic even
-// when the caller collected them from map iteration (float addition is not
-// associative).
+// Terms are accumulated with Neumaier-compensated summation — O(n) instead
+// of the O(n log n) sort the seed used for float stability — so callers must
+// pass counts in a deterministic order (first-appearance order everywhere in
+// this repo) for reproducible results; the compensation then keeps the sum
+// accurate to the last ulp.
 func EntropyFromCounts[N int | int64](counts []N) float64 {
-	sorted := make([]int64, 0, len(counts))
 	var total float64
 	for _, c := range counts {
 		if c < 0 {
 			panic(fmt.Sprintf("infotheory: negative count %v", c))
 		}
-		if c > 0 {
-			sorted = append(sorted, int64(c))
-			total += float64(c)
-		}
+		total += float64(c)
 	}
 	if total == 0 {
 		return 0
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	h := 0.0
-	for _, c := range sorted {
+	var sum, comp float64
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
 		p := float64(c) / total
-		h -= p * log2(p)
+		term := -p * log2(p)
+		t := sum + term
+		if math.Abs(sum) >= math.Abs(term) {
+			comp += (sum - t) + term
+		} else {
+			comp += (term - t) + sum
+		}
+		sum = t
 	}
-	return h
+	return sum + comp
 }
 
 // groupCounts returns the multiplicity of each distinct tuple of the named
-// columns.
-func groupCounts(t *relation.Table, cols []string) (map[string]int64, error) {
+// columns, in first-appearance order (the deterministic order entropy terms
+// are summed in).
+func groupCounts(t *relation.Table, cols []string) ([]int64, error) {
 	idx, err := t.Schema.Indexes(cols...)
 	if err != nil {
 		return nil, err
 	}
-	counts := make(map[string]int64)
+	ids := make(map[string]int, len(t.Rows)/4+1)
+	counts := make([]int64, 0, 16)
 	var buf []byte
 	for _, r := range t.Rows {
 		buf = relation.EncodeKey(buf[:0], r, idx)
-		counts[string(buf)]++
+		id, ok := ids[string(buf)]
+		if !ok {
+			id = len(counts)
+			ids[string(buf)] = id
+			counts = append(counts, 0)
+		}
+		counts[id]++
 	}
 	return counts, nil
 }
@@ -71,11 +86,7 @@ func Entropy(t *relation.Table, cols ...string) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("entropy of %s%v: %w", t.Name, cols, err)
 	}
-	vals := make([]int64, 0, len(counts))
-	for _, c := range counts {
-		vals = append(vals, c)
-	}
-	return EntropyFromCounts(vals), nil
+	return EntropyFromCounts(counts), nil
 }
 
 // ConditionalEntropy returns H(X | Y) = H(X ∪ Y) − H(Y) for attribute sets
@@ -114,12 +125,36 @@ func MutualInformation(t *relation.Table, x, y []string) (float64, error) {
 // of the sample xs, where F is the empirical CDF. NULLs must be filtered by
 // the caller. The result is non-negative and 0 for constant or empty input.
 func CumulativeEntropy(xs []float64) float64 {
-	n := len(xs)
-	if n < 2 {
+	if len(xs) < 2 {
 		return 0
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return cumulativeEntropySorted(sorted, log2Table(make([]float64, 0, len(sorted)+1), len(sorted)))
+}
+
+// log2Table extends tab so that tab[k] = log2(k) for k in [0, n] (entry 0 is
+// unused). The empirical CDF steps of cumulative entropy are all of the form
+// k/n, so one table shared across every conditioning group replaces the
+// per-step log calls that dominate the numeric correlation profile:
+// log2(k/n) is evaluated as tab[k] − tab[n].
+func log2Table(tab []float64, n int) []float64 {
+	for k := len(tab); k <= n; k++ {
+		tab = append(tab, log2(float64(k)))
+	}
+	return tab
+}
+
+// cumulativeEntropySorted is CumulativeEntropy for callers that own xs (and
+// may therefore sort it in place, skipping the defensive copy) and hold a
+// log2Table covering len(xs). The columnar hot path calls it once per
+// conditioning group with one shared table.
+func cumulativeEntropySorted(sorted []float64, logTab []float64) float64 {
+	n := len(sorted)
+	if n < 2 {
+		return 0
+	}
+	ln := logTab[n]
 	h := 0.0
 	for i := 0; i < n-1; i++ {
 		dx := sorted[i+1] - sorted[i]
@@ -130,7 +165,7 @@ func CumulativeEntropy(xs []float64) float64 {
 		if f >= 1 {
 			continue // log2(1) = 0
 		}
-		h -= dx * f * log2(f)
+		h -= dx * f * (logTab[i+1] - ln)
 	}
 	return h
 }
@@ -167,7 +202,7 @@ func ConditionalCumulativeEntropy(t *relation.Table, x string, y []string) (floa
 	if t.NumRows() == 0 {
 		return 0, nil
 	}
-	groups, err := t.GroupIndices(y...)
+	groups, err := t.GroupRowLists(y...)
 	if err != nil {
 		return 0, fmt.Errorf("conditional cumulative entropy %s|%v: %w", x, y, err)
 	}

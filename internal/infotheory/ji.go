@@ -2,6 +2,7 @@ package infotheory
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/dance-db/dance/internal/relation"
 )
@@ -30,18 +31,38 @@ func JoinInformativeness(a, b *relation.Table, on []string) (float64, error) {
 
 // JIFromPairCounts computes JI from a precomputed joint pair distribution
 // (as produced by relation.OuterJoinPairCounts). Exposed so the sampling
-// estimators can reuse it.
+// estimators can reuse it. Pair keys are sorted before the counts are
+// collected: EntropyFromCounts sums in input order, so iterating the map
+// directly would make JI nondeterministic in the last ulps.
 func JIFromPairCounts(joint map[[2]string]int64) float64 {
 	if len(joint) == 0 {
 		return 0
 	}
+	keys := make([][2]string, 0, len(joint))
+	for k := range joint {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
 	var total int64
 	left := make(map[string]int64)
 	right := make(map[string]int64)
+	var leftOrder, rightOrder []string
 	jointCounts := make([]int64, 0, len(joint))
-	for k, c := range joint {
+	for _, k := range keys {
+		c := joint[k]
 		total += c
+		if _, ok := left[k[0]]; !ok {
+			leftOrder = append(leftOrder, k[0])
+		}
 		left[k[0]] += c
+		if _, ok := right[k[1]]; !ok {
+			rightOrder = append(rightOrder, k[1])
+		}
 		right[k[1]] += c
 		jointCounts = append(jointCounts, c)
 	}
@@ -53,12 +74,12 @@ func JIFromPairCounts(joint map[[2]string]int64) float64 {
 		return 0
 	}
 	lc := make([]int64, 0, len(left))
-	for _, c := range left {
-		lc = append(lc, c)
+	for _, k := range leftOrder {
+		lc = append(lc, left[k])
 	}
 	rc := make([]int64, 0, len(right))
-	for _, c := range right {
-		rc = append(rc, c)
+	for _, k := range rightOrder {
+		rc = append(rc, right[k])
 	}
 	mi := EntropyFromCounts(lc) + EntropyFromCounts(rc) - hJoint
 	ji := (hJoint - mi) / hJoint

@@ -189,11 +189,18 @@ func (tg *TargetGraph) Price(ctx context.Context) (float64, error) {
 	return total, nil
 }
 
-// JoinSteps linearizes the tree into a join path over the instance samples:
-// a BFS from the lowest vertex, each step joining the next instance on its
-// chosen edge variant's attributes. The caller joins them with
-// relation.JoinPath or sampling.ResampledJoinPath.
-func (tg *TargetGraph) JoinSteps() ([]relation.PathStep, error) {
+// JoinHop is one hop of a linearized join plan: join instance Vertex into
+// the accumulated result on attributes On (empty for the first hop).
+type JoinHop struct {
+	Vertex int
+	On     []string
+}
+
+// JoinPlan linearizes the tree into a join order over instance indexes: a
+// BFS from the lowest vertex, each hop joining the next instance on its
+// chosen edge variant's attributes. JoinSteps resolves the plan to the
+// instance samples; search resolves it to their columnar encodings.
+func (tg *TargetGraph) JoinPlan() ([]JoinHop, error) {
 	if len(tg.Vertices) == 0 {
 		return nil, fmt.Errorf("joingraph: empty target graph")
 	}
@@ -210,7 +217,7 @@ func (tg *TargetGraph) JoinSteps() ([]relation.PathStep, error) {
 		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i].to < adj[v][j].to })
 	}
 	root := tg.Vertices[0]
-	steps := []relation.PathStep{{Table: tg.G.Instances[root].Sample}}
+	hops := []JoinHop{{Vertex: root}}
 	seen := map[int]bool{root: true}
 	queue := []int{root}
 	for len(queue) > 0 {
@@ -222,15 +229,26 @@ func (tg *TargetGraph) JoinSteps() ([]relation.PathStep, error) {
 			}
 			seen[n.to] = true
 			queue = append(queue, n.to)
-			steps = append(steps, relation.PathStep{
-				Table: tg.G.Instances[n.to].Sample,
-				On:    tg.variant(n.edge).JoinAttrs,
-			})
+			hops = append(hops, JoinHop{Vertex: n.to, On: tg.variant(n.edge).JoinAttrs})
 		}
 	}
-	if len(steps) != len(tg.Vertices) {
+	if len(hops) != len(tg.Vertices) {
 		return nil, fmt.Errorf("joingraph: target graph not connected (%d of %d vertices reached)",
-			len(steps), len(tg.Vertices))
+			len(hops), len(tg.Vertices))
+	}
+	return hops, nil
+}
+
+// JoinSteps resolves JoinPlan to a join path over the instance samples. The
+// caller joins them with relation.JoinPath or sampling.ResampledJoinPath.
+func (tg *TargetGraph) JoinSteps() ([]relation.PathStep, error) {
+	hops, err := tg.JoinPlan()
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]relation.PathStep, len(hops))
+	for i, h := range hops {
+		steps[i] = relation.PathStep{Table: tg.G.Instances[h.Vertex].Sample, On: h.On}
 	}
 	return steps, nil
 }

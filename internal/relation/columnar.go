@@ -1,0 +1,600 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the columnar, dictionary-encoded fast path for the
+// evaluator. The row-store Table stays the compatibility surface (marketplace
+// wire format, examples, Execute); Columnar is the representation the MCMC
+// inner loop evaluates on:
+//
+//   - Each column is dictionary-encoded into dense uint32 codes. Code 0 is
+//     always NULL. The dictionary identity of a value mirrors AppendKey's
+//     injective encoding, so IntValue(3) and FloatValue(3.0) share a code
+//     exactly as they share a grouping key on the row path.
+//   - Multi-attribute groupings fuse per-column codes into dense group ids
+//     assigned in first-appearance row order — the same deterministic order
+//     the row path's group-count collection uses — counted in flat slices
+//     or small int-keyed maps instead of injective byte-string map keys.
+//   - Equi-joins hash-join on code columns and produce row-index pairings;
+//     output columns are gathered uint32 codes that share the input
+//     dictionaries, so no value is ever re-encoded downstream.
+//
+// Columnar values are immutable after construction: instances built once per
+// sampled table are shared freely across MCMC candidates and workers.
+
+// numKey is the normalized identity of a numeric Value, mirroring AppendKey's
+// int/float normalization so IntValue(3) and FloatValue(3.0) share a key.
+type numKey struct {
+	isInt bool
+	bits  uint64
+}
+
+func numKeyOf(v Value) numKey {
+	if v.Kind == KindInt {
+		return numKey{isInt: true, bits: uint64(v.I)}
+	}
+	if f := v.F; f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+		return numKey{isInt: true, bits: uint64(int64(f))}
+	}
+	return numKey{bits: math.Float64bits(v.F)}
+}
+
+// Dict is a per-column dictionary: distinct values get dense uint32 codes in
+// first-appearance order, with code 0 permanently reserved for NULL. A code's
+// stored value is the first representative seen — an int column later joined
+// against FloatValue(3.0) decodes code lookups to the original IntValue(3),
+// which is EqualValue-identical.
+type Dict struct {
+	vals []Value
+	str  map[string]uint32
+	num  map[numKey]uint32
+	// smallInt short-circuits the num map for integer values in [0, 256):
+	// key-like columns (TPC ids, category codes) are dominated by small
+	// ints, and the map hash is the hot spot of dictionary building.
+	// 0 means unassigned (0 is the NULL code, never a value's code).
+	smallInt [256]uint32
+}
+
+func newDict() *Dict { return &Dict{vals: []Value{Null()}} }
+
+// Len returns the number of codes, including the reserved NULL code 0.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Value decodes a code.
+func (d *Dict) Value(code uint32) Value { return d.vals[code] }
+
+// code interns v, assigning dense codes in first-appearance order.
+func (d *Dict) code(v Value) uint32 {
+	switch v.Kind {
+	case KindNull:
+		return 0
+	case KindString:
+		if c, ok := d.str[v.S]; ok {
+			return c
+		}
+		c := uint32(len(d.vals))
+		d.vals = append(d.vals, v)
+		if d.str == nil {
+			d.str = make(map[string]uint32)
+		}
+		d.str[v.S] = c
+		return c
+	default:
+		k := numKeyOf(v)
+		if k.isInt && k.bits < uint64(len(d.smallInt)) {
+			// Normalized first, so FloatValue(3.0) hits IntValue(3)'s slot.
+			if c := d.smallInt[k.bits]; c != 0 {
+				return c
+			}
+			c := uint32(len(d.vals))
+			d.vals = append(d.vals, v)
+			d.smallInt[k.bits] = c
+			return c
+		}
+		if c, ok := d.num[k]; ok {
+			return c
+		}
+		c := uint32(len(d.vals))
+		d.vals = append(d.vals, v)
+		if d.num == nil {
+			d.num = make(map[numKey]uint32)
+		}
+		d.num[k] = c
+		return c
+	}
+}
+
+// CCol is one columnar column. Exactly one storage mode is populated:
+// dictionary-coded (Codes+Dict, the general form, required for grouping and
+// joins) or raw numeric (Nums+Null, used by metrics-only numeric columns
+// where dictionary identity is never needed).
+type CCol struct {
+	Codes []uint32
+	Dict  *Dict
+	Nums  []float64
+	Null  []bool
+}
+
+// Columnar is the dictionary-encoded columnar form of a Table.
+type Columnar struct {
+	Name   string
+	schema *Schema
+	cols   []CCol
+	n      int
+}
+
+// encodeColumn dictionary-encodes column j of t. The small-int fast path is
+// inlined: key-like columns are dominated by small non-negative ints, and
+// the per-cell call plus kind switch of Dict.code is measurable on the
+// per-evaluation subset path.
+func encodeColumn(t *Table, j int) CCol {
+	d := newDict()
+	codes := make([]uint32, len(t.Rows))
+	for i, r := range t.Rows {
+		v := r[j]
+		if v.Kind == KindInt && v.I >= 0 && v.I < int64(len(d.smallInt)) {
+			c := d.smallInt[v.I]
+			if c == 0 {
+				c = uint32(len(d.vals))
+				d.vals = append(d.vals, v)
+				d.smallInt[v.I] = c
+			}
+			codes[i] = c
+			continue
+		}
+		codes[i] = d.code(v)
+	}
+	return CCol{Codes: codes, Dict: d}
+}
+
+// ToColumnar dictionary-encodes every column of t. Build cost is one
+// dictionary lookup per cell; done once per sampled instance and amortized
+// over every candidate evaluation that touches the instance.
+func ToColumnar(t *Table) *Columnar {
+	c := &Columnar{Name: t.Name, schema: t.Schema, n: len(t.Rows)}
+	c.cols = make([]CCol, t.Schema.Len())
+	for j := range c.cols {
+		c.cols[j] = encodeColumn(t, j)
+	}
+	return c
+}
+
+// ToColumnarSubset encodes only the named columns of t: coded columns get
+// dictionaries (groupable/joinable), numeric columns are stored as raw
+// float64 + null mask (metrics-only). A name in both lists is coded. The
+// result keeps t's full schema but leaves unlisted columns unpopulated —
+// callers (the per-call metric fast paths) must only touch the columns they
+// asked for; use ToColumnar for a fully materialized encoding.
+func ToColumnarSubset(t *Table, coded, numeric []string) (*Columnar, error) {
+	c := &Columnar{Name: t.Name, schema: t.Schema, n: len(t.Rows)}
+	c.cols = make([]CCol, t.Schema.Len())
+	for _, name := range coded {
+		j := t.Schema.Index(name)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: unknown column %q (have %v)", name, t.Schema.Names())
+		}
+		if c.cols[j].Codes == nil {
+			c.cols[j] = encodeColumn(t, j)
+		}
+	}
+	for _, name := range numeric {
+		j := t.Schema.Index(name)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: unknown column %q (have %v)", name, t.Schema.Names())
+		}
+		if c.cols[j].Codes != nil || c.cols[j].Nums != nil {
+			continue
+		}
+		nums := make([]float64, len(t.Rows))
+		null := make([]bool, len(t.Rows))
+		for i, r := range t.Rows {
+			v := r[j]
+			null[i] = v.IsNull()
+			nums[i] = v.Num()
+		}
+		c.cols[j] = CCol{Nums: nums, Null: null}
+	}
+	return c, nil
+}
+
+// NumRows returns the number of rows.
+func (c *Columnar) NumRows() int { return c.n }
+
+// Schema returns the schema.
+func (c *Columnar) Schema() *Schema { return c.schema }
+
+// Codes returns the code column at col, or nil if the column is stored in
+// raw-numeric mode.
+func (c *Columnar) Codes(col int) []uint32 { return c.cols[col].Codes }
+
+// DictLen returns the dictionary size of a coded column (0 for raw-numeric).
+func (c *Columnar) DictLen(col int) int {
+	if c.cols[col].Dict == nil {
+		return 0
+	}
+	return c.cols[col].Dict.Len()
+}
+
+// IsNullAt reports whether the cell at (row, col) is NULL.
+func (c *Columnar) IsNullAt(row, col int) bool {
+	cc := &c.cols[col]
+	if cc.Codes != nil {
+		return cc.Codes[row] == 0
+	}
+	return cc.Null[row]
+}
+
+// ValueAt decodes the cell at (row, col). For raw-numeric columns the value
+// is reconstructed as a float (sufficient for metrics; such columns are never
+// joined or grouped).
+func (c *Columnar) ValueAt(row, col int) Value {
+	cc := &c.cols[col]
+	if cc.Codes != nil {
+		return cc.Dict.vals[cc.Codes[row]]
+	}
+	if cc.Null[row] {
+		return Null()
+	}
+	return FloatValue(cc.Nums[row])
+}
+
+// AppendRowKey appends the injective encoding of the cells (row, cols...) to
+// buf — the same bytes EncodeKey produces for the row-store path.
+func (c *Columnar) AppendRowKey(buf []byte, row int, cols []int) []byte {
+	for _, ci := range cols {
+		buf = c.ValueAt(row, ci).AppendKey(buf)
+	}
+	return buf
+}
+
+// AppendNumeric appends the non-NULL numeric values of column col to dst, for
+// the given rows (all rows when rows is nil), in order — matching the row
+// path's numericColumn.
+func (c *Columnar) AppendNumeric(dst []float64, col int, rows []int32) []float64 {
+	cc := &c.cols[col]
+	if cc.Codes != nil {
+		vals := cc.Dict.vals
+		if rows == nil {
+			for _, code := range cc.Codes {
+				if code != 0 {
+					dst = append(dst, vals[code].Num())
+				}
+			}
+			return dst
+		}
+		for _, r := range rows {
+			if code := cc.Codes[r]; code != 0 {
+				dst = append(dst, vals[code].Num())
+			}
+		}
+		return dst
+	}
+	if rows == nil {
+		for i, v := range cc.Nums {
+			if !cc.Null[i] {
+				dst = append(dst, v)
+			}
+		}
+		return dst
+	}
+	for _, r := range rows {
+		if !cc.Null[r] {
+			dst = append(dst, cc.Nums[r])
+		}
+	}
+	return dst
+}
+
+// ToTable decodes the columnar form back into a row-store Table (tests and
+// debugging; the hot path never materializes rows).
+func (c *Columnar) ToTable() *Table {
+	t := NewTable(c.Name, c.schema)
+	t.Rows = make([][]Value, c.n)
+	for i := 0; i < c.n; i++ {
+		row := make([]Value, len(c.cols))
+		for j := range c.cols {
+			row[j] = c.ValueAt(i, j)
+		}
+		t.Rows[i] = row
+	}
+	return t
+}
+
+// Grouping is the result of fusing one or more code columns into dense group
+// ids: Codes[row] is the group of each row, with ids assigned in
+// first-appearance row order (the deterministic order metric summations run
+// in), Counts the group sizes and First the first row of each group.
+type Grouping struct {
+	Cols   []int
+	Codes  []uint32
+	Counts []int64
+	First  []int32
+}
+
+// N returns the number of groups.
+func (g *Grouping) N() int { return len(g.Counts) }
+
+// RowLists bucketizes rows by group: the rows of group gid are
+// rows[starts[gid]:starts[gid+1]], ascending — matching the append order of
+// the row path's GroupIndices.
+func (g *Grouping) RowLists() (starts, rows []int32) {
+	starts = make([]int32, g.N()+1)
+	for id, cnt := range g.Counts {
+		starts[id+1] = starts[id] + int32(cnt)
+	}
+	rows = make([]int32, len(g.Codes))
+	fill := append([]int32(nil), starts[:g.N()]...)
+	for i, gc := range g.Codes {
+		rows[fill[gc]] = int32(i)
+		fill[gc]++
+	}
+	return starts, rows
+}
+
+// maxFlatFuse bounds the scratch table a single fuse stage may allocate; past
+// it the stage falls back to an int-keyed map (still exact, no byte keys).
+const maxFlatFuse = 1 << 20
+
+// GroupBy fuses the given columns into a Grouping. All columns must be
+// dictionary-coded. An empty column list yields a single group holding every
+// row (mirroring the row path's empty grouping key).
+func (c *Columnar) GroupBy(cols []int) (*Grouping, error) {
+	g := &Grouping{Cols: cols}
+	if len(cols) == 0 {
+		g.Codes = make([]uint32, c.n)
+		if c.n > 0 {
+			g.Counts = []int64{int64(c.n)}
+			g.First = []int32{0}
+		}
+		return g, nil
+	}
+	for _, ci := range cols {
+		if c.cols[ci].Codes == nil {
+			return nil, fmt.Errorf("relation: column %q of %s is not dictionary-coded", c.schema.Column(ci).Name, c.Name)
+		}
+	}
+	// Fuse left to right. Intermediate stages assign dense pair codes; the
+	// final stage additionally records counts and first rows. The fused ids
+	// of the final stage are in first-appearance row order regardless of
+	// fuse order, because the row scan order is fixed.
+	var cur []uint32
+	curN := 1
+	for s, ci := range cols {
+		col := &c.cols[ci]
+		last := s == len(cols)-1
+		next := make([]uint32, c.n)
+		nextN := uint32(0)
+		dictN := col.Dict.Len()
+		assign := func(row int, fused uint64, id int32) int32 {
+			if id < 0 {
+				id = int32(nextN)
+				nextN++
+				if last {
+					g.Counts = append(g.Counts, 0)
+					g.First = append(g.First, int32(row))
+				}
+			}
+			next[row] = uint32(id)
+			if last {
+				g.Counts[id]++
+			}
+			return id
+		}
+		if span := uint64(curN) * uint64(dictN); span <= maxFlatFuse || span <= uint64(4*c.n+16) {
+			flat := make([]int32, span)
+			for i := range flat {
+				flat[i] = -1
+			}
+			if cur == nil {
+				for row, code := range col.Codes {
+					flat[code] = assign(row, uint64(code), flat[code])
+				}
+			} else {
+				for row, code := range col.Codes {
+					k := uint64(cur[row])*uint64(dictN) + uint64(code)
+					flat[k] = assign(row, k, flat[k])
+				}
+			}
+		} else {
+			m := make(map[uint64]int32, c.n/4+16)
+			for row, code := range col.Codes {
+				var k uint64
+				if cur == nil {
+					k = uint64(code)
+				} else {
+					k = uint64(cur[row])<<32 | uint64(code)
+				}
+				id, ok := m[k]
+				if !ok {
+					id = -1
+				}
+				id = assign(row, k, id)
+				m[k] = id
+			}
+		}
+		cur = next
+		curN = int(nextN)
+	}
+	g.Codes = cur
+	return g, nil
+}
+
+// GroupCounts returns the group sizes of the named columns in
+// first-appearance order — the code-based replacement for collecting
+// byte-string map counts.
+func (c *Columnar) GroupCounts(names ...string) ([]int64, error) {
+	cols, err := c.schema.Indexes(names...)
+	if err != nil {
+		return nil, err
+	}
+	g, err := c.GroupBy(cols)
+	if err != nil {
+		return nil, err
+	}
+	return g.Counts, nil
+}
+
+// JoinIndex is a precomputed build-side hash index for equi-joins on a fixed
+// attribute set: rows bucketed by fused join-attribute group, plus a
+// canonical-key map that aligns the groups with any probe side's dictionary
+// space. Immutable after construction; shared across candidates and workers.
+type JoinIndex struct {
+	On     []string
+	cols   []int
+	g      *Grouping
+	starts []int32
+	rows   []int32
+	byKey  map[string]uint32
+}
+
+// BuildJoinIndex indexes c on the named join attributes.
+func (c *Columnar) BuildJoinIndex(on ...string) (*JoinIndex, error) {
+	if len(on) == 0 {
+		return nil, fmt.Errorf("relation: join index on %s with no join attributes", c.Name)
+	}
+	cols, err := c.schema.Indexes(on...)
+	if err != nil {
+		return nil, err
+	}
+	g, err := c.GroupBy(cols)
+	if err != nil {
+		return nil, err
+	}
+	idx := &JoinIndex{On: append([]string(nil), on...), cols: cols, g: g}
+	idx.starts, idx.rows = g.RowLists()
+	idx.byKey = make(map[string]uint32, g.N())
+	var buf []byte
+	for gid := 0; gid < g.N(); gid++ {
+		buf = c.AppendRowKey(buf[:0], int(g.First[gid]), cols)
+		idx.byKey[string(buf)] = uint32(gid)
+	}
+	return idx, nil
+}
+
+// gatherCol gathers src at the given rows; codes share the source dictionary.
+func gatherCol(src *CCol, rows []int32) CCol {
+	if src.Codes != nil {
+		out := make([]uint32, len(rows))
+		for i, r := range rows {
+			out[i] = src.Codes[r]
+		}
+		return CCol{Codes: out, Dict: src.Dict}
+	}
+	nums := make([]float64, len(rows))
+	null := make([]bool, len(rows))
+	for i, r := range rows {
+		nums[i] = src.Nums[r]
+		null[i] = src.Null[r]
+	}
+	return CCol{Nums: nums, Null: null}
+}
+
+// FilterRows returns a new Columnar containing the given rows, in order.
+// Dictionaries are shared with c.
+func (c *Columnar) FilterRows(rows []int32) *Columnar {
+	out := &Columnar{Name: c.Name, schema: c.schema, n: len(rows)}
+	out.cols = make([]CCol, len(c.cols))
+	for j := range c.cols {
+		out.cols[j] = gatherCol(&c.cols[j], rows)
+	}
+	return out
+}
+
+// EquiJoinColumnar computes the inner equi-join of a and b on the named
+// shared attributes, matching EquiJoin's semantics, schema and output row
+// order exactly (probe a in row order, build b rows ascending per match) —
+// but producing gathered code columns instead of materialized rows. idx may
+// carry a prebuilt index of b on exactly the same attributes; pass nil to
+// build one in place.
+func EquiJoinColumnar(a, b *Columnar, on []string, idx *JoinIndex) (*Columnar, error) {
+	if len(on) == 0 {
+		return nil, fmt.Errorf("relation: equi-join of %s and %s with no join attributes", a.Name, b.Name)
+	}
+	var err error
+	if idx == nil {
+		if idx, err = b.BuildJoinIndex(on...); err != nil {
+			return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
+		}
+	}
+	schema, rightKeep, err := joinedSchema(a.schema, b.schema, on)
+	if err != nil {
+		return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
+	}
+	aCols, err := a.schema.Indexes(on...)
+	if err != nil {
+		return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
+	}
+
+	// Map every probe row to a build-side group (-1: no match). Single-column
+	// joins remap the probe dictionary directly — one canonical key per
+	// distinct value; multi-column joins group the probe rows first so each
+	// distinct tuple is encoded once.
+	pg := make([]int32, a.n)
+	if len(aCols) == 1 && a.cols[aCols[0]].Codes != nil {
+		dict := a.cols[aCols[0]].Dict
+		remap := make([]int32, dict.Len())
+		var buf []byte
+		for code := range remap {
+			buf = dict.vals[code].AppendKey(buf[:0])
+			if g, ok := idx.byKey[string(buf)]; ok {
+				remap[code] = int32(g)
+			} else {
+				remap[code] = -1
+			}
+		}
+		for row, code := range a.cols[aCols[0]].Codes {
+			pg[row] = remap[code]
+		}
+	} else {
+		ag, err := a.GroupBy(aCols)
+		if err != nil {
+			return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
+		}
+		remap := make([]int32, ag.N())
+		var buf []byte
+		for gid := 0; gid < ag.N(); gid++ {
+			buf = a.AppendRowKey(buf[:0], int(ag.First[gid]), aCols)
+			if g, ok := idx.byKey[string(buf)]; ok {
+				remap[gid] = int32(g)
+			} else {
+				remap[gid] = -1
+			}
+		}
+		for row, gc := range ag.Codes {
+			pg[row] = remap[gc]
+		}
+	}
+
+	// Size the output exactly from the build-side match counts, then emit
+	// the row-index pairing.
+	total := 0
+	for _, g := range pg {
+		if g >= 0 {
+			total += int(idx.starts[g+1] - idx.starts[g])
+		}
+	}
+	left := make([]int32, 0, total)
+	right := make([]int32, 0, total)
+	for row, g := range pg {
+		if g < 0 {
+			continue
+		}
+		for _, bi := range idx.rows[idx.starts[g]:idx.starts[g+1]] {
+			left = append(left, int32(row))
+			right = append(right, bi)
+		}
+	}
+
+	out := &Columnar{Name: a.Name + "⋈" + b.Name, schema: schema, n: total}
+	out.cols = make([]CCol, schema.Len())
+	for j := 0; j < a.schema.Len(); j++ {
+		out.cols[j] = gatherCol(&a.cols[j], left)
+	}
+	for k, j := range rightKeep {
+		out.cols[a.schema.Len()+k] = gatherCol(&b.cols[j], right)
+	}
+	return out, nil
+}

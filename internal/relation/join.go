@@ -6,9 +6,11 @@ import (
 
 // joinedSchema builds the output schema of a join of a and b on the given
 // attributes: all columns of a, then the columns of b except the join
-// attributes. A non-join column of b whose name collides with a column of a
-// is renamed with an "_r" suffix (such collisions only arise when a join
-// variant uses a strict subset of the shared attributes).
+// attributes. A non-join column of b whose name collides with a column
+// already in the output is renamed with an "_r" suffix (such collisions only
+// arise when a join variant uses a strict subset of the shared attributes).
+// Taken names are tracked in a set, so the check is O(cols) rather than
+// O(cols²) per join.
 func joinedSchema(a, b *Schema, on []string) (*Schema, []int, error) {
 	onSet := make(map[string]bool, len(on))
 	for _, n := range on {
@@ -18,28 +20,24 @@ func joinedSchema(a, b *Schema, on []string) (*Schema, []int, error) {
 		onSet[n] = true
 	}
 	cols := a.Columns()
+	taken := make(map[string]bool, len(cols)+b.Len())
+	for _, c := range cols {
+		taken[c.Name] = true
+	}
 	var rightKeep []int
 	for i := 0; i < b.Len(); i++ {
 		c := b.Column(i)
 		if onSet[c.Name] {
 			continue
 		}
-		if a.Has(c.Name) {
-			c.Name += "_r"
-			for sfx := 2; ; sfx++ {
-				dup := false
-				for _, ec := range cols {
-					if ec.Name == c.Name {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					break
-				}
-				c.Name = fmt.Sprintf("%s_r%d", b.Column(i).Name, sfx)
+		if taken[c.Name] {
+			base := c.Name
+			c.Name = base + "_r"
+			for sfx := 2; taken[c.Name]; sfx++ {
+				c.Name = fmt.Sprintf("%s_r%d", base, sfx)
 			}
 		}
+		taken[c.Name] = true
 		cols = append(cols, c)
 		rightKeep = append(rightKeep, i)
 	}
@@ -72,7 +70,17 @@ func EquiJoin(a, b *Table, on []string) (*Table, error) {
 		build[string(buf)] = append(build[string(buf)], i)
 	}
 
+	// Size the output exactly from the build-side match counts so the row
+	// slice is allocated once instead of grown through appends (map lookups
+	// with string(buf) in place do not allocate).
+	total := 0
+	for _, ra := range a.Rows {
+		buf = EncodeKey(buf[:0], ra, aIdx)
+		total += len(build[string(buf)])
+	}
+
 	out := NewTable(a.Name+"⋈"+b.Name, schema)
+	out.Rows = make([][]Value, 0, total)
 	for _, ra := range a.Rows {
 		buf = EncodeKey(buf[:0], ra, aIdx)
 		matches := build[string(buf)]
@@ -98,25 +106,20 @@ func FullOuterJoin(a, b *Table, on []string) (*Table, error) {
 		return nil, fmt.Errorf("relation: outer join of %s and %s with no join attributes", a.Name, b.Name)
 	}
 	cols := a.Schema.Columns()
+	taken := make(map[string]bool, len(cols)+b.Schema.Len())
+	for _, c := range cols {
+		taken[c.Name] = true
+	}
 	for i := 0; i < b.Schema.Len(); i++ {
 		c := b.Schema.Column(i)
 		base := c.Name
-		if a.Schema.Has(c.Name) {
+		if taken[c.Name] {
 			c.Name = base + "_r"
 		}
-		for sfx := 2; ; sfx++ {
-			dup := false
-			for _, ec := range cols {
-				if ec.Name == c.Name {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				break
-			}
+		for sfx := 2; taken[c.Name]; sfx++ {
 			c.Name = fmt.Sprintf("%s_r%d", base, sfx)
 		}
+		taken[c.Name] = true
 		cols = append(cols, c)
 	}
 	schema := NewSchema(cols...)

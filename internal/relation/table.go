@@ -176,6 +176,32 @@ func (t *Table) GroupIndices(names ...string) (map[string][]int, error) {
 	return groups, nil
 }
 
+// GroupRowLists groups row indices by the tuple of values in the named
+// columns, like GroupIndices, but returns the groups in first-appearance
+// order of each distinct tuple. Metric code sums floating-point group terms
+// in this order — it is deterministic for a given table, unlike iteration
+// over GroupIndices' map.
+func (t *Table) GroupRowLists(names ...string) ([][]int, error) {
+	idx, err := t.Schema.Indexes(names...)
+	if err != nil {
+		return nil, err
+	}
+	ids := make(map[string]int)
+	var groups [][]int
+	var buf []byte
+	for i, r := range t.Rows {
+		buf = EncodeKey(buf[:0], r, idx)
+		id, ok := ids[string(buf)]
+		if !ok {
+			id = len(groups)
+			ids[string(buf)] = id
+			groups = append(groups, nil)
+		}
+		groups[id] = append(groups[id], i)
+	}
+	return groups, nil
+}
+
 // String renders a short description of the table.
 func (t *Table) String() string {
 	return fmt.Sprintf("%s%s [%d rows]", t.Name, t.Schema, len(t.Rows))

@@ -1,0 +1,187 @@
+package sampling
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// Columnar fast path for the re-sampled multi-way join (Sec 3.2). The
+// semantics, output row order and kept-row sets are identical to
+// CorrelatedSample/ResampledJoinPath on row tables; only the representation
+// changes: joins gather dictionary codes instead of materializing rows, and
+// the correlated hash is computed once per distinct join-attribute tuple
+// instead of once per row.
+
+// CorrelatedSampleColumnar keeps each row of c whose join-attribute tuple
+// hashes to at most rate — the same rows CorrelatedSample keeps on the row
+// path, in the same order. rate ≥ 1 returns c itself (columnars are
+// immutable, so no clone is needed); rate ≤ 0 returns an empty relation.
+// NULL join values are never sampled (they cannot join).
+func CorrelatedSampleColumnar(c *relation.Columnar, joinAttrs []string, rate float64, h Hasher) (*relation.Columnar, error) {
+	if rate >= 1 {
+		return c, nil
+	}
+	if rate <= 0 {
+		return c.FilterRows(nil), nil
+	}
+	cols, err := c.Schema().Indexes(joinAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("correlated sample of %s: %w", c.Name, err)
+	}
+	g, err := c.GroupBy(cols)
+	if err != nil {
+		return nil, fmt.Errorf("correlated sample of %s: %w", c.Name, err)
+	}
+	// One NULL check and one hash per distinct tuple: every row of a group
+	// shares the tuple, so the per-row hash of the row path collapses to a
+	// per-group decision.
+	keepGroup := make([]bool, g.N())
+	var buf []byte
+	for gid := range keepGroup {
+		first := int(g.First[gid])
+		null := false
+		for _, ci := range cols {
+			if c.IsNullAt(first, ci) {
+				null = true
+				break
+			}
+		}
+		if null {
+			continue
+		}
+		buf = c.AppendRowKey(buf[:0], first, cols)
+		keepGroup[gid] = h.Unit(buf) <= rate
+	}
+	kept := 0
+	for _, gc := range g.Codes {
+		if keepGroup[gc] {
+			kept++
+		}
+	}
+	keep := make([]int32, 0, kept)
+	for i, gc := range g.Codes {
+		if keepGroup[gc] {
+			keep = append(keep, int32(i))
+		}
+	}
+	return c.FilterRows(keep), nil
+}
+
+// ColumnarStep is one hop of a columnar join path.
+type ColumnarStep struct {
+	C  *relation.Columnar
+	On []string // ignored for the first step
+	// Index optionally carries a prebuilt build-side join index of C on
+	// exactly On (relation.Columnar.BuildJoinIndex). Search precomputes one
+	// per (instance, join-attrs) pair and shares it across candidates and
+	// workers.
+	Index *relation.JoinIndex
+	// ID is a stable identity of the step's table for prefix-cache keys
+	// (search uses the instance index). Steps with equal IDs must carry the
+	// same columnar data.
+	ID string
+}
+
+// PrefixCache caches accumulated join prefixes across candidate paths.
+// Implementations must be safe for concurrent use and must treat cached
+// relations as immutable. search.Searcher provides a sharded, size-capped
+// implementation.
+type PrefixCache interface {
+	Get(key string) (*relation.Columnar, bool)
+	Put(key string, c *relation.Columnar)
+}
+
+// prefixKeys returns, for each step i ≥ 1, the identity of the accumulated
+// (and possibly re-sampled) intermediate after joining steps[0..i]. The key
+// covers the sampling options (η, ρ, hasher seed — PathJoinOptions.CacheKey,
+// for the same reason the evaluator cache includes it: equal spines under
+// different sampling options produce different tables), every step's table
+// identity and join attributes, and — when re-sampling is enabled — the
+// *next* step's join attributes, because the intermediate is re-sampled on
+// the attributes it will join on next, and a path that ends at step i must
+// not share state with one that continues through it.
+func prefixKeys(steps []ColumnarStep, opts PathJoinOptions) []string {
+	keys := make([]string, len(steps))
+	var b strings.Builder
+	b.WriteString(opts.CacheKey())
+	b.WriteByte('|')
+	b.WriteString(steps[0].ID)
+	for i := 1; i < len(steps); i++ {
+		b.WriteByte('|')
+		b.WriteString(steps[i].ID)
+		b.WriteByte('@')
+		b.WriteString(strings.Join(steps[i].On, "\x00"))
+		if opts.Eta > 0 {
+			b.WriteByte('^')
+			if i < len(steps)-1 {
+				b.WriteString(strings.Join(steps[i+1].On, "\x00"))
+			} else {
+				b.WriteByte('$')
+			}
+		}
+		keys[i] = b.String()
+	}
+	return keys
+}
+
+// ResampledJoinPathColumnar joins steps left-to-right like
+// ResampledJoinPath, re-sampling intermediates that exceed opts.Eta rows,
+// entirely on the columnar representation: no joined row is ever
+// materialized. When cache is non-nil, the longest already-cached prefix of
+// the path is reused and every newly computed intermediate is published, so
+// MCMC neighbors that differ in one edge variant re-join only the suffix
+// behind the change. On a cache hit, stats cover only the joins actually
+// performed in this call.
+func ResampledJoinPathColumnar(steps []ColumnarStep, opts PathJoinOptions, cache PrefixCache) (*relation.Columnar, ResampleStats, error) {
+	var stats ResampleStats
+	if len(steps) == 0 {
+		return nil, stats, fmt.Errorf("sampling: empty join path")
+	}
+	var keys []string
+	start := 0
+	acc := steps[0].C
+	if cache != nil {
+		keys = prefixKeys(steps, opts)
+		for i := len(steps) - 1; i >= 1; i-- {
+			if c, ok := cache.Get(keys[i]); ok {
+				acc, start = c, i
+				break
+			}
+		}
+	}
+	for i := start + 1; i < len(steps); i++ {
+		j, err := relation.EquiJoinColumnar(acc, steps[i].C, steps[i].On, steps[i].Index)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.IntermediateSizes = append(stats.IntermediateSizes, j.NumRows())
+		resampled := false
+		// Only re-sample when another join follows and the threshold trips.
+		if opts.Eta > 0 && i < len(steps)-1 && j.NumRows() > opts.Eta {
+			j2, err := CorrelatedSampleColumnar(j, steps[i+1].On, opts.ResampleRate, opts.Hasher)
+			if err != nil {
+				return nil, stats, err
+			}
+			j = j2
+			resampled = true
+		}
+		stats.Resampled = append(stats.Resampled, resampled)
+		acc = j
+		if cache != nil {
+			cache.Put(keys[i], acc)
+		}
+	}
+	return acc, stats, nil
+}
+
+// columnarizeSteps converts sampled row-path steps into columnar steps for
+// the estimators (no prebuilt indexes; per-call tables).
+func columnarizeSteps(steps []relation.PathStep) []ColumnarStep {
+	out := make([]ColumnarStep, len(steps))
+	for i, st := range steps {
+		out[i] = ColumnarStep{C: relation.ToColumnar(st.Table), On: st.On}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package sampling
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// referenceUnit is the seed-era hash/fnv implementation of Hasher.Unit.
+// Sample identity is part of evaluator cache keys, so the inlined FNV-1a
+// loop must reproduce it bit for bit.
+func referenceUnit(seed uint64, key []byte) float64 {
+	f := fnv.New64a()
+	var seedBytes [8]byte
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(seed >> (8 * i))
+	}
+	f.Write(seedBytes[:])
+	f.Write(key)
+	x := f.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x) / float64(math.MaxUint64)
+}
+
+func TestHasherUnitMatchesFNVReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	seeds := []uint64{0, 1, 7, 0xDEADBEEF, math.MaxUint64}
+	for _, seed := range seeds {
+		h := NewHasher(seed)
+		if got, want := h.Unit(nil), referenceUnit(seed, nil); got != want {
+			t.Fatalf("seed %d, empty key: %v, want %v", seed, got, want)
+		}
+		for trial := 0; trial < 80; trial++ {
+			key := make([]byte, rng.Intn(40))
+			rng.Read(key)
+			if got, want := h.Unit(key), referenceUnit(seed, key); got != want {
+				t.Fatalf("seed %d key %v: %v, want %v", seed, key, got, want)
+			}
+		}
+	}
+}
+
+func randomStepTable(rng *rand.Rand, name string, nRows int, nullFrac float64) *relation.Table {
+	tab := relation.NewTable(name, relation.NewSchema(
+		relation.Cat("j1", relation.KindInt),
+		relation.Cat("j2", relation.KindFloat), // mixed int/float join key
+		relation.Cat(name+"_p", relation.KindString),
+	))
+	for i := 0; i < nRows; i++ {
+		row := make([]relation.Value, 3)
+		if rng.Float64() >= nullFrac {
+			row[0] = relation.IntValue(int64(rng.Intn(8)))
+		}
+		x := rng.Intn(5)
+		if rng.Float64() >= nullFrac {
+			if rng.Intn(2) == 0 {
+				row[1] = relation.IntValue(int64(x))
+			} else {
+				row[1] = relation.FloatValue(float64(x))
+			}
+		}
+		row[2] = relation.StringValue(string(rune('a' + rng.Intn(6))))
+		tab.Append(row)
+	}
+	return tab
+}
+
+func assertTablesEqual(t *testing.T, want, got *relation.Table) {
+	t.Helper()
+	if !want.Schema.Equal(got.Schema) {
+		t.Fatalf("schema mismatch: want %v, got %v", want.Schema, got.Schema)
+	}
+	if want.NumRows() != got.NumRows() {
+		t.Fatalf("row count mismatch: want %d, got %d", want.NumRows(), got.NumRows())
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if !want.Rows[i][j].EqualValue(got.Rows[i][j]) {
+				t.Fatalf("row %d col %d: want %v, got %v", i, j, want.Rows[i][j], got.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestCorrelatedSampleColumnarMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 8; trial++ {
+		tab := randomStepTable(rng, "t", 50+rng.Intn(200), 0.3)
+		h := NewHasher(uint64(trial))
+		for _, on := range [][]string{{"j1"}, {"j2"}, {"j1", "j2"}} {
+			for _, rate := range []float64{0, 0.25, 0.6, 1} {
+				want, err := CorrelatedSample(tab, on, rate, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := CorrelatedSampleColumnar(relation.ToColumnar(tab), on, rate, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertTablesEqual(t, want, got.ToTable())
+			}
+		}
+	}
+}
+
+// mapPrefixCache is a minimal PrefixCache for equivalence tests.
+type mapPrefixCache struct {
+	m    map[string]*relation.Columnar
+	hits int
+}
+
+func (c *mapPrefixCache) Get(key string) (*relation.Columnar, bool) {
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+func (c *mapPrefixCache) Put(key string, v *relation.Columnar) { c.m[key] = v }
+
+func TestResampledJoinPathColumnarMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 6; trial++ {
+		steps := []relation.PathStep{
+			{Table: randomStepTable(rng, "t0", 60+rng.Intn(100), 0.25)},
+			{Table: randomStepTable(rng, "t1", 60+rng.Intn(100), 0.25), On: []string{"j1"}},
+			{Table: randomStepTable(rng, "t2", 60+rng.Intn(100), 0.25), On: []string{"j2"}},
+			{Table: randomStepTable(rng, "t3", 60+rng.Intn(100), 0.25), On: []string{"j1"}},
+		}
+		for _, opts := range []PathJoinOptions{
+			{},
+			{Eta: 150, ResampleRate: 0.5, Hasher: NewHasher(uint64(trial) + 7)},
+			{Eta: 20, ResampleRate: 0.3, Hasher: NewHasher(uint64(trial) + 9)},
+		} {
+			want, wantStats, err := ResampledJoinPath(steps, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotStats, err := ResampledJoinPathColumnar(columnarizeSteps(steps), opts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTablesEqual(t, want, got.ToTable())
+			if len(wantStats.IntermediateSizes) != len(gotStats.IntermediateSizes) {
+				t.Fatalf("stats length mismatch: %v vs %v", wantStats, gotStats)
+			}
+			for i := range wantStats.IntermediateSizes {
+				if wantStats.IntermediateSizes[i] != gotStats.IntermediateSizes[i] ||
+					wantStats.Resampled[i] != gotStats.Resampled[i] {
+					t.Fatalf("stats mismatch at %d: %v vs %v", i, wantStats, gotStats)
+				}
+			}
+		}
+	}
+}
+
+func TestResampledJoinPathColumnarPrefixCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	mkSteps := func() []ColumnarStep {
+		steps := []ColumnarStep{
+			{C: relation.ToColumnar(randomStepTable(rng, "t0", 120, 0.2)), ID: "0"},
+			{C: relation.ToColumnar(randomStepTable(rng, "t1", 120, 0.2)), On: []string{"j1"}, ID: "1"},
+			{C: relation.ToColumnar(randomStepTable(rng, "t2", 120, 0.2)), On: []string{"j2"}, ID: "2"},
+		}
+		return steps
+	}
+	for _, opts := range []PathJoinOptions{
+		{},
+		{Eta: 60, ResampleRate: 0.5, Hasher: NewHasher(41)},
+	} {
+		steps := mkSteps()
+		plain, _, err := ResampledJoinPathColumnar(steps, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := &mapPrefixCache{m: map[string]*relation.Columnar{}}
+		first, _, err := ResampledJoinPathColumnar(steps, opts, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesEqual(t, plain.ToTable(), first.ToTable())
+		if cache.hits != 0 {
+			t.Fatalf("cold cache had %d hits", cache.hits)
+		}
+		// Second run must reuse the full path and return the same table.
+		second, stats, err := ResampledJoinPathColumnar(steps, opts, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cache.hits == 0 {
+			t.Fatal("warm cache had no hits")
+		}
+		if len(stats.IntermediateSizes) != 0 {
+			t.Fatalf("full cache hit should skip all joins, stats %v", stats)
+		}
+		assertTablesEqual(t, plain.ToTable(), second.ToTable())
+
+		// A path that diverges in its last step must reuse only the shared
+		// prefix and still agree with the uncached computation.
+		forked := append([]ColumnarStep(nil), steps...)
+		forked[2] = ColumnarStep{C: relation.ToColumnar(randomStepTable(rng, "t2b", 120, 0.2)), On: []string{"j1"}, ID: "2b"}
+		wantFork, _, err := ResampledJoinPathColumnar(forked, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFork, _, err := ResampledJoinPathColumnar(forked, opts, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesEqual(t, wantFork.ToTable(), gotFork.ToTable())
+	}
+}
+
+// TestPrefixKeysDisambiguateEta pins that, with re-sampling enabled, a path
+// prefix that ends at step i does not share cache state with one that
+// continues past it (the intermediate is re-sampled on the next hop's join
+// attributes).
+func TestPrefixKeysDisambiguateEta(t *testing.T) {
+	c := relation.ToColumnar(relation.NewTable("x", relation.NewSchema(relation.Cat("j1", relation.KindInt))))
+	short := []ColumnarStep{{C: c, ID: "0"}, {C: c, On: []string{"j1"}, ID: "1"}}
+	long := []ColumnarStep{{C: c, ID: "0"}, {C: c, On: []string{"j1"}, ID: "1"}, {C: c, On: []string{"j1"}, ID: "2"}}
+	opts := PathJoinOptions{Eta: 1, ResampleRate: 0.5, Hasher: NewHasher(1)}
+	ks := prefixKeys(short, opts)
+	kl := prefixKeys(long, opts)
+	if ks[1] == kl[1] {
+		t.Fatal("terminal and non-terminal prefixes must have distinct keys when η > 0")
+	}
+	// Without re-sampling the prefix is shareable.
+	opts.Eta = 0
+	if prefixKeys(short, opts)[1] != prefixKeys(long, opts)[1] {
+		t.Fatal("η = 0 prefixes should share keys")
+	}
+}

@@ -13,7 +13,6 @@ package sampling
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 
 	"github.com/dance-db/dance/internal/fd"
@@ -34,19 +33,32 @@ func NewHasher(seed uint64) Hasher { return Hasher{seed: seed} }
 // identical samples, which is what memoizing evaluators key on.
 func (h Hasher) Seed() uint64 { return h.seed }
 
-// Unit hashes key to [0, 1).
+// FNV-1a constants (hash/fnv), inlined so Unit never allocates a hasher.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Unit hashes key to [0, 1). The FNV-1a loop is inlined — hash/fnv's
+// New64a allocated on every tuple, and Unit runs once per row per sampled
+// instance. The output is bit-identical to the previous hash/fnv-based
+// implementation (pinned by TestHasherUnitMatchesFNVReference): sample
+// identity is part of evaluator cache keys, so it must never drift.
 func (h Hasher) Unit(key []byte) float64 {
-	f := fnv.New64a()
-	var seedBytes [8]byte
-	for i := 0; i < 8; i++ {
-		seedBytes[i] = byte(h.seed >> (8 * i))
+	x := uint64(fnvOffset64)
+	s := h.seed
+	for i := 0; i < 8; i++ { // seed bytes, little-endian, as Write saw them
+		x ^= s & 0xff
+		x *= fnvPrime64
+		s >>= 8
 	}
-	f.Write(seedBytes[:])
-	f.Write(key)
+	for _, b := range key {
+		x ^= uint64(b)
+		x *= fnvPrime64
+	}
 	// FNV-1a mixes trailing bytes only into the low bits; finalize with
 	// murmur3's fmix64 so every input bit affects the high bits that
 	// dominate the float mantissa.
-	x := f.Sum64()
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
 	x ^= x >> 33
@@ -209,35 +221,38 @@ func EstimateJI(a, b *relation.Table, on []string, rate float64, h Hasher) (floa
 
 // EstimateCorrelation estimates CORR(x, y) on the join of the path from
 // correlated samples at the given rate, with re-sampling per opts (Eq. 7,
-// Theorem 3.2).
+// Theorem 3.2). The join and the measure run on the columnar fast path;
+// the result is bit-identical to joining the row samples and calling
+// infotheory.CorrelationOnRows.
 func EstimateCorrelation(steps []relation.PathStep, x, y []string, rate float64, opts PathJoinOptions) (float64, error) {
 	sampled, err := SamplePath(steps, rate, opts.Hasher)
 	if err != nil {
 		return 0, err
 	}
-	j, _, err := ResampledJoinPath(sampled, opts)
+	j, _, err := ResampledJoinPathColumnar(columnarizeSteps(sampled), opts, nil)
 	if err != nil {
 		return 0, err
 	}
 	if j.NumRows() == 0 {
 		return 0, fmt.Errorf("sampling: correlation estimate degenerate, empty join sample (rate %v)", rate)
 	}
-	return infotheory.Correlation(j, x, y)
+	return infotheory.CorrelationColumnar(j, x, y)
 }
 
 // EstimateQuality estimates Q of Def 2.3 on the join of the path from
-// correlated samples at the given rate (Eq. 8, Theorem 3.2).
+// correlated samples at the given rate (Eq. 8, Theorem 3.2), on the
+// columnar fast path.
 func EstimateQuality(steps []relation.PathStep, fds []fd.FD, rate float64, opts PathJoinOptions) (float64, error) {
 	sampled, err := SamplePath(steps, rate, opts.Hasher)
 	if err != nil {
 		return 0, err
 	}
-	j, _, err := ResampledJoinPath(sampled, opts)
+	j, _, err := ResampledJoinPathColumnar(columnarizeSteps(sampled), opts, nil)
 	if err != nil {
 		return 0, err
 	}
 	if j.NumRows() == 0 {
 		return 0, fmt.Errorf("sampling: quality estimate degenerate, empty join sample (rate %v)", rate)
 	}
-	return fd.QualitySet(j, fds)
+	return fd.QualitySetColumnar(j, fds)
 }

@@ -1,0 +1,135 @@
+package search
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// prefixCache is a sharded, size-capped cache of accumulated columnar join
+// prefixes, implementing sampling.PrefixCache. MCMC neighbors differ in one
+// edge variant, so candidate paths share long spine prefixes; caching the
+// intermediate after each hop lets a neighbor re-join only the suffix
+// behind its changed edge. Keys are produced by the sampling package and
+// cover the path-prefix fingerprint plus the sampling options' CacheKey —
+// equal spines evaluated under different η/ρ/seed produce different tables
+// and must not share entries.
+//
+// The cache is bounded (FIFO per shard) both by entry count and by a total
+// row budget — entries are whole join intermediates, which are unbounded
+// when η re-sampling is off — and oversized intermediates are never cached
+// at all. Evicting or skipping an entry only costs a re-join, never
+// correctness.
+const (
+	prefixCacheShards   = 16
+	prefixCacheShardCap = 48
+	// prefixCacheShardRowBudget bounds the summed NumRows of a shard's
+	// entries (~16 MB of codes per shard at 4 typical uint32 columns).
+	prefixCacheShardRowBudget = 1 << 20
+	// prefixEntryMaxRows keeps any single huge intermediate from churning
+	// the whole shard.
+	prefixEntryMaxRows = prefixCacheShardRowBudget / 4
+)
+
+type prefixCache struct {
+	shards [prefixCacheShards]prefixShard
+}
+
+type prefixShard struct {
+	mu   sync.Mutex
+	m    map[string]*relation.Columnar
+	fifo []string
+	rows int
+}
+
+func newPrefixCache() *prefixCache {
+	c := &prefixCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*relation.Columnar)
+	}
+	return c
+}
+
+func (c *prefixCache) shard(key string) *prefixShard {
+	// FNV-1a over the key, like the eval cache.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%prefixCacheShards]
+}
+
+// Get returns the cached intermediate for key, if present.
+func (c *prefixCache) Get(key string) (*relation.Columnar, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	v, ok := s.m[key]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Put publishes an intermediate, evicting the shard's oldest entries past
+// the entry cap or the row budget. Re-putting an existing key refreshes the
+// value without growing the FIFO; intermediates past prefixEntryMaxRows are
+// not cached at all.
+func (c *prefixCache) Put(key string, v *relation.Columnar) {
+	if v.NumRows() > prefixEntryMaxRows {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if old, ok := s.m[key]; ok {
+		s.rows -= old.NumRows()
+	} else {
+		s.fifo = append(s.fifo, key)
+	}
+	s.m[key] = v
+	s.rows += v.NumRows()
+	for len(s.fifo) > prefixCacheShardCap || s.rows > prefixCacheShardRowBudget {
+		old := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		if ev, ok := s.m[old]; ok {
+			s.rows -= ev.NumRows()
+			delete(s.m, old)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Len reports the number of cached prefixes (for tests).
+func (c *prefixCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// colStore lazily builds and shares the columnar encoding of each instance
+// sample. Built once per Searcher; shared by every candidate and worker.
+type colStore struct {
+	mu sync.RWMutex
+	m  map[int]*relation.Columnar
+}
+
+// joinIndexStore lazily builds and shares build-side join indexes per
+// (instance, join-attribute set) pair.
+type joinIndexStore struct {
+	mu sync.RWMutex
+	m  map[string]*relation.JoinIndex
+}
+
+func joinIndexKey(vertex int, on []string) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(vertex))
+	for _, a := range on {
+		b.WriteByte(0)
+		b.WriteString(a)
+	}
+	return b.String()
+}

@@ -138,17 +138,79 @@ type Result struct {
 }
 
 // Searcher runs searches over one join graph. It is safe for concurrent
-// use: the evaluation cache is sharded and mutex-protected, and every
-// search derives chain-local RNGs instead of mutating shared state.
+// use: the evaluation, columnar, join-index and join-prefix caches are all
+// sharded or RWMutex-protected, and every search derives chain-local RNGs
+// instead of mutating shared state.
 type Searcher struct {
 	G *joingraph.Graph
 
 	evalCache *evalCache
+	// cols holds the dictionary-encoded form of each instance sample,
+	// built once and shared across all candidates and workers.
+	cols colStore
+	// joinIdx holds build-side hash-join indexes per (instance,
+	// join-attribute set), precomputed once and shared likewise.
+	joinIdx joinIndexStore
+	// prefixes caches accumulated join prefixes so MCMC neighbors that
+	// share a spine prefix re-join only the suffix behind their changed
+	// edge.
+	prefixes *prefixCache
 }
 
 // NewSearcher wraps a join graph.
 func NewSearcher(g *joingraph.Graph) *Searcher {
-	return &Searcher{G: g, evalCache: newEvalCache()}
+	return &Searcher{
+		G:         g,
+		evalCache: newEvalCache(),
+		cols:      colStore{m: make(map[int]*relation.Columnar)},
+		joinIdx:   joinIndexStore{m: make(map[string]*relation.JoinIndex)},
+		prefixes:  newPrefixCache(),
+	}
+}
+
+// columnarOf returns the shared columnar encoding of instance v's sample,
+// building it on first use.
+func (s *Searcher) columnarOf(v int) *relation.Columnar {
+	s.cols.mu.RLock()
+	c := s.cols.m[v]
+	s.cols.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.cols.mu.Lock()
+	defer s.cols.mu.Unlock()
+	if c = s.cols.m[v]; c != nil {
+		return c
+	}
+	c = relation.ToColumnar(s.G.Instances[v].Sample)
+	s.cols.m[v] = c
+	return c
+}
+
+// joinIndexOf returns the shared build-side join index of instance v on the
+// given attributes, building it on first use. The build — O(sample size) —
+// runs outside the store lock so concurrent workers warming up different
+// (instance, attrs) pairs don't serialize; a racing duplicate build is
+// harmless (indexes are immutable, first store wins).
+func (s *Searcher) joinIndexOf(v int, on []string) (*relation.JoinIndex, error) {
+	key := joinIndexKey(v, on)
+	s.joinIdx.mu.RLock()
+	idx := s.joinIdx.m[key]
+	s.joinIdx.mu.RUnlock()
+	if idx != nil {
+		return idx, nil
+	}
+	built, err := s.columnarOf(v).BuildJoinIndex(on...)
+	if err != nil {
+		return nil, err
+	}
+	s.joinIdx.mu.Lock()
+	defer s.joinIdx.mu.Unlock()
+	if idx = s.joinIdx.m[key]; idx != nil {
+		return idx, nil
+	}
+	s.joinIdx.m[key] = built
+	return built, nil
 }
 
 // fingerprint identifies a target graph up to metrics equivalence.
@@ -217,16 +279,33 @@ func (s *Searcher) Evaluate(ctx context.Context, tg *joingraph.TargetGraph, req 
 	return m, nil
 }
 
+// evaluateUncached runs entirely on the columnar fast path: instance
+// samples are dictionary-encoded once per Searcher, build-side join indexes
+// are shared per (instance, join-attrs), the join never materializes rows,
+// and common path prefixes are reused through the prefix cache. The metrics
+// are bit-identical to joining the row samples with
+// sampling.ResampledJoinPath and calling infotheory.CorrelationOnRows and
+// fd.QualitySet (pinned by the columnar equivalence tests).
 func (s *Searcher) evaluateUncached(ctx context.Context, tg *joingraph.TargetGraph, req Request) (Metrics, error) {
 	x, y, err := req.corrAttrs()
 	if err != nil {
 		return Metrics{}, err
 	}
-	steps, err := tg.JoinSteps()
+	hops, err := tg.JoinPlan()
 	if err != nil {
 		return Metrics{}, err
 	}
-	j, _, err := sampling.ResampledJoinPath(steps, req.samplingOptions())
+	steps := make([]sampling.ColumnarStep, len(hops))
+	for i, hp := range hops {
+		st := sampling.ColumnarStep{C: s.columnarOf(hp.Vertex), On: hp.On, ID: strconv.Itoa(hp.Vertex)}
+		if i > 0 {
+			if st.Index, err = s.joinIndexOf(hp.Vertex, hp.On); err != nil {
+				return Metrics{}, err
+			}
+		}
+		steps[i] = st
+	}
+	j, _, err := sampling.ResampledJoinPathColumnar(steps, req.samplingOptions(), s.prefixes)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -240,11 +319,11 @@ func (s *Searcher) evaluateUncached(ctx context.Context, tg *joingraph.TargetGra
 		m.Correlation, m.Quality = 0, 0
 		return m, nil
 	}
-	m.Correlation, err = infotheory.Correlation(j, x, y)
+	m.Correlation, err = infotheory.CorrelationColumnar(j, x, y)
 	if err != nil {
 		return Metrics{}, err
 	}
-	m.Quality, err = fd.QualitySet(j, tg.FDs())
+	m.Quality, err = fd.QualitySetColumnar(j, tg.FDs())
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -10,10 +10,13 @@ package dance_test
 
 import (
 	"context"
+	"net/http/httptest"
 	"testing"
 
 	dance "github.com/dance-db/dance"
+	"github.com/dance-db/dance/internal/core"
 	"github.com/dance-db/dance/internal/experiments"
+	"github.com/dance-db/dance/internal/marketplace"
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/infotheory"
 	"github.com/dance-db/dance/internal/joingraph"
@@ -327,6 +330,66 @@ func BenchmarkEndToEndAcquisition(b *testing.B) {
 		}
 		if _, err := mw.Execute(bg, plan); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Incremental escalation vs. the seed-era full rebuild ------------------
+
+// benchEscalationServer hosts a TPC-H marketplace over a real HTTP listener:
+// the escalation scenario is I/O-shaped (samples cross the wire as CSV), so
+// the delta path's smaller transfers and merge-instead-of-reencode are
+// measured where they matter.
+func benchEscalationServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	tables, fds := dance.GenerateTPCH(2, 1, -1)
+	market := dance.NewMarketplace(nil)
+	for _, t := range tables {
+		market.Register(t, fds[t.Name])
+	}
+	srv := httptest.NewServer(dance.Handler(market))
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+var escalationLadder = []float64{0.1, 0.2, 0.4, 0.8, 1}
+
+// BenchmarkEscalationIncremental is a long-lived session escalating through
+// the rate ladder: one middleware, delta purchases, copy-on-write merges,
+// version-keyed caches.
+func BenchmarkEscalationIncremental(b *testing.B) {
+	srv := benchEscalationServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := core.New(marketplace.NewClient(srv.URL), core.Config{
+			SampleRate: escalationLadder[0], SampleSeed: 1, RateGrowth: 2,
+		})
+		if err := d.Offline(bg); err != nil {
+			b.Fatal(err)
+		}
+		for range escalationLadder[1:] {
+			if _, err := d.Escalate(bg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEscalationFullRebuild is the seed-era baseline: every rate of
+// the same ladder re-buys complete samples and rebuilds the offline state
+// from scratch (a fresh middleware per round, exactly what the old
+// Dance.rebuild did on every escalation).
+func BenchmarkEscalationFullRebuild(b *testing.B) {
+	srv := benchEscalationServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rate := range escalationLadder {
+			d := core.New(marketplace.NewClient(srv.URL), core.Config{
+				SampleRate: rate, SampleSeed: 1,
+			})
+			if err := d.Offline(bg); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

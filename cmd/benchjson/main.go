@@ -67,6 +67,7 @@ func main() {
 	check := flag.String("check", "", "comma-separated benchmark names to gate (ns/op)")
 	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression vs the baseline")
 	calibrate := flag.String("calibrate", "", "benchmark used as a machine-speed anchor: gated ns/op are divided by this benchmark's ns/op in both the current run and the baseline, so a baseline measured on different hardware still gates relative regressions")
+	requireFaster := flag.String("require-faster", "", "comma-separated 'A<B' pairs asserting benchmark A's ns/op is below B's in the current input — ordering invariants (e.g. the incremental escalation beating the full rebuild) that must hold on any machine")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -87,6 +88,12 @@ func main() {
 		if *out == "-" {
 			fmt.Println(string(enc))
 		} else if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *requireFaster != "" {
+		if err := checkFaster(results, *requireFaster); err != nil {
 			fatal(err)
 		}
 	}
@@ -148,6 +155,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// checkFaster enforces 'A<B' ordering invariants on the parsed results.
+func checkFaster(results map[string]Result, spec string) error {
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		parts := strings.SplitN(pair, "<", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("benchjson: malformed -require-faster pair %q (want 'A<B')", pair)
+		}
+		a, b := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		ra, ok := results[a]
+		if !ok {
+			return fmt.Errorf("benchjson: -require-faster benchmark %s missing from input", a)
+		}
+		rb, ok := results[b]
+		if !ok {
+			return fmt.Errorf("benchjson: -require-faster benchmark %s missing from input", b)
+		}
+		if ra.NsPerOp >= rb.NsPerOp {
+			return fmt.Errorf("benchjson: FAIL %s (%.4g ns/op) is not faster than %s (%.4g ns/op)",
+				a, ra.NsPerOp, b, rb.NsPerOp)
+		}
+		fmt.Printf("benchjson: ok %s (%.4g ns/op) < %s (%.4g ns/op)\n", a, ra.NsPerOp, b, rb.NsPerOp)
+	}
+	return nil
 }
 
 // marshalStable renders the map with sorted keys so emitted files diff

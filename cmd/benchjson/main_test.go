@@ -36,6 +36,28 @@ PASS
 	}
 }
 
+func TestCheckFaster(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkIncremental": {NsPerOp: 100},
+		"BenchmarkFull":        {NsPerOp: 250},
+	}
+	if err := checkFaster(results, "BenchmarkIncremental<BenchmarkFull"); err != nil {
+		t.Fatalf("valid ordering rejected: %v", err)
+	}
+	if err := checkFaster(results, "BenchmarkFull<BenchmarkIncremental"); err == nil {
+		t.Fatal("inverted ordering must fail")
+	}
+	if err := checkFaster(results, "BenchmarkIncremental<BenchmarkMissing"); err == nil {
+		t.Fatal("missing benchmark must fail")
+	}
+	if err := checkFaster(results, "garbage"); err == nil {
+		t.Fatal("malformed pair must fail")
+	}
+	if err := checkFaster(results, " BenchmarkIncremental < BenchmarkFull , "); err != nil {
+		t.Fatalf("whitespace/trailing comma should be tolerated: %v", err)
+	}
+}
+
 func TestMarshalStable(t *testing.T) {
 	m := map[string]Result{
 		"BenchmarkB": {NsPerOp: 2},

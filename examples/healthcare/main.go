@@ -19,9 +19,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	dance "github.com/dance-db/dance"
 )
@@ -134,10 +136,13 @@ func main() {
 	mw := dance.New(market, dance.Config{SampleRate: 0.8, SampleSeed: 3, DiscoverFDs: true})
 	mw.AddSource(ds, nil)
 
-	// This example deliberately stays on the deprecated context-free
-	// wrappers (dance.Acquire / dance.Execute) to show the incremental
-	// migration path; new code should call mw.Acquire(ctx, …) directly.
-	plan, err := dance.Acquire(mw, dance.Request{
+	// Context-first v1 API: the deadline bounds the marketplace I/O and the
+	// MCMC search end to end (an in-process run finishes in milliseconds;
+	// against a remote marketplace the same code cancels cleanly).
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	plan, err := mw.Acquire(ctx, dance.Request{
 		SourceAttrs: []string{"age"},
 		TargetAttrs: []string{"disease"},
 		Budget:      400,
@@ -155,7 +160,7 @@ func main() {
 	fmt.Printf("estimates: correlation=%.3f quality=%.3f price=%.2f\n\n",
 		plan.Est.Correlation, plan.Est.Quality, plan.Est.Price)
 
-	purchase, err := dance.Execute(mw, plan)
+	purchase, err := mw.Execute(ctx, plan)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"github.com/dance-db/dance/internal/infotheory"
 	"github.com/dance-db/dance/internal/joingraph"
 	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/offline"
 	"github.com/dance-db/dance/internal/parallel"
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
@@ -91,6 +92,17 @@ type Dance struct {
 	market marketplace.Market
 	cfg    Config
 
+	// store is the versioned offline sample state: merged incrementally by
+	// delta purchases, snapshotted immutably per rebuild.
+	store *offline.SampleStore
+	// caches is the search-layer evaluation state shared across rebuilds;
+	// its keys carry per-dataset versions, so an escalation invalidates
+	// only entries derived from datasets whose samples actually changed.
+	caches *search.Caches
+	// ji memoizes join-informativeness estimates across graph rebuilds,
+	// versioned the same way.
+	ji *joingraph.JICache
+
 	// offlineMu serializes offline rebuilds (catalog fetch, sample
 	// purchases, graph construction): concurrent escalations must not buy
 	// duplicate sample rounds. It is never held while mu is wanted by
@@ -104,14 +116,41 @@ type Dance struct {
 	rate       float64
 	sources    []source
 	sampleCost float64
+	rounds     []SampleRound
 	graph      *joingraph.Graph
 	searcher   *search.Searcher
 }
 
+// SampleRound records what one offline round bought: full samples (first
+// purchase of a dataset, or a re-buy after sampling parameters changed) and
+// delta top-ups (the incremental escalation path). Service layers surface
+// these in their ledgers so shoppers can see that escalations bill only
+// the difference.
+type SampleRound struct {
+	// FromRate is the store-wide rate before the round (0 on the first).
+	FromRate float64
+	// ToRate is the rate the round escalated to.
+	ToRate float64
+	// FullCost sums the complete-sample purchases of the round.
+	FullCost float64
+	// DeltaCost sums the delta purchases of the round.
+	DeltaCost float64
+}
+
+// Cost returns the round's total spend.
+func (r SampleRound) Cost() float64 { return r.FullCost + r.DeltaCost }
+
 // New creates a middleware bound to a marketplace.
 func New(market marketplace.Market, cfg Config) *Dance {
 	cfg = cfg.withDefaults()
-	return &Dance{market: market, cfg: cfg, rate: cfg.SampleRate}
+	return &Dance{
+		market: market,
+		cfg:    cfg,
+		rate:   cfg.SampleRate,
+		store:  offline.NewSampleStore(),
+		caches: search.NewCaches(),
+		ji:     joingraph.NewJICache(),
+	}
 }
 
 // AddSource registers shopper-owned data (the S of the acquisition request).
@@ -127,6 +166,13 @@ func (d *Dance) SampleCost() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.sampleCost
+}
+
+// SampleRounds returns the per-round sample spend log, oldest first.
+func (d *Dance) SampleRounds() []SampleRound {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]SampleRound(nil), d.rounds...)
 }
 
 // SampleRate returns the current offline sampling rate.
@@ -178,9 +224,11 @@ func primaryJoinAttr(info marketplace.DatasetInfo, catalog []marketplace.Dataset
 
 // Offline runs the offline phase: fetch the catalog, buy correlated samples
 // of every dataset at the current rate, collect published (or discovered)
-// AFDs, and build the join graph. Calling it again re-samples at the
-// current rate (used by the iterative refresh). Cancelling ctx aborts the
-// in-flight marketplace calls and returns ctx.Err().
+// AFDs, and build the join graph. Calling it again refreshes the graph from
+// the sample store without re-buying anything (datasets already sampled at
+// the current rate are free no-ops; new catalog entries are bought in
+// full). Cancelling ctx aborts the in-flight marketplace calls and returns
+// ctx.Err().
 func (d *Dance) Offline(ctx context.Context) error {
 	d.offlineMu.Lock()
 	defer d.offlineMu.Unlock()
@@ -246,8 +294,25 @@ func (d *Dance) escalate(ctx context.Context, seenRate float64) (retry bool, err
 	return true, nil
 }
 
+// fetchOutcome is one dataset's purchase result within a rebuild round.
+type fetchOutcome struct {
+	joinAttr string
+	full     *relation.Table // complete sample bought (nil when extending)
+	delta    *relation.Table // delta bought (nil when full or no-op)
+	fds      []fd.FD
+	fullCost float64
+	delta0   bool // delta path taken with nothing to buy (rates equal)
+	cost     float64
+}
+
 // rebuild runs one offline round at the given rate and commits the
-// resulting graph. The caller must hold offlineMu (not mu).
+// resulting graph. Instead of re-buying complete samples, datasets already
+// held by the sample store are topped up with SampleDelta purchases — only
+// the rows with sampling unit in (oldRate, rate] — and merged copy-on-write
+// into the versioned store; the join graph and searcher are then rebuilt
+// from the merged state, with version-keyed caches preserving evaluation
+// state derived from unchanged datasets. The caller must hold offlineMu
+// (not mu).
 func (d *Dance) rebuild(ctx context.Context, rate float64) error {
 	d.mu.Lock()
 	srcs := append([]source(nil), d.sources...)
@@ -260,84 +325,190 @@ func (d *Dance) rebuild(ctx context.Context, rate float64) error {
 	if len(catalog) == 0 {
 		return fmt.Errorf("dance: marketplace catalog is empty")
 	}
+	if rate > 1 {
+		rate = 1
+	}
+	prev := d.store.Snapshot()
+
+	// Fetch each dataset's sample (full or delta) and FDs concurrently —
+	// pure I/O fan-out when the marketplace is remote — with bounded
+	// workers and first-error (or cancellation) early exit. Indexed result
+	// slots keep instance numbering and the summed sample cost
+	// deterministic. Costs are recorded per slot so that even on a partial
+	// failure SampleCost reflects every purchase the marketplace actually
+	// charged for.
+	outcomes := make([]fetchOutcome, len(catalog))
+	err = parallel.ForEach(ctx, len(catalog), d.cfg.Workers, func(i int) error {
+		info := catalog[i]
+		out := &outcomes[i]
+		out.joinAttr = primaryJoinAttr(info, catalog)
+		held := prev.Dataset(info.Name)
+		// A held dataset can be extended only when the sampling run is the
+		// same one: equal join attributes and seed, rate not shrinking —
+		// and the listing itself unchanged as far as we can tell. Listings
+		// are assumed immutable, but a replaced listing with a different
+		// cardinality is detectable for free, and merging a delta of the
+		// new data onto a sample of the old would corrupt the store.
+		extendable := held != nil && held.Seed == d.cfg.SampleSeed &&
+			len(held.JoinAttrs) == 1 && held.JoinAttrs[0] == out.joinAttr &&
+			held.Rate <= rate && held.FullRows == info.Rows
+		switch {
+		case extendable && held.Rate == rate:
+			out.delta0 = true // refresh at the same rate: nothing to buy
+		case extendable:
+			delta, cost, err := d.market.SampleDelta(ctx, info.Name, held.JoinAttrs, held.Rate, rate, d.cfg.SampleSeed)
+			if err != nil {
+				return fmt.Errorf("dance: delta sampling %s: %w", info.Name, err)
+			}
+			out.delta, out.cost = delta, cost
+		default:
+			sample, cost, err := d.market.Sample(ctx, info.Name, []string{out.joinAttr}, rate, d.cfg.SampleSeed)
+			if err != nil {
+				return fmt.Errorf("dance: sampling %s: %w", info.Name, err)
+			}
+			out.full, out.cost, out.fullCost = sample, cost, cost
+		}
+		fds, err := d.market.DatasetFDs(ctx, info.Name)
+		if err != nil {
+			return fmt.Errorf("dance: FDs of %s: %w", info.Name, err)
+		}
+		out.fds = fds
+		return nil
+	})
+	spent, fullSpent := 0.0, 0.0
+	for _, out := range outcomes {
+		spent += out.cost
+		fullSpent += out.fullCost
+	}
+	recordSpend := func() {
+		d.mu.Lock()
+		d.sampleCost += spent
+		if spent > 0 {
+			d.rounds = append(d.rounds, SampleRound{
+				FromRate: prev.Rate, ToRate: rate,
+				FullCost: fullSpent, DeltaCost: spent - fullSpent,
+			})
+		}
+		d.mu.Unlock()
+	}
+	if err != nil {
+		recordSpend()
+		return err
+	}
+
+	// Merge the purchases into the versioned store. Datasets with empty
+	// deltas keep their version, so caches derived from them stay valid.
+	keep := make(map[string]bool, len(catalog))
+	for i, info := range catalog {
+		keep[info.Name] = true
+		out := outcomes[i]
+		switch {
+		case out.full != nil:
+			d.store.Replace(info.Name, out.full, []string{out.joinAttr}, d.cfg.SampleSeed, rate, info.Rows)
+		default:
+			delta := out.delta
+			if out.delta0 {
+				delta = relation.NewTable(info.Name, prev.Dataset(info.Name).Table.Schema)
+			}
+			if _, err := d.store.Extend(info.Name, delta, rate, info.Rows); err != nil {
+				recordSpend()
+				return fmt.Errorf("dance: %w", err)
+			}
+		}
+	}
+	d.store.Retain(keep)
+	d.store.CommitRate(rate)
+
+	// FDs: published ones win; discovery runs on the *merged* sample when a
+	// dataset publishes none — but only when this round actually changed
+	// the dataset's rows. Re-discovering over unchanged rows is
+	// deterministic busywork that would make same-rate refreshes (and
+	// empty-delta escalations) pay a combinatorial AFD search for nothing.
+	// Version bumps only when the resulting set changed.
+	snap := d.store.Snapshot()
+	if err := parallel.ForEach(ctx, len(catalog), d.cfg.Workers, func(i int) error {
+		info := catalog[i]
+		out := outcomes[i]
+		fds := out.fds
+		if len(fds) == 0 && d.cfg.DiscoverFDs {
+			rowsChanged := out.full != nil || (out.delta != nil && out.delta.NumRows() > 0)
+			// held.FDs non-nil means a previous round already resolved the
+			// FDs (discovery may legitimately have found none) — reuse it
+			// whenever this round didn't change the rows.
+			if held := prev.Dataset(info.Name); held != nil && !rowsChanged && held.FDs != nil {
+				fds = held.FDs
+			} else {
+				var err error
+				if fds, err = fd.Discover(snap.Dataset(info.Name).Table, d.cfg.FDOptions); err != nil {
+					return fmt.Errorf("dance: FD discovery on %s: %w", info.Name, err)
+				}
+			}
+		}
+		return d.store.SetFDs(info.Name, fds)
+	}); err != nil {
+		recordSpend()
+		return err
+	}
+	snap = d.store.Snapshot()
+
 	var instances []*joingraph.Instance
-	for _, s := range srcs {
+	for si, s := range srcs {
 		instances = append(instances, &joingraph.Instance{
 			Name:     s.table.Name,
 			Sample:   s.table, // owned data needs no sampling
 			FullRows: s.table.NumRows(),
 			FDs:      s.fds,
 			Owned:    true,
+			// Owned tables never change, but each registered source needs
+			// a distinct cache identity even under a duplicated name — the
+			// source index is stable (AddSource only appends).
+			Version: uint64(si),
 		})
 	}
-	// Fetch each dataset's correlated sample and FDs concurrently — pure
-	// I/O fan-out when the marketplace is remote — with bounded workers
-	// and first-error (or cancellation) early exit. Indexed result slots
-	// keep instance numbering and the summed sample cost deterministic.
-	// Costs are recorded per slot so that even on a partial failure
-	// SampleCost reflects every sample the marketplace actually charged
-	// for.
-	if rate > 1 {
-		rate = 1
-	}
-	fetched := make([]*joingraph.Instance, len(catalog))
-	costs := make([]float64, len(catalog))
-	err = parallel.ForEach(ctx, len(catalog), d.cfg.Workers, func(i int) error {
-		info := catalog[i]
-		joinAttr := primaryJoinAttr(info, catalog)
-		sample, cost, err := d.market.Sample(ctx, info.Name, []string{joinAttr}, rate, d.cfg.SampleSeed)
-		if err != nil {
-			return fmt.Errorf("dance: sampling %s: %w", info.Name, err)
-		}
-		costs[i] = cost
-		fds, err := d.market.DatasetFDs(ctx, info.Name)
-		if err != nil {
-			return fmt.Errorf("dance: FDs of %s: %w", info.Name, err)
-		}
-		if len(fds) == 0 && d.cfg.DiscoverFDs {
-			fds, err = fd.Discover(sample, d.cfg.FDOptions)
-			if err != nil {
-				return fmt.Errorf("dance: FD discovery on %s: %w", info.Name, err)
-			}
-		}
-		fetched[i] = &joingraph.Instance{
-			Name:     info.Name,
-			Sample:   sample,
-			FullRows: info.Rows,
-			FDs:      fds,
-		}
-		return nil
-	})
-	spent := 0.0
-	for _, c := range costs {
-		spent += c
-	}
-	if err != nil {
-		d.mu.Lock()
-		d.sampleCost += spent
-		d.mu.Unlock()
-		return err
-	}
-	for _, inst := range fetched {
-		instances = append(instances, inst)
+	for _, info := range catalog {
+		ds := snap.Dataset(info.Name)
+		instances = append(instances, &joingraph.Instance{
+			Name:     ds.Name,
+			Sample:   ds.Table,
+			Columnar: ds.Cols,
+			Version:  ds.Version,
+			FullRows: ds.FullRows,
+			FDs:      ds.FDs,
+		})
 	}
 	g, err := joingraph.Build(instances, joingraph.Config{
 		MaxJoinAttrs: d.cfg.MaxJoinAttrs,
 		Quoter:       d.market,
+		JI:           d.ji,
 	})
 	if err != nil {
-		d.mu.Lock()
-		d.sampleCost += spent
-		d.mu.Unlock()
+		recordSpend()
 		return fmt.Errorf("dance: join graph: %w", err)
 	}
+	recordSpend()
+	searcher := search.NewSearcherWithCaches(g, d.caches)
+	// Drop cached state of superseded dataset versions: a long-lived
+	// session escalates many times, and each round would otherwise strand
+	// a generation of columnar encodings and join indexes.
+	d.caches.RetainInstances(searcher)
 	d.mu.Lock()
-	d.sampleCost += spent
 	d.rate = rate
 	d.graph = g
-	d.searcher = search.NewSearcher(g)
+	d.searcher = searcher
 	d.mu.Unlock()
 	return nil
+}
+
+// Escalate grows the sampling rate by RateGrowth (capped at 1) and re-runs
+// the offline phase incrementally, buying only each dataset's sample delta.
+// It reports whether anything was escalated: false means the rate already
+// reached 1. Long-lived sessions use it to cheapen future acquisitions
+// without waiting for an infeasible search to trigger the refresh loop.
+func (d *Dance) Escalate(ctx context.Context) (bool, error) {
+	if _, err := d.ensure(ctx); err != nil {
+		return false, err
+	}
+	return d.escalate(ctx, d.SampleRate())
 }
 
 // Plan is DANCE's recommendation: the projection queries to purchase, the

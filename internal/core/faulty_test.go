@@ -54,6 +54,13 @@ func (f *faultyMarket) Sample(ctx context.Context, name string, joinAttrs []stri
 	return f.inner.Sample(ctx, name, joinAttrs, rate, seed)
 }
 
+func (f *faultyMarket) SampleDelta(ctx context.Context, name string, joinAttrs []string, fromRate, toRate float64, seed uint64) (*relation.Table, float64, error) {
+	if name == f.failSample {
+		return nil, 0, errInjected
+	}
+	return f.inner.SampleDelta(ctx, name, joinAttrs, fromRate, toRate, seed)
+}
+
 func (f *faultyMarket) ExecuteProjection(ctx context.Context, q pricing.Query) (*relation.Table, float64, error) {
 	if q.Instance == f.failQuery {
 		return nil, 0, errInjected

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/dance-db/dance/internal/fd"
@@ -44,6 +45,27 @@ type Instance struct {
 	// Owned marks the data shopper's own source instance: it participates
 	// in joins but costs nothing to "purchase".
 	Owned bool
+	// Columnar optionally carries the dictionary-encoded form of Sample,
+	// prebuilt by the offline sample store. When set it must hold exactly
+	// Sample's rows; the searcher then skips re-encoding the instance.
+	Columnar *relation.Columnar
+	// Version identifies the sample's offline state: it increases whenever
+	// the dataset's rows (or FDs) change, and 0 for state that never
+	// changes (owned sources, or callers that don't version). Search-layer
+	// caches key on (Name, Version), so entries derived from an unchanged
+	// dataset survive a graph rebuild.
+	Version uint64
+}
+
+// CacheKey is the instance's identity for cross-rebuild caches. Owned
+// instances live in their own key namespace so a shopper source can never
+// alias a marketplace dataset's cached state (names are seller- and
+// shopper-controlled; the two spaces aren't coordinated).
+func (inst *Instance) CacheKey() string {
+	if inst.Owned {
+		return fmt.Sprintf("%s@own%d", inst.Name, inst.Version)
+	}
+	return fmt.Sprintf("%s@%d", inst.Name, inst.Version)
 }
 
 // PriceQuoter returns exact marketplace price quotes for projection queries.
@@ -63,6 +85,46 @@ type Config struct {
 	MaxJoinAttrs int
 	// Quoter supplies AS-vertex prices. Required for priced searches.
 	Quoter PriceQuoter
+	// JI optionally memoizes variant weights across graph rebuilds, keyed
+	// by the instance pair's (name, version) identity and the attribute
+	// set. With the incremental offline store most escalations change most
+	// samples — but datasets with empty deltas, and the shopper's own
+	// instances, keep their versions, and their pairwise estimates are
+	// reused instead of re-measured. Callers that rebuild graphs from
+	// *unversioned* instances must not share a JICache across different
+	// samples.
+	JI *JICache
+}
+
+// JICache memoizes join-informativeness estimates across graph rebuilds.
+// Safe for concurrent use. Entry-capped: superseded dataset versions leave
+// dead keys behind, and on overflow the cache resets — a reset only costs
+// re-estimation on the next build.
+type JICache struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+// jiCacheCap bounds the entries held across rebuilds.
+const jiCacheCap = 1 << 16
+
+// NewJICache returns an empty cache.
+func NewJICache() *JICache { return &JICache{m: make(map[string]float64)} }
+
+func (c *JICache) get(key string) (float64, bool) {
+	c.mu.RLock()
+	v, ok := c.m[key]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *JICache) put(key string, v float64) {
+	c.mu.Lock()
+	if len(c.m) >= jiCacheCap {
+		c.m = make(map[string]float64)
+	}
+	c.m[key] = v
+	c.mu.Unlock()
 }
 
 // Variant is one choice of join-attribute set for an I-edge, with its
@@ -120,11 +182,31 @@ func Build(instances []*Instance, cfg Config) (*Graph, error) {
 			}
 			e := &IEdge{I: i, J: j, Shared: shared}
 			subsets := enumerateSubsets(shared, cfg.MaxJoinAttrs)
+			// \x01 between key parts, \x00 between attrs: instance names are
+			// seller-controlled free text, so plain printable separators
+			// could alias two different (pair, attrs) composites.
+			pairKey := ""
+			if cfg.JI != nil {
+				pairKey = instances[i].CacheKey() + "\x01" + instances[j].CacheKey() + "\x01"
+			}
 			for _, attrs := range subsets {
-				ji, err := infotheory.JoinInformativeness(instances[i].Sample, instances[j].Sample, attrs)
-				if err != nil {
-					return nil, fmt.Errorf("joingraph: JI(%s, %s) on %v: %w",
-						instances[i].Name, instances[j].Name, attrs, err)
+				var ji float64
+				var hit bool
+				key := ""
+				if cfg.JI != nil {
+					key = pairKey + strings.Join(attrs, "\x00")
+					ji, hit = cfg.JI.get(key)
+				}
+				if !hit {
+					var err error
+					ji, err = infotheory.JoinInformativeness(instances[i].Sample, instances[j].Sample, attrs)
+					if err != nil {
+						return nil, fmt.Errorf("joingraph: JI(%s, %s) on %v: %w",
+							instances[i].Name, instances[j].Name, attrs, err)
+					}
+					if cfg.JI != nil {
+						cfg.JI.put(key, ji)
+					}
 				}
 				e.Variants = append(e.Variants, Variant{JoinAttrs: attrs, JI: ji})
 			}

@@ -10,11 +10,13 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/sampling"
 )
 
 // Wire representations. Tables travel as CSV (the typed header encoding of
@@ -44,6 +46,14 @@ type sampleRequest struct {
 	Seed      uint64   `json:"seed"`
 }
 
+type sampleDeltaRequest struct {
+	Name      string   `json:"name"`
+	JoinAttrs []string `json:"join_attrs"`
+	FromRate  float64  `json:"from_rate"`
+	ToRate    float64  `json:"to_rate"`
+	Seed      uint64   `json:"seed"`
+}
+
 type quoteRequest struct {
 	Name  string   `json:"name"`
 	Attrs []string `json:"attrs"`
@@ -55,6 +65,23 @@ type quoteResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code carries the machine-readable error class ("unknown_dataset",
+	// "bad_rate") so clients can restore the typed sentinels across the
+	// wire. Absent on old servers and on errors with no class.
+	Code string `json:"code,omitempty"`
+}
+
+// errCode maps an error to its wire code and HTTP status. Unknown datasets
+// are 404, caller input errors 400; anything else stays with the caller's
+// fallback status.
+func errCode(err error, fallback int) (string, int) {
+	switch {
+	case errors.Is(err, ErrUnknownDataset):
+		return "unknown_dataset", http.StatusNotFound
+	case errors.Is(err, ErrBadRate):
+		return "bad_rate", http.StatusBadRequest
+	}
+	return "", fallback
 }
 
 // Handler serves a Market over JSON/HTTP:
@@ -63,7 +90,13 @@ type errorResponse struct {
 //	GET  /fds?name=…         → []string (FDs, "A,B -> C" syntax)
 //	POST /quote {name,attrs} → {price}
 //	POST /sample {…}         → {csv, price}
+//	POST /sample_delta {…}   → {csv, price} (rows in (from_rate, to_rate])
 //	POST /query {name,attrs} → {csv, price}
+//
+// Errors use the {"error", "code"} payload: unknown datasets answer 404
+// with code "unknown_dataset", invalid sampling rates 400 with "bad_rate",
+// malformed request JSON 400, and everything else 500 — so clients can tell
+// their own mistakes from marketplace failures.
 //
 // Each marketplace call runs under the request's context, so a client that
 // disconnects (or whose deadline expires) stops the work server-side.
@@ -71,12 +104,14 @@ func Handler(m Market) http.Handler {
 	mux := http.NewServeMux()
 
 	writeErr := func(w http.ResponseWriter, code int, err error) {
+		wireCode, mapped := errCode(err, code)
+		code = mapped
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			code = http.StatusGatewayTimeout
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
-		json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+		json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Code: wireCode})
 	}
 	writeJSON := func(w http.ResponseWriter, v interface{}) {
 		w.Header().Set("Content-Type", "application/json")
@@ -111,7 +146,7 @@ func Handler(m Market) http.Handler {
 	mux.HandleFunc("GET /fds", func(w http.ResponseWriter, r *http.Request) {
 		fds, err := m.DatasetFDs(r.Context(), r.URL.Query().Get("name"))
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
 		out := make([]string, len(fds))
@@ -129,7 +164,7 @@ func Handler(m Market) http.Handler {
 		}
 		price, err := m.QuoteProjection(r.Context(), req.Name, req.Attrs)
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
 		writeJSON(w, quoteResponse{Price: price})
@@ -143,7 +178,21 @@ func Handler(m Market) http.Handler {
 		}
 		t, price, err := m.Sample(r.Context(), req.Name, req.JoinAttrs, req.Rate, req.Seed)
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		tableResponse(w, t, price)
+	})
+
+	mux.HandleFunc("POST /sample_delta", func(w http.ResponseWriter, r *http.Request) {
+		var req sampleDeltaRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		t, price, err := m.SampleDelta(r.Context(), req.Name, req.JoinAttrs, req.FromRate, req.ToRate, req.Seed)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
 		tableResponse(w, t, price)
@@ -157,7 +206,7 @@ func Handler(m Market) http.Handler {
 		}
 		t, price, err := m.ExecuteProjection(r.Context(), pricing.Query{Instance: req.Name, Attrs: req.Attrs})
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
 		tableResponse(w, t, price)
@@ -182,6 +231,11 @@ type Client struct {
 	// deadline; a caller deadline of any length takes precedence. NewClient
 	// sets DefaultClientTimeout; zero or negative disables the fallback.
 	Timeout time.Duration
+
+	// noDelta caches the capability probe: once POST /sample_delta answers
+	// with a routing-layer 404/405 (a pre-delta server), later SampleDelta
+	// calls go straight to the full-Sample fallback instead of re-probing.
+	noDelta atomic.Bool
 }
 
 var _ Market = (*Client)(nil)
@@ -239,6 +293,12 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 	return decodeResponse(resp, out)
 }
 
+// errEndpointUnsupported marks responses that came from the HTTP routing
+// layer rather than the marketplace itself — a 404/405 without the JSON
+// error payload — i.e. the server predates the endpoint. Client.SampleDelta
+// uses it as its capability probe.
+var errEndpointUnsupported = errors.New("endpoint unsupported by server")
+
 func decodeResponse(resp *http.Response, out interface{}) error {
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -247,7 +307,18 @@ func decodeResponse(resp *http.Response, out interface{}) error {
 	if resp.StatusCode != http.StatusOK {
 		var e errorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			// Restore the typed sentinels from the wire code so remote and
+			// in-memory marketplaces fail identically under errors.Is.
+			switch e.Code {
+			case "unknown_dataset":
+				return fmt.Errorf("marketplace client: %s: %w", e.Error, ErrUnknownDataset)
+			case "bad_rate":
+				return fmt.Errorf("marketplace client: %s: %w", e.Error, ErrBadRate)
+			}
 			return fmt.Errorf("marketplace client: %s", e.Error)
+		}
+		if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+			return fmt.Errorf("marketplace client: status %d: %w", resp.StatusCode, errEndpointUnsupported)
 		}
 		return fmt.Errorf("marketplace client: status %d", resp.StatusCode)
 	}
@@ -329,6 +400,49 @@ func (c *Client) Sample(ctx context.Context, name string, joinAttrs []string, ra
 		return nil, 0, err
 	}
 	return t, resp.Price, nil
+}
+
+// SampleDelta implements Market. Against a server that predates the
+// /sample_delta endpoint (detected by the routing-layer 404 and remembered
+// for the client's lifetime), it falls back to buying the full rate-toRate
+// sample and filtering it down to the delta rows locally — functionally
+// identical, but billed at the full sample price, since an old server has
+// no way to charge for a difference.
+func (c *Client) SampleDelta(ctx context.Context, name string, joinAttrs []string, fromRate, toRate float64, seed uint64) (*relation.Table, float64, error) {
+	if !c.noDelta.Load() {
+		var resp wireTableResponse
+		err := c.post(ctx, "/sample_delta", sampleDeltaRequest{
+			Name: name, JoinAttrs: joinAttrs, FromRate: fromRate, ToRate: toRate, Seed: seed,
+		}, &resp)
+		if err == nil {
+			t, err := relation.ReadCSV(name, strings.NewReader(resp.CSV))
+			if err != nil {
+				return nil, 0, err
+			}
+			return t, resp.Price, nil
+		}
+		if !errors.Is(err, errEndpointUnsupported) {
+			return nil, 0, err
+		}
+		c.noDelta.Store(true)
+	}
+	if fromRate < 0 || fromRate >= toRate || toRate > 1 {
+		return nil, 0, fmt.Errorf("marketplace client: sample delta rates (%v, %v] not within 0 ≤ from < to ≤ 1: %w",
+			fromRate, toRate, ErrBadRate)
+	}
+	t, price, err := c.Sample(ctx, name, joinAttrs, toRate, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Re-running the range sampler over the bought sample keeps exactly the
+	// (fromRate, toRate] rows in canonical hash-unit order — even when the
+	// old server delivered table-order samples — so a store merging this
+	// fallback delta still reproduces the fresh sample bit for bit.
+	d, err := sampling.CorrelatedSampleRange(t, joinAttrs, fromRate, toRate, sampling.NewHasher(seed))
+	if err != nil {
+		return nil, 0, err
+	}
+	return d, price, nil
 }
 
 // ExecuteProjection implements Market.

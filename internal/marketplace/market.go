@@ -9,6 +9,7 @@ package marketplace
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -17,6 +18,18 @@ import (
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/sampling"
+)
+
+// Typed sentinel errors, so callers — the HTTP handler above all — can map
+// failures to the right wire status (404 vs 400) instead of a generic 500.
+// Test with errors.Is; implementations wrap them with context.
+var (
+	// ErrUnknownDataset marks requests naming a dataset the marketplace
+	// does not list.
+	ErrUnknownDataset = errors.New("unknown dataset")
+	// ErrBadRate marks sampling requests whose rate (or rate range) is
+	// outside the valid domain.
+	ErrBadRate = errors.New("sample rate out of range")
 )
 
 // DatasetInfo is the free schema-level description of a listing (what Azure
@@ -41,8 +54,19 @@ type Market interface {
 	// Sample returns a correlated sample of the dataset on the given join
 	// attributes at the given rate and hash seed, charging
 	// rate × full price. All attributes are included (DANCE estimates
-	// arbitrary correlations on samples).
+	// arbitrary correlations on samples). Samples are delivered in the
+	// canonical hash-unit order (sampling.CorrelatedSampleRange), so a
+	// lower-rate sample is a strict prefix of any higher-rate one.
 	Sample(ctx context.Context, name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error)
+	// SampleDelta returns only the rows whose sampling unit falls in
+	// (fromRate, toRate] — the rows a holder of the rate-fromRate sample is
+	// missing from the rate-toRate sample — charging the price difference
+	// SampleDiscount(full, toRate) − SampleDiscount(full, fromRate).
+	// Appending the delta to the rate-fromRate sample reproduces the fresh
+	// rate-toRate sample exactly. Requires 0 ≤ fromRate < toRate ≤ 1
+	// (ErrBadRate otherwise); fromRate 0 degenerates to a full Sample at
+	// toRate.
+	SampleDelta(ctx context.Context, name string, joinAttrs []string, fromRate, toRate float64, seed uint64) (*relation.Table, float64, error)
 	// ExecuteProjection sells π_attrs(dataset), charging the quoted price.
 	ExecuteProjection(ctx context.Context, q pricing.Query) (*relation.Table, float64, error)
 }
@@ -148,7 +172,7 @@ func (m *InMemory) listing(name string) (*Listing, error) {
 	defer m.mu.RUnlock()
 	l, ok := m.listings[name]
 	if !ok {
-		return nil, fmt.Errorf("marketplace: no dataset %q", name)
+		return nil, fmt.Errorf("marketplace: no dataset %q: %w", name, ErrUnknownDataset)
 	}
 	return l, nil
 }
@@ -196,19 +220,21 @@ func (m *InMemory) QuoteProjection(ctx context.Context, name string, attrs []str
 	return m.model.PriceProjection(l.Table, attrs)
 }
 
-// Sample implements Market.
+// Sample implements Market. The rate is validated before the listing
+// lookup, so a request that is wrong in both ways reports the caller's
+// input error (400 on the wire) rather than the lookup failure.
 func (m *InMemory) Sample(ctx context.Context, name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
+	}
+	if rate <= 0 || rate > 1 {
+		return nil, 0, fmt.Errorf("marketplace: sample rate %v out of (0, 1]: %w", rate, ErrBadRate)
 	}
 	l, err := m.listing(name)
 	if err != nil {
 		return nil, 0, err
 	}
-	if rate <= 0 || rate > 1 {
-		return nil, 0, fmt.Errorf("marketplace: sample rate %v out of (0, 1]", rate)
-	}
-	s, err := sampling.CorrelatedSample(l.Table, joinAttrs, rate, sampling.NewHasher(seed))
+	s, err := sampling.CorrelatedSampleRange(l.Table, joinAttrs, 0, rate, sampling.NewHasher(seed))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -218,6 +244,34 @@ func (m *InMemory) Sample(ctx context.Context, name string, joinAttrs []string, 
 	}
 	price := pricing.SampleDiscount(full, rate)
 	m.ledger.Add(LedgerEntry{Kind: "sample", Dataset: name, Attrs: joinAttrs, Amount: price})
+	return s, price, nil
+}
+
+// SampleDelta implements Market: the incremental top-up between two sample
+// rates, billed at the price difference. The escalation loop of the
+// middleware buys these instead of re-buying complete samples every round.
+func (m *InMemory) SampleDelta(ctx context.Context, name string, joinAttrs []string, fromRate, toRate float64, seed uint64) (*relation.Table, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if fromRate < 0 || fromRate >= toRate || toRate > 1 {
+		return nil, 0, fmt.Errorf("marketplace: sample delta rates (%v, %v] not within 0 ≤ from < to ≤ 1: %w",
+			fromRate, toRate, ErrBadRate)
+	}
+	l, err := m.listing(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	s, err := sampling.CorrelatedSampleRange(l.Table, joinAttrs, fromRate, toRate, sampling.NewHasher(seed))
+	if err != nil {
+		return nil, 0, err
+	}
+	full, err := m.model.PriceProjection(l.Table, l.Table.Schema.Names())
+	if err != nil {
+		return nil, 0, err
+	}
+	price := pricing.SampleDiscount(full, toRate) - pricing.SampleDiscount(full, fromRate)
+	m.ledger.Add(LedgerEntry{Kind: "sample_delta", Dataset: name, Attrs: joinAttrs, Amount: price})
 	return s, price, nil
 }
 

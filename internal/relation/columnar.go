@@ -107,6 +107,27 @@ func (d *Dict) code(v Value) uint32 {
 	}
 }
 
+// clone deep-copies the dictionary so codes can be appended without racing
+// readers of the original: Columnar values are immutable after construction
+// and shared across snapshots, so a merge must never mutate a published
+// Dict in place.
+func (d *Dict) clone() *Dict {
+	c := &Dict{vals: append([]Value(nil), d.vals...), smallInt: d.smallInt}
+	if d.str != nil {
+		c.str = make(map[string]uint32, len(d.str))
+		for k, v := range d.str {
+			c.str[k] = v
+		}
+	}
+	if d.num != nil {
+		c.num = make(map[numKey]uint32, len(d.num))
+		for k, v := range d.num {
+			c.num[k] = v
+		}
+	}
+	return c
+}
+
 // CCol is one columnar column. Exactly one storage mode is populated:
 // dictionary-coded (Codes+Dict, the general form, required for grouping and
 // joins) or raw numeric (Nums+Null, used by metrics-only numeric columns
@@ -198,6 +219,50 @@ func ToColumnarSubset(t *Table, coded, numeric []string) (*Columnar, error) {
 		c.cols[j] = CCol{Nums: nums, Null: null}
 	}
 	return c, nil
+}
+
+// AppendTable returns a new Columnar holding c's rows followed by delta's
+// rows, preserving every existing dictionary code: row i < c.NumRows() of
+// the result carries exactly the codes of row i of c, and delta values
+// already present in a dictionary reuse their code. Because codes are
+// assigned in first-appearance order, the result is bit-identical to
+// ToColumnar of the concatenated row tables — which is what lets a merged
+// sample share cache keys with a fresh one. c itself is never mutated
+// (copy-on-write: dictionaries are cloned before extension), so published
+// snapshots stay valid. Columns that were left unpopulated by
+// ToColumnarSubset stay unpopulated.
+func (c *Columnar) AppendTable(delta *Table) (*Columnar, error) {
+	if !c.schema.Equal(delta.Schema) {
+		return nil, fmt.Errorf("relation: append to %s%s with mismatched schema %s%s",
+			c.Name, c.schema, delta.Name, delta.Schema)
+	}
+	out := &Columnar{Name: c.Name, schema: c.schema, n: c.n + len(delta.Rows)}
+	out.cols = make([]CCol, len(c.cols))
+	for j := range c.cols {
+		src := &c.cols[j]
+		switch {
+		case src.Codes != nil:
+			codes := make([]uint32, c.n, out.n)
+			copy(codes, src.Codes)
+			d := src.Dict.clone()
+			for _, r := range delta.Rows {
+				codes = append(codes, d.code(r[j]))
+			}
+			out.cols[j] = CCol{Codes: codes, Dict: d}
+		case src.Nums != nil:
+			nums := make([]float64, c.n, out.n)
+			null := make([]bool, c.n, out.n)
+			copy(nums, src.Nums)
+			copy(null, src.Null)
+			for _, r := range delta.Rows {
+				v := r[j]
+				nums = append(nums, v.Num())
+				null = append(null, v.IsNull())
+			}
+			out.cols[j] = CCol{Nums: nums, Null: null}
+		}
+	}
+	return out, nil
 }
 
 // NumRows returns the number of rows.

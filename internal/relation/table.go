@@ -44,6 +44,24 @@ func (t *Table) Clone() *Table {
 	return c
 }
 
+// Concat returns a new table with t's rows followed by delta's rows. The
+// schemas must be structurally equal (same columns, kinds and categorical
+// flags, in order) — tables that crossed the HTTP wire carry equal but
+// distinct Schema values. Rows are shared, not copied (Values are
+// immutable); neither input's row slice is mutated, so t may keep serving
+// readers while the merged table is built — the copy-on-write merge of the
+// offline sample store relies on this.
+func (t *Table) Concat(delta *Table) (*Table, error) {
+	if !t.Schema.Equal(delta.Schema) {
+		return nil, fmt.Errorf("relation: concat %s%s with mismatched schema %s%s",
+			t.Name, t.Schema, delta.Name, delta.Schema)
+	}
+	out := NewTable(t.Name, t.Schema)
+	out.Rows = make([][]Value, 0, len(t.Rows)+len(delta.Rows))
+	out.Rows = append(append(out.Rows, t.Rows...), delta.Rows...)
+	return out, nil
+}
+
 // Project returns a new table containing only the named columns, in order.
 // Row order is preserved; duplicates are kept (bag semantics, matching the
 // projection queries DANCE issues against the marketplace).

@@ -1,0 +1,152 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dance-db/dance/internal/relation"
+)
+
+func rangeDemoTable() *relation.Table {
+	t := relation.NewTable("t", relation.NewSchema(
+		relation.Cat("k", relation.KindInt),
+		relation.Cat("s", relation.KindString),
+	))
+	for i := 0; i < 500; i++ {
+		k := relation.IntValue(int64(i % 31))
+		if i%11 == 0 {
+			k = relation.Null()
+		}
+		t.AppendValues(k, relation.StringValue(string(rune('a'+i%7))))
+	}
+	return t
+}
+
+// TestCorrelatedSampleRangePrefixProperty pins the canonical-order
+// guarantee: for any ρ < ρ′ the rate-ρ sample is exactly the leading rows
+// of the rate-ρ′ sample, and the (ρ, ρ′] delta is exactly the remainder.
+func TestCorrelatedSampleRangePrefixProperty(t *testing.T) {
+	tab := rangeDemoTable()
+	h := NewHasher(9)
+	rates := []float64{0.05, 0.2, 0.5, 0.8, 1}
+	on := []string{"k"}
+
+	var prev *relation.Table
+	var prevRate float64
+	for _, r := range rates {
+		cur, err := CorrelatedSampleRange(tab, on, 0, r, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if cur.NumRows() < prev.NumRows() {
+				t.Fatalf("rate %v sample smaller than rate %v", r, prevRate)
+			}
+			for i := range prev.Rows {
+				for j := range prev.Rows[i] {
+					if !prev.Rows[i][j].EqualValue(cur.Rows[i][j]) {
+						t.Fatalf("rate %v sample is not a prefix of rate %v (row %d)", prevRate, r, i)
+					}
+				}
+			}
+			delta, err := CorrelatedSampleRange(tab, on, prevRate, r, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if delta.NumRows() != cur.NumRows()-prev.NumRows() {
+				t.Fatalf("delta (%v,%v] has %d rows, want %d",
+					prevRate, r, delta.NumRows(), cur.NumRows()-prev.NumRows())
+			}
+			for i, row := range delta.Rows {
+				want := cur.Rows[prev.NumRows()+i]
+				for j := range row {
+					if !row[j].EqualValue(want[j]) {
+						t.Fatalf("delta row %d differs from fresh suffix", i)
+					}
+				}
+			}
+		}
+		prev, prevRate = cur, r
+	}
+
+	// The rate-1 sample is the complete instance: every row, including the
+	// NULL-join ones, which sort last.
+	if prev.NumRows() != tab.NumRows() {
+		t.Fatalf("rate-1 sample has %d rows, want %d", prev.NumRows(), tab.NumRows())
+	}
+	nulls := 0
+	for _, row := range tab.Rows {
+		if row[0].IsNull() {
+			nulls++
+		}
+	}
+	for _, row := range prev.Rows[prev.NumRows()-nulls:] {
+		if !row[0].IsNull() {
+			t.Fatal("NULL-join rows must sort last in the rate-1 sample")
+		}
+	}
+
+	// Kept rows really are the (from, to] hash band.
+	mid, err := CorrelatedSampleRange(tab, on, 0.2, 0.5, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := tab.Schema.MustIndexes("k")
+	var buf []byte
+	lastU := math.Inf(-1)
+	for _, row := range mid.Rows {
+		buf = relation.EncodeKey(buf[:0], row, idx)
+		u := h.Unit(buf)
+		if u <= 0.2 || u > 0.5 {
+			t.Fatalf("row with unit %v outside (0.2, 0.5]", u)
+		}
+		if u < lastU {
+			t.Fatal("delta rows not in ascending unit order")
+		}
+		lastU = u
+	}
+
+	// Degenerate ranges are empty, not errors.
+	if s, err := CorrelatedSampleRange(tab, on, 0.5, 0.5, h); err != nil || s.NumRows() != 0 {
+		t.Fatalf("empty range: %d rows, %v", s.NumRows(), err)
+	}
+	if s, err := CorrelatedSampleRange(tab, on, 0, 0, h); err != nil || s.NumRows() != 0 {
+		t.Fatalf("zero rate: %d rows, %v", s.NumRows(), err)
+	}
+}
+
+// TestCorrelatedSampleRangeKeepsSameKeysAsRowSampler pins that the range
+// sampler keeps exactly the rows CorrelatedSample keeps (same hash band),
+// only ordered canonically.
+func TestCorrelatedSampleRangeKeepsSameKeysAsRowSampler(t *testing.T) {
+	tab := rangeDemoTable()
+	h := NewHasher(4)
+	on := []string{"k"}
+	a, err := CorrelatedSample(tab, on, 0.4, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CorrelatedSampleRange(tab, on, 0, 0.4, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("range sampler kept %d rows, row sampler %d", b.NumRows(), a.NumRows())
+	}
+	count := func(tb *relation.Table) map[string]int {
+		m := map[string]int{}
+		all := []int{0, 1}
+		var buf []byte
+		for _, r := range tb.Rows {
+			buf = relation.EncodeKey(buf[:0], r, all)
+			m[string(buf)]++
+		}
+		return m
+	}
+	ca, cb := count(a), count(b)
+	for k, n := range ca {
+		if cb[k] != n {
+			t.Fatal("range sampler kept a different multiset of rows")
+		}
+	}
+}

@@ -14,6 +14,7 @@ package sampling
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/infotheory"
@@ -99,6 +100,69 @@ func CorrelatedSample(t *relation.Table, joinAttrs []string, rate float64, h Has
 			out.Rows = append(out.Rows, r)
 		}
 	}
+	return out, nil
+}
+
+// CorrelatedSampleRange keeps each row of t whose join-attribute tuple
+// hashes into (from, to] — with from ≤ 0 meaning [0, to] — and returns the
+// kept rows ordered by (hash unit, original position). This is the
+// marketplace's *canonical* sample order: because every rate-ρ sample is
+// sorted by hash unit, it is exactly the leading rows of the rate-ρ′ sample
+// for any ρ < ρ′, so a delta purchase (from = ρ, to = ρ′) appended to an
+// existing sample reproduces the fresh rate-ρ′ sample bit for bit — rows,
+// dictionary codes, and metric summation order.
+//
+// Rows whose join attributes contain NULL have no hash unit (they cannot
+// join); they are delivered only when to ≥ 1 — a rate-1 sample is the
+// complete instance — and sort after every hashed row, in original order.
+func CorrelatedSampleRange(t *relation.Table, joinAttrs []string, from, to float64, h Hasher) (*relation.Table, error) {
+	out := relation.NewTable(t.Name, t.Schema)
+	if to <= 0 || (from > 0 && from >= to) {
+		return out, nil
+	}
+	idx, err := t.Schema.Indexes(joinAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("correlated sample of %s: %w", t.Name, err)
+	}
+	var units []float64
+	var buf []byte
+	for _, r := range t.Rows {
+		null := false
+		for _, c := range idx {
+			if r[c].IsNull() {
+				null = true
+				break
+			}
+		}
+		if null {
+			if to >= 1 {
+				units = append(units, math.Inf(1))
+				out.Rows = append(out.Rows, r)
+			}
+			continue
+		}
+		buf = relation.EncodeKey(buf[:0], r, idx)
+		u := h.Unit(buf)
+		if u <= to && (from <= 0 || u > from) {
+			units = append(units, u)
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	// Sort a permutation, not the rows in place: the comparator must read
+	// each row's unit through its *original* position. Stable, so rows with
+	// equal units (same join tuple, or a hash collision) keep their original
+	// relative order — the ordering is a total, deterministic function of
+	// the table and the seed.
+	perm := make([]int, len(out.Rows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return units[perm[a]] < units[perm[b]] })
+	sorted := make([][]relation.Value, len(out.Rows))
+	for i, p := range perm {
+		sorted[i] = out.Rows[p]
+	}
+	out.Rows = sorted
 	return out, nil
 }
 

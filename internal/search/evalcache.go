@@ -10,6 +10,13 @@ import (
 // only contend when they hash to the same shard.
 const evalCacheShards = 32
 
+// evalCacheShardCap bounds one shard's entries. The cache now outlives a
+// single Searcher (it is shared across offline rebuilds, keyed by dataset
+// version), so without a bound a long-lived escalating session would
+// accumulate one generation of dead entries per round. On overflow the
+// shard resets — losing memoized metrics only costs a re-evaluation.
+const evalCacheShardCap = 1 << 12
+
 // evalCache memoizes target-graph metric evaluations. It is safe for
 // concurrent use — the worker pool of Heuristic/TopK hits it from every
 // chain — and is keyed by the *full* evaluation identity: the target-graph
@@ -52,6 +59,9 @@ func (c *evalCache) get(key string) (Metrics, bool) {
 func (c *evalCache) put(key string, m Metrics) {
 	s := c.shard(key)
 	s.mu.Lock()
+	if len(s.m) >= evalCacheShardCap {
+		s.m = make(map[string]Metrics)
+	}
 	s.m[key] = m
 	s.mu.Unlock()
 }

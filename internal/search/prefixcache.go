@@ -1,7 +1,6 @@
 package search
 
 import (
-	"strconv"
 	"strings"
 	"sync"
 
@@ -111,25 +110,90 @@ func (c *prefixCache) Len() int {
 }
 
 // colStore lazily builds and shares the columnar encoding of each instance
-// sample. Built once per Searcher; shared by every candidate and worker.
+// sample, keyed by the instance's versioned cache key — so a Caches value
+// shared across graph rebuilds keeps serving encodings for instances whose
+// offline state did not change.
 type colStore struct {
 	mu sync.RWMutex
-	m  map[int]*relation.Columnar
+	m  map[string]*relation.Columnar
 }
 
 // joinIndexStore lazily builds and shares build-side join indexes per
-// (instance, join-attribute set) pair.
+// (versioned instance, join-attribute set) pair.
 type joinIndexStore struct {
 	mu sync.RWMutex
 	m  map[string]*relation.JoinIndex
 }
 
-func joinIndexKey(vertex int, on []string) string {
+func joinIndexKey(instKey string, on []string) string {
 	var b strings.Builder
-	b.WriteString(strconv.Itoa(vertex))
+	b.WriteString(instKey)
 	for _, a := range on {
 		b.WriteByte(0)
 		b.WriteString(a)
 	}
 	return b.String()
+}
+
+// Caches bundles the memoized evaluation state — metric evaluations,
+// columnar encodings, join indexes and join prefixes — so it can outlive a
+// single Searcher. Every key incorporates the owning instance's
+// (name, version) identity; a sample-rate escalation therefore invalidates
+// exactly the entries of datasets whose rows changed, while state derived
+// from unchanged datasets (empty deltas, owned sources) keeps hitting.
+// Safe for concurrent use by any number of Searchers.
+type Caches struct {
+	eval     *evalCache
+	cols     colStore
+	joinIdx  joinIndexStore
+	prefixes *prefixCache
+}
+
+// NewCaches returns an empty cache set.
+func NewCaches() *Caches {
+	return &Caches{
+		eval:     newEvalCache(),
+		cols:     colStore{m: make(map[string]*relation.Columnar)},
+		joinIdx:  joinIndexStore{m: make(map[string]*relation.JoinIndex)},
+		prefixes: newPrefixCache(),
+	}
+}
+
+// Retain drops the heavyweight cached state — columnar encodings and
+// join indexes — of instances whose versioned key is no longer live.
+// A long-lived session escalates repeatedly, and every escalation
+// supersedes most dataset versions; without pruning, each round would
+// strand a full generation of per-row indexes in memory. (The evaluator
+// cache is entry-capped instead — its values are small — and the prefix
+// cache is row-budgeted already.)
+func (c *Caches) Retain(live map[string]bool) {
+	c.cols.mu.Lock()
+	for key := range c.cols.m {
+		if !live[key] {
+			delete(c.cols.m, key)
+		}
+	}
+	c.cols.mu.Unlock()
+	c.joinIdx.mu.Lock()
+	for key := range c.joinIdx.m {
+		// joinIndexKey is instKey + "\x00" + attr…; recover the instance.
+		inst := key
+		if i := strings.IndexByte(key, 0); i >= 0 {
+			inst = key[:i]
+		}
+		if !live[inst] {
+			delete(c.joinIdx.m, key)
+		}
+	}
+	c.joinIdx.mu.Unlock()
+}
+
+// RetainInstances prunes the caches down to the given searcher's live
+// instance keys.
+func (c *Caches) RetainInstances(s *Searcher) {
+	live := make(map[string]bool, len(s.instKey))
+	for _, k := range s.instKey {
+		live[k] = true
+	}
+	c.Retain(live)
 }

@@ -141,49 +141,58 @@ type Result struct {
 // use: the evaluation, columnar, join-index and join-prefix caches are all
 // sharded or RWMutex-protected, and every search derives chain-local RNGs
 // instead of mutating shared state.
+//
+// The caches may be shared across Searchers (NewSearcherWithCaches): every
+// cache key incorporates the per-instance (name, version) identity, so a
+// graph rebuilt from an incrementally merged sample store invalidates only
+// the entries of datasets whose offline state actually changed.
 type Searcher struct {
 	G *joingraph.Graph
 
-	evalCache *evalCache
-	// cols holds the dictionary-encoded form of each instance sample,
-	// built once and shared across all candidates and workers.
-	cols colStore
-	// joinIdx holds build-side hash-join indexes per (instance,
-	// join-attribute set), precomputed once and shared likewise.
-	joinIdx joinIndexStore
-	// prefixes caches accumulated join prefixes so MCMC neighbors that
-	// share a spine prefix re-join only the suffix behind their changed
-	// edge.
-	prefixes *prefixCache
+	caches *Caches
+	// instKey is each instance's versioned cache identity, precomputed.
+	instKey []string
 }
 
-// NewSearcher wraps a join graph.
+// NewSearcher wraps a join graph with a private cache set (the classic
+// one-searcher-per-graph mode).
 func NewSearcher(g *joingraph.Graph) *Searcher {
-	return &Searcher{
-		G:         g,
-		evalCache: newEvalCache(),
-		cols:      colStore{m: make(map[int]*relation.Columnar)},
-		joinIdx:   joinIndexStore{m: make(map[string]*relation.JoinIndex)},
-		prefixes:  newPrefixCache(),
-	}
+	return NewSearcherWithCaches(g, NewCaches())
 }
 
-// columnarOf returns the shared columnar encoding of instance v's sample,
-// building it on first use.
+// NewSearcherWithCaches wraps a join graph around a shared cache set. The
+// middleware passes one Caches across sample-rate escalations so that
+// evaluation state derived from unchanged datasets survives the rebuild.
+func NewSearcherWithCaches(g *joingraph.Graph, caches *Caches) *Searcher {
+	s := &Searcher{G: g, caches: caches}
+	s.instKey = make([]string, len(g.Instances))
+	for i, inst := range g.Instances {
+		s.instKey[i] = inst.CacheKey()
+	}
+	return s
+}
+
+// columnarOf returns the shared columnar encoding of instance v's sample:
+// the store-prebuilt encoding when the instance carries one, else the
+// cached (or freshly built) encoding under the instance's versioned key.
 func (s *Searcher) columnarOf(v int) *relation.Columnar {
-	s.cols.mu.RLock()
-	c := s.cols.m[v]
-	s.cols.mu.RUnlock()
+	if c := s.G.Instances[v].Columnar; c != nil {
+		return c
+	}
+	key := s.instKey[v]
+	s.caches.cols.mu.RLock()
+	c := s.caches.cols.m[key]
+	s.caches.cols.mu.RUnlock()
 	if c != nil {
 		return c
 	}
-	s.cols.mu.Lock()
-	defer s.cols.mu.Unlock()
-	if c = s.cols.m[v]; c != nil {
-		return c
-	}
 	c = relation.ToColumnar(s.G.Instances[v].Sample)
-	s.cols.m[v] = c
+	s.caches.cols.mu.Lock()
+	defer s.caches.cols.mu.Unlock()
+	if prev := s.caches.cols.m[key]; prev != nil {
+		return prev
+	}
+	s.caches.cols.m[key] = c
 	return c
 }
 
@@ -193,10 +202,10 @@ func (s *Searcher) columnarOf(v int) *relation.Columnar {
 // (instance, attrs) pairs don't serialize; a racing duplicate build is
 // harmless (indexes are immutable, first store wins).
 func (s *Searcher) joinIndexOf(v int, on []string) (*relation.JoinIndex, error) {
-	key := joinIndexKey(v, on)
-	s.joinIdx.mu.RLock()
-	idx := s.joinIdx.m[key]
-	s.joinIdx.mu.RUnlock()
+	key := joinIndexKey(s.instKey[v], on)
+	s.caches.joinIdx.mu.RLock()
+	idx := s.caches.joinIdx.m[key]
+	s.caches.joinIdx.mu.RUnlock()
 	if idx != nil {
 		return idx, nil
 	}
@@ -204,12 +213,12 @@ func (s *Searcher) joinIndexOf(v int, on []string) (*relation.JoinIndex, error) 
 	if err != nil {
 		return nil, err
 	}
-	s.joinIdx.mu.Lock()
-	defer s.joinIdx.mu.Unlock()
-	if idx = s.joinIdx.m[key]; idx != nil {
+	s.caches.joinIdx.mu.Lock()
+	defer s.caches.joinIdx.mu.Unlock()
+	if idx = s.caches.joinIdx.m[key]; idx != nil {
 		return idx, nil
 	}
-	s.joinIdx.m[key] = built
+	s.caches.joinIdx.m[key] = built
 	return built, nil
 }
 
@@ -260,22 +269,41 @@ func (r Request) corrKey() string {
 	return strings.Join(r.SourceAttrs, "\x00") + "\x01" + strings.Join(r.TargetAttrs, "\x00")
 }
 
+// evalKey extends the target-graph fingerprint with the versioned identity
+// of every participating instance: metrics are a function of the samples,
+// so a cache shared across rebuilds must distinguish dataset versions —
+// and, by keying per instance, entries for target graphs touching only
+// unchanged datasets keep hitting after an escalation.
+func (s *Searcher) evalKey(tg *joingraph.TargetGraph, req Request) string {
+	var b strings.Builder
+	b.WriteString(fingerprint(tg))
+	for _, v := range tg.Vertices {
+		b.WriteString(s.instKey[v])
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	b.WriteString(req.corrKey())
+	b.WriteByte('|')
+	b.WriteString(req.samplingOptions().CacheKey())
+	return b.String()
+}
+
 // Evaluate computes the estimated metrics of tg on the held samples,
 // re-sampling intermediate joins per the request. Results are memoized
-// under the (target-graph fingerprint, X/Y split, sampling options)
-// triple, so one Searcher can serve requests with different attribute
-// splits or Eta/ResampleRate/Seed without cross-contamination, from any
-// number of goroutines.
+// under the (target-graph fingerprint, instance versions, X/Y split,
+// sampling options) tuple, so one cache set can serve requests with
+// different attribute splits, Eta/ResampleRate/Seed, or offline state
+// versions without cross-contamination, from any number of goroutines.
 func (s *Searcher) Evaluate(ctx context.Context, tg *joingraph.TargetGraph, req Request) (Metrics, error) {
-	key := fingerprint(tg) + "|" + req.corrKey() + "|" + req.samplingOptions().CacheKey()
-	if m, ok := s.evalCache.get(key); ok {
+	key := s.evalKey(tg, req)
+	if m, ok := s.caches.eval.get(key); ok {
 		return m, nil
 	}
 	m, err := s.evaluateUncached(ctx, tg, req)
 	if err != nil {
 		return Metrics{}, err
 	}
-	s.evalCache.put(key, m)
+	s.caches.eval.put(key, m)
 	return m, nil
 }
 
@@ -297,7 +325,7 @@ func (s *Searcher) evaluateUncached(ctx context.Context, tg *joingraph.TargetGra
 	}
 	steps := make([]sampling.ColumnarStep, len(hops))
 	for i, hp := range hops {
-		st := sampling.ColumnarStep{C: s.columnarOf(hp.Vertex), On: hp.On, ID: strconv.Itoa(hp.Vertex)}
+		st := sampling.ColumnarStep{C: s.columnarOf(hp.Vertex), On: hp.On, ID: s.instKey[hp.Vertex]}
 		if i > 0 {
 			if st.Index, err = s.joinIndexOf(hp.Vertex, hp.On); err != nil {
 				return Metrics{}, err
@@ -305,7 +333,7 @@ func (s *Searcher) evaluateUncached(ctx context.Context, tg *joingraph.TargetGra
 		}
 		steps[i] = st
 	}
-	j, _, err := sampling.ResampledJoinPathColumnar(steps, req.samplingOptions(), s.prefixes)
+	j, _, err := sampling.ResampledJoinPathColumnar(steps, req.samplingOptions(), s.caches.prefixes)
 	if err != nil {
 		return Metrics{}, err
 	}

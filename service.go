@@ -121,11 +121,19 @@ type PurchaseInfo struct {
 }
 
 // ServiceLedgerEntry is one charge the service incurred on behalf of its
-// shoppers: offline sample purchases and plan executions.
+// shoppers: offline sample purchases (complete samples and incremental
+// sample deltas, reported separately so escalation spend is auditable) and
+// plan executions.
 type ServiceLedgerEntry struct {
-	Kind   string  `json:"kind"` // "sample" or "purchase"
+	// Kind is "sample" (complete-sample purchases), "sample_delta"
+	// (incremental escalation top-ups) or "purchase" (plan executions).
+	Kind   string  `json:"kind"`
 	PlanID string  `json:"plan_id,omitempty"`
-	Amount float64 `json:"amount"`
+	// FromRate/ToRate bracket the sampling rates of a sample round
+	// (absent on purchases).
+	FromRate float64 `json:"from_rate,omitempty"`
+	ToRate   float64 `json:"to_rate,omitempty"`
+	Amount   float64 `json:"amount"`
 }
 
 // LedgerInfo is the v1 wire form of the service ledger.
@@ -158,11 +166,11 @@ type serviceError struct {
 type acquireServer struct {
 	mw *Middleware
 
-	mu             sync.Mutex
-	plans          map[string]*Plan
-	planInfos      map[string]PlanInfo
-	ledger         []ServiceLedgerEntry
-	lastSampleCost float64
+	mu         sync.Mutex
+	plans      map[string]*Plan
+	planInfos  map[string]PlanInfo
+	ledger     []ServiceLedgerEntry
+	seenRounds int
 }
 
 // AcquireHandler serves a Middleware over the versioned JSON/HTTP v1 API
@@ -218,14 +226,25 @@ func requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.Canc
 	return r.Context(), func() {}
 }
 
-// recordSampleSpendLocked appends a ledger entry for any offline sample
-// spending since the last check. Caller holds s.mu.
+// recordSampleSpendLocked appends ledger entries for any offline sample
+// rounds since the last check, splitting complete-sample purchases from
+// delta top-ups so escalations are visibly billed at the difference.
+// Caller holds s.mu.
 func (s *acquireServer) recordSampleSpendLocked() {
-	cur := s.mw.SampleCost()
-	if cur > s.lastSampleCost {
-		s.ledger = append(s.ledger, ServiceLedgerEntry{Kind: "sample", Amount: cur - s.lastSampleCost})
-		s.lastSampleCost = cur
+	rounds := s.mw.SampleRounds()
+	for _, r := range rounds[s.seenRounds:] {
+		if r.FullCost > 0 {
+			s.ledger = append(s.ledger, ServiceLedgerEntry{
+				Kind: "sample", FromRate: r.FromRate, ToRate: r.ToRate, Amount: r.FullCost,
+			})
+		}
+		if r.DeltaCost > 0 {
+			s.ledger = append(s.ledger, ServiceLedgerEntry{
+				Kind: "sample_delta", FromRate: r.FromRate, ToRate: r.ToRate, Amount: r.DeltaCost,
+			})
+		}
 	}
+	s.seenRounds = len(rounds)
 }
 
 // storePlan registers a plan under a fresh opaque ID and returns its wire

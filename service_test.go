@@ -211,6 +211,92 @@ func swappableServiceFixture(t *testing.T) *dance.AcquireClient {
 	return dance.NewAcquireClient(danced.URL)
 }
 
+// Acceptance: an acquisition that forces a sample-rate escalation bills
+// only the delta — GET /v1/ledger shows one full-sample round followed by
+// delta-only rounds, agreeing with the marketplace's own books.
+func TestDancedLedgerShowsDeltaOnlyEscalation(t *testing.T) {
+	market, own := marketFixture(9)
+	marketSrv := httptest.NewServer(dance.Handler(market))
+	t.Cleanup(marketSrv.Close)
+
+	// Start almost unsampled: the joined sample is empty, quality 0, so a
+	// β-constrained request is infeasible until the escalation (growth 50
+	// → rate 1) buys the rest — as a delta.
+	mw := dance.New(dance.NewMarketClient(marketSrv.URL), dance.Config{
+		SampleRate: 0.02, SampleSeed: 4, RateGrowth: 50, MaxSampleRounds: 3,
+	})
+	mw.AddSource(own, nil)
+	danced := httptest.NewServer(dance.AcquireHandler(mw))
+	t.Cleanup(danced.Close)
+	client := dance.NewAcquireClient(danced.URL)
+	ctx := context.Background()
+
+	plan, err := client.Acquire(ctx, dance.AcquireRequest{
+		SourceAttrs: []string{"income"},
+		TargetAttrs: []string{"riskband"},
+		Beta:        0.2,
+		Budget:      1e9,
+		Iterations:  30,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Est.Quality < 0.2 {
+		t.Fatalf("plan quality %v below β — escalation did not help", plan.Est.Quality)
+	}
+
+	ledger, err := client.Ledger(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples, deltas []dance.ServiceLedgerEntry
+	for _, e := range ledger.Entries {
+		switch e.Kind {
+		case "sample":
+			samples = append(samples, e)
+		case "sample_delta":
+			deltas = append(deltas, e)
+		}
+	}
+	if len(samples) != 1 {
+		t.Fatalf("want exactly one full-sample round, got %d (%+v)", len(samples), ledger.Entries)
+	}
+	if len(deltas) == 0 {
+		t.Fatalf("no sample_delta entries — escalation re-bought full samples: %+v", ledger.Entries)
+	}
+	// Every post-initial round is delta-only, and the rates bracket the
+	// escalation.
+	for _, e := range deltas {
+		if e.FromRate < samples[0].ToRate || e.ToRate != 1 {
+			t.Fatalf("delta round rates (%v → %v) inconsistent with escalation", e.FromRate, e.ToRate)
+		}
+	}
+	// The service's books agree with the marketplace's.
+	if got, want := sumEntries(samples), market.Ledger().TotalByKind("sample"); got != want {
+		t.Fatalf("service sample spend %v != marketplace %v", got, want)
+	}
+	if got, want := sumEntries(deltas), market.Ledger().TotalByKind("sample_delta"); got != want {
+		t.Fatalf("service delta spend %v != marketplace %v", got, want)
+	}
+	// Total sample spend ≈ one full-rate round — strictly cheaper than the
+	// two-plus full rounds the seed-era rebuild would have bought.
+	total := sumEntries(samples) + sumEntries(deltas)
+	if total >= 2*market.Ledger().TotalByKind("sample_delta") {
+		// delta bought (0.02, 1] ≈ a full round; two full rounds would be
+		// roughly double the delta spend.
+		t.Fatalf("escalation spend %v not meaningfully cheaper than full rounds", total)
+	}
+}
+
+func sumEntries(entries []dance.ServiceLedgerEntry) float64 {
+	t := 0.0
+	for _, e := range entries {
+		t += e.Amount
+	}
+	return t
+}
+
 // Acceptance: a client-side deadline cancels a long search with
 // context.DeadlineExceeded instead of hanging until the search drains.
 func TestDancedClientDeadlineCancelsLongSearch(t *testing.T) {

@@ -16,15 +16,16 @@ import (
 	dance "github.com/dance-db/dance"
 	"github.com/dance-db/dance/internal/core"
 	"github.com/dance-db/dance/internal/experiments"
-	"github.com/dance-db/dance/internal/marketplace"
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/infotheory"
 	"github.com/dance-db/dance/internal/joingraph"
+	"github.com/dance-db/dance/internal/marketplace"
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/sampling"
 	"github.com/dance-db/dance/internal/search"
 	"github.com/dance-db/dance/internal/tpch"
+	"github.com/dance-db/dance/internal/workload"
 )
 
 // --- One bench per paper table/figure -------------------------------------
@@ -402,4 +403,45 @@ func BenchmarkFigXTPCHBudgetTime(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Synthetic-workload acquisitions (the scenario generator's headline) ---
+
+// benchWorkload runs full acquisitions (offline sampling, search, purchase)
+// against one pre-generated synthetic marketplace. Generation runs outside
+// the timer; a larger-than-default spec keeps the join work meaningful.
+func benchWorkload(b *testing.B, specStr string) {
+	b.Helper()
+	spec, err := workload.ParseSpec(specStr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.Generate(spec, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	market := w.Marketplace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mw := core.New(market, core.Config{SampleRate: 0.5, SampleSeed: uint64(i) + 1})
+		plan, err := mw.Acquire(bg, search.Request{
+			TargetAttrs: []string{w.Truth.X, w.Truth.Y},
+			Iterations:  30,
+			Seed:        int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mw.Execute(bg, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadChain(b *testing.B) {
+	benchWorkload(b, "chain:4,rows=2000,keys=64,decoys=4,attrs=2")
+}
+
+func BenchmarkWorkloadStar(b *testing.B) {
+	benchWorkload(b, "star:4,rows=2000,keys=64,decoys=2,attrs=2,kinds=mixed")
 }

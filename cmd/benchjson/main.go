@@ -164,11 +164,18 @@ func checkFaster(results map[string]Result, spec string) error {
 		if pair == "" {
 			continue
 		}
-		parts := strings.SplitN(pair, "<", 2)
+		// A full Split (not SplitN) rejects chained specs like "A<B<C"
+		// outright: SplitN would silently fold the tail into the second
+		// operand and report it as a missing benchmark instead of the
+		// malformed spec it is.
+		parts := strings.Split(pair, "<")
 		if len(parts) != 2 {
-			return fmt.Errorf("benchjson: malformed -require-faster pair %q (want 'A<B')", pair)
+			return fmt.Errorf("benchjson: malformed -require-faster pair %q (want exactly one 'A<B')", pair)
 		}
 		a, b := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		if a == "" || b == "" {
+			return fmt.Errorf("benchjson: malformed -require-faster pair %q (empty benchmark name)", pair)
+		}
 		ra, ok := results[a]
 		if !ok {
 			return fmt.Errorf("benchjson: -require-faster benchmark %s missing from input", a)

@@ -58,6 +58,32 @@ func TestCheckFaster(t *testing.T) {
 	}
 }
 
+// Chained or one-sided pairs must be rejected as malformed, not half-read:
+// a SplitN-based parse used to fold "B<C" into the second operand and
+// report a misleading "missing from input" for specs that were never valid.
+func TestCheckFasterMalformed(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1},
+		"BenchmarkB": {NsPerOp: 2},
+		"BenchmarkC": {NsPerOp: 3},
+	}
+	for _, spec := range []string{
+		"BenchmarkA<BenchmarkB<BenchmarkC", // chained
+		"<BenchmarkB",                      // empty left side
+		"BenchmarkA<",                      // empty right side
+		"BenchmarkA<BenchmarkB,<",          // valid pair then malformed
+	} {
+		err := checkFaster(results, spec)
+		if err == nil {
+			t.Errorf("checkFaster(%q) accepted a malformed spec", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "malformed") {
+			t.Errorf("checkFaster(%q) = %v, want a malformed-spec error", spec, err)
+		}
+	}
+}
+
 func TestMarshalStable(t *testing.T) {
 	m := map[string]Result{
 		"BenchmarkB": {NsPerOp: 2},

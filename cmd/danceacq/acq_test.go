@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+var bg = context.Background()
+
+func TestRunFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(bg, []string{"-local", "tpch"}, &out); err == nil || !strings.Contains(err.Error(), "-target") {
+		t.Fatalf("missing -target must error, got %v", err)
+	}
+	if err := run(bg, []string{"-target", "y"}, &out); err == nil || !strings.Contains(err.Error(), "provide -market") {
+		t.Fatalf("no marketplace selection must error, got %v", err)
+	}
+	if err := run(bg, []string{"-target", "y", "-local", "nosuch"}, &out); err == nil {
+		t.Fatal("unknown -local dataset must error")
+	}
+	if err := run(bg, []string{"-target", "x,y", "-workload", "ring:2"}, &out); err == nil {
+		t.Fatal("malformed -workload spec must error")
+	}
+	if err := run(bg, []string{"-nosuchflag"}, &out); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}
+
+// TestRunWorkloadBuy drives the full main path: plan, report, buy, realized
+// metrics — against a generated workload marketplace whose planted
+// correlation the output must echo.
+func TestRunWorkloadBuy(t *testing.T) {
+	var out bytes.Buffer
+	err := run(bg, []string{
+		"-workload", "chain:2", "-seed", "4", "-target", "x,y",
+		"-rate", "0.6", "-iters", "50", "-buy",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"planted ρ=", "recommended purchase:", "SELECT", "estimates:", "bought", "realized:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWorkloadTopK(t *testing.T) {
+	var out bytes.Buffer
+	err := run(bg, []string{
+		"-workload", "star:2", "-seed", "6", "-target", "x,y",
+		"-rate", "0.6", "-iters", "40", "-topk", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "option 1") {
+		t.Errorf("top-k output missing options:\n%s", out.String())
+	}
+}
+
+func TestRunInfeasibleRequestFails(t *testing.T) {
+	var out bytes.Buffer
+	err := run(bg, []string{
+		"-workload", "chain:2", "-target", "x,no_such_attr", "-rate", "0.5", "-iters", "10",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "acquisition failed") {
+		t.Fatalf("unknown attribute must fail the acquisition, got %v", err)
+	}
+}

@@ -1,19 +1,22 @@
 // Command danceacq runs a data acquisition against a marketplace — remote
-// (marketd) or locally generated — and prints the recommended purchase plan.
-// With -buy it executes the plan and reports realized metrics.
+// (marketd), locally generated (tpch/tpce), or a synthetic workload with a
+// planted correlation — and prints the recommended purchase plan. With -buy
+// it executes the plan and reports realized metrics.
 //
 // Usage:
 //
 //	danceacq -market http://localhost:8080 \
 //	         -source totalprice -target rname -budget 120 -buy
 //	danceacq -local tpch -source totalprice -target nname
+//	danceacq -workload chain:3 -target x,y -buy
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,35 +27,72 @@ import (
 	"github.com/dance-db/dance/internal/search"
 	"github.com/dance-db/dance/internal/tpce"
 	"github.com/dance-db/dance/internal/tpch"
+	"github.com/dance-db/dance/internal/workload"
 )
 
+// errFlagParse marks a flag-parse failure the FlagSet has already reported
+// on stderr, so main must not print it a second time.
+var errFlagParse = errors.New("flag parse error")
+
 func main() {
+	// Ctrl-C cancels the acquisition mid-search.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("danceacq", flag.ContinueOnError)
 	var (
-		marketURL = flag.String("market", "", "remote marketplace base URL (e.g. http://localhost:8080)")
-		local     = flag.String("local", "", "serve a local generated marketplace instead: tpch or tpce")
-		scale     = flag.Int("scale", 5, "scale for -local")
-		seed      = flag.Int64("seed", 42, "PRNG seed")
-		source    = flag.String("source", "", "comma-separated source attributes AS")
-		target    = flag.String("target", "", "comma-separated target attributes AT (required)")
-		budget    = flag.Float64("budget", 0, "purchase budget B (0 = unbounded)")
-		alpha     = flag.Float64("alpha", 0, "join informativeness cap α (0 = unbounded)")
-		beta      = flag.Float64("beta", 0, "quality floor β")
-		rate      = flag.Float64("rate", 0.3, "offline sampling rate")
-		iters     = flag.Int("iters", 100, "MCMC iterations ℓ")
-		buy       = flag.Bool("buy", false, "execute the plan (spend the budget)")
-		topk      = flag.Int("topk", 0, "recommend the k best-scored options instead of one plan")
-		workers   = flag.Int("workers", 0, "concurrent sample fetches and MCMC chains (0 = one per CPU, 1 = serial)")
-		timeout   = flag.Duration("timeout", 0, "overall deadline for the acquisition (e.g. 90s; 0 = none)")
+		marketURL = fs.String("market", "", "remote marketplace base URL (e.g. http://localhost:8080)")
+		local     = fs.String("local", "", "serve a local generated marketplace instead: tpch or tpce")
+		wl        = fs.String("workload", "", "serve a local synthetic-workload marketplace (spec, e.g. chain:3)")
+		scale     = fs.Int("scale", 5, "scale for -local")
+		seed      = fs.Int64("seed", 42, "PRNG seed")
+		source    = fs.String("source", "", "comma-separated source attributes AS")
+		target    = fs.String("target", "", "comma-separated target attributes AT (required)")
+		budget    = fs.Float64("budget", 0, "purchase budget B (0 = unbounded)")
+		alpha     = fs.Float64("alpha", 0, "join informativeness cap α (0 = unbounded)")
+		beta      = fs.Float64("beta", 0, "quality floor β")
+		rate      = fs.Float64("rate", 0.3, "offline sampling rate")
+		iters     = fs.Int("iters", 100, "MCMC iterations ℓ")
+		buy       = fs.Bool("buy", false, "execute the plan (spend the budget)")
+		topk      = fs.Int("topk", 0, "recommend the k best-scored options instead of one plan")
+		workers   = fs.Int("workers", 0, "concurrent sample fetches and MCMC chains (0 = one per CPU, 1 = serial)")
+		timeout   = fs.Duration("timeout", 0, "overall deadline for the acquisition (e.g. 90s; 0 = none)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and exits cleanly
+		}
+		return errFlagParse
+	}
 	if *target == "" {
-		log.Fatal("-target is required")
+		return fmt.Errorf("-target is required")
 	}
 
 	var market marketplace.Market
 	switch {
 	case *marketURL != "":
 		market = marketplace.NewClient(*marketURL)
+	case *wl != "":
+		spec, err := workload.ParseSpec(*wl)
+		if err != nil {
+			return err
+		}
+		w, err := workload.Generate(spec, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "workload %s: planted ρ=%.4f, cheapest correct plan %.2f\n\n",
+			spec.String(), w.Truth.Rho, w.Truth.PlanCost)
+		market = w.Marketplace()
 	case *local == "tpch":
 		m := marketplace.NewInMemory(nil)
 		d := tpch.Generate(tpch.Config{Scale: *scale, Seed: *seed, DirtyFraction: 0.3})
@@ -68,12 +108,9 @@ func main() {
 		}
 		market = m
 	default:
-		log.Fatal("provide -market URL or -local tpch|tpce")
+		return fmt.Errorf("provide -market URL, -local tpch|tpce, or -workload spec")
 	}
 
-	// Ctrl-C cancels the acquisition mid-search; -timeout adds a deadline.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -94,42 +131,43 @@ func main() {
 	if *topk > 0 {
 		options, err := mw.AcquireTopK(ctx, req, *topk, search.DefaultScoreWeights())
 		if err != nil {
-			log.Fatalf("acquisition failed: %v", err)
+			return fmt.Errorf("acquisition failed: %w", err)
 		}
 		for i, o := range options {
-			fmt.Printf("option %d (score %.4f): correlation=%.4f quality=%.4f price=%.2f\n",
+			fmt.Fprintf(stdout, "option %d (score %.4f): correlation=%.4f quality=%.4f price=%.2f\n",
 				i+1, o.Score, o.Plan.Est.Correlation, o.Plan.Est.Quality, o.Plan.Est.Price)
 			for _, q := range o.Plan.Queries {
-				fmt.Printf("    %s\n", q)
+				fmt.Fprintf(stdout, "    %s\n", q)
 			}
 		}
-		return
+		return nil
 	}
 
 	plan, err := mw.Acquire(ctx, req)
 	if err != nil {
-		log.Fatalf("acquisition failed: %v", err)
+		return fmt.Errorf("acquisition failed: %w", err)
 	}
-	fmt.Printf("sample cost so far: %.2f (rate %.2f)\n\n", mw.SampleCost(), mw.SampleRate())
-	fmt.Println("recommended purchase:")
+	fmt.Fprintf(stdout, "sample cost so far: %.2f (rate %.2f)\n\n", mw.SampleCost(), mw.SampleRate())
+	fmt.Fprintln(stdout, "recommended purchase:")
 	for _, q := range plan.Queries {
-		fmt.Printf("  %s\n", q)
+		fmt.Fprintf(stdout, "  %s\n", q)
 	}
-	fmt.Printf("\nestimates: correlation=%.4f quality=%.4f join-informativeness=%.4f price=%.2f\n",
+	fmt.Fprintf(stdout, "\nestimates: correlation=%.4f quality=%.4f join-informativeness=%.4f price=%.2f\n",
 		plan.Est.Correlation, plan.Est.Quality, plan.Est.Weight, plan.Est.Price)
 
 	if !*buy {
-		fmt.Println("\n(re-run with -buy to execute)")
-		return
+		fmt.Fprintln(stdout, "\n(re-run with -buy to execute)")
+		return nil
 	}
 	purchase, err := mw.Execute(ctx, plan)
 	if err != nil {
-		log.Fatalf("purchase failed: %v", err)
+		return fmt.Errorf("purchase failed: %w", err)
 	}
-	fmt.Printf("\nbought %d projections for %.2f; join has %d rows\n",
+	fmt.Fprintf(stdout, "\nbought %d projections for %.2f; join has %d rows\n",
 		len(purchase.Tables), purchase.TotalPrice, purchase.Joined.NumRows())
-	fmt.Printf("realized: correlation=%.4f quality=%.4f\n",
+	fmt.Fprintf(stdout, "realized: correlation=%.4f quality=%.4f\n",
 		purchase.Realized.Correlation, purchase.Realized.Quality)
+	return nil
 }
 
 func splitList(s string) []string {

@@ -25,6 +25,7 @@ var experimentNames = []string{
 	"table5", "fdcount", "fig4", "fig5a", "fig5b", "fig5c",
 	"fig6", "fig7", "fig8", "table6", "figx-tpch-budget-time",
 	"ablation-steiner", "ablation-mcmc", "ablation-pricing", "ablation-eta",
+	"recovery",
 }
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 		rate    = flag.Float64("rate", 0.5, "offline correlated-sampling rate")
 		iters   = flag.Int("iters", 80, "MCMC iterations ℓ")
 		workers = flag.Int("workers", 0, "concurrent MCMC chains per search (0 = one per CPU, 1 = serial)")
+		seeds   = flag.Int("seeds", 0, "seeds per spec for the recovery sweep (0 = experiment default)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -119,6 +121,12 @@ func main() {
 	}))
 	run("figx-tpch-budget-time", one(func() (experiments.Table, error) {
 		return experiments.FigTPCHBudgetTime(experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+	}))
+	run("recovery", one(func() (experiments.Table, error) {
+		_, tab, err := experiments.Recovery(experiments.RecoveryOptions{
+			Seeds: *seeds, BaseSeed: *seed, Rate: *rate, Iterations: *iters, Workers: *workers,
+		})
+		return tab, err
 	}))
 	abl := experiments.AblationOptions{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters}
 	run("ablation-steiner", one(func() (experiments.Table, error) { return experiments.AblationSteiner(abl) }))

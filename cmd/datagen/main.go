@@ -1,35 +1,84 @@
-// Command datagen generates the TPC-H-like or TPC-E-like benchmark dataset
-// as CSV files (one per table, typed headers) plus a .fds file listing each
-// table's declared approximate functional dependencies.
+// Command datagen generates a benchmark dataset as CSV files (one per
+// table, typed headers) plus a .fds file listing each table's declared
+// approximate functional dependencies — the directory layout marketd serves
+// with -dir. Three generators are available: the TPC-H-like and TPC-E-like
+// datasets of the paper's evaluation, and synthetic workloads with planted
+// correlations (-workload), which additionally emit a workload.json
+// ground-truth record (planted ρ, cheapest correct plan, its cost).
 //
 // Usage:
 //
 //	datagen -dataset tpch -scale 25 -out ./data/tpch
+//	datagen -workload chain:3,kinds=mixed,null=0.05 -seed 7 -out ./data/wl
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"github.com/dance-db/dance/internal/datadir"
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/tpce"
 	"github.com/dance-db/dance/internal/tpch"
+	"github.com/dance-db/dance/internal/workload"
 )
 
+// errFlagParse marks a flag-parse failure the FlagSet has already reported
+// on stderr, so main must not print it a second time.
+var errFlagParse = errors.New("flag parse error")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	var (
-		dataset = flag.String("dataset", "tpch", "tpch or tpce")
-		scale   = flag.Int("scale", 10, "scale factor")
-		seed    = flag.Int64("seed", 42, "PRNG seed")
-		dirty   = flag.Float64("dirty", -1, "dirty fraction (-1 = dataset default)")
-		out     = flag.String("out", "data", "output directory")
+		dataset = fs.String("dataset", "tpch", "tpch or tpce")
+		wl      = fs.String("workload", "", "synthetic workload spec (e.g. chain:3,rows=600); overrides -dataset")
+		scale   = fs.Int("scale", 10, "scale factor (tpch/tpce)")
+		seed    = fs.Int64("seed", 42, "PRNG seed")
+		dirty   = fs.Float64("dirty", -1, "dirty fraction for tpch/tpce (-1 = dataset default)")
+		out     = fs.String("out", "data", "output directory")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and exits cleanly
+		}
+		return errFlagParse
+	}
+
+	if *wl != "" {
+		spec, err := workload.ParseSpec(*wl)
+		if err != nil {
+			return err
+		}
+		w, err := workload.Generate(spec, *seed)
+		if err != nil {
+			return err
+		}
+		if err := w.WriteDir(*out); err != nil {
+			return err
+		}
+		for _, t := range w.Listings {
+			fmt.Fprintf(stdout, "%s: %d rows, %d attrs\n", filepath.Join(*out, t.Name+".csv"), t.NumRows(), t.NumCols())
+		}
+		fmt.Fprintf(stdout, "%s: planted ρ=%.4f over path %s, cheapest plan %.2f\n",
+			filepath.Join(*out, "workload.json"), w.Truth.Rho, strings.Join(w.Truth.Path, "→"), w.Truth.PlanCost)
+		return nil
+	}
 
 	var tables []*relation.Table
 	var fds map[string][]fd.FD
@@ -49,35 +98,16 @@ func main() {
 		d := tpce.Generate(cfg)
 		tables, fds = d.Tables, d.FDs
 	default:
-		log.Fatalf("unknown dataset %q (want tpch or tpce)", *dataset)
+		return fmt.Errorf("unknown dataset %q (want tpch or tpce)", *dataset)
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+	nFDs, err := datadir.WriteTables(*out, tables, fds, *dataset)
+	if err != nil {
+		return err
 	}
 	for _, t := range tables {
-		path := filepath.Join(*out, t.Name+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := t.WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s: %d rows, %d attrs\n", path, t.NumRows(), t.NumCols())
+		fmt.Fprintf(stdout, "%s: %d rows, %d attrs\n", filepath.Join(*out, t.Name+".csv"), t.NumRows(), t.NumCols())
 	}
-	var lines []string
-	for _, t := range tables {
-		for _, f := range fds[t.Name] {
-			lines = append(lines, t.Name+": "+strings.Join(f.LHS, ",")+" -> "+f.RHS)
-		}
-	}
-	fdPath := filepath.Join(*out, *dataset+".fds")
-	if err := os.WriteFile(fdPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%s: %d declared FDs\n", fdPath, len(lines))
+	fmt.Fprintf(stdout, "%s: %d declared FDs\n", filepath.Join(*out, *dataset+".fds"), nFDs)
+	return nil
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/workload"
+)
+
+func TestRunErrorExits(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "nosuch", "-out", t.TempDir()}, &out); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+	if err := run([]string{"-workload", "ring:3", "-out", t.TempDir()}, &out); err == nil {
+		t.Fatal("malformed workload spec must error")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}
+
+func TestRunTPCHWritesLayout(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "tpch", "-scale", "1", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"region.csv", "lineitem.csv", "tpch.fds"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+	if !strings.Contains(out.String(), "declared FDs") {
+		t.Errorf("output missing FD summary: %q", out.String())
+	}
+}
+
+// TestRunWorkloadRoundTrip checks the -workload path end to end: the CSVs
+// parse back into the exact tables the generator produced (the layout
+// marketd -dir serves), and the ground-truth file round-trips.
+func TestRunWorkloadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := "chain:2,kinds=mixed,null=0.05"
+	var out bytes.Buffer
+	if err := run([]string{"-workload", spec, "-seed", "9", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "planted ρ=") {
+		t.Errorf("output missing planted summary: %q", out.String())
+	}
+
+	parsed, err := workload.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(parsed, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range w.Listings {
+		f, err := os.Open(filepath.Join(dir, want.Name+".csv"))
+		if err != nil {
+			t.Fatalf("listing not written: %v", err)
+		}
+		got, err := relation.ReadCSV(want.Name, f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != want.NumRows() || !got.Schema.Equal(want.Schema) {
+			t.Errorf("%s: round-trip mismatch (%d rows vs %d)", want.Name, got.NumRows(), want.NumRows())
+		}
+	}
+	gotSpec, seed, truth, err := workload.ReadTruth(filepath.Join(dir, "workload.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec != parsed || seed != 9 || truth.Rho != w.Truth.Rho {
+		t.Errorf("truth round-trip mismatch: %+v seed %d", gotSpec, seed)
+	}
+	fds, err := os.ReadFile(filepath.Join(dir, "workload.fds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fds), "goal: ") {
+		t.Errorf("workload.fds missing terminal FD: %q", string(fds))
+	}
+}

@@ -27,9 +27,11 @@ import (
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/tpce"
 	"github.com/dance-db/dance/internal/tpch"
+	"github.com/dance-db/dance/internal/workload"
 )
 
 func main() {
@@ -42,7 +44,7 @@ func main() {
 	)
 	flag.Parse()
 
-	market := marketplace.NewInMemory(nil)
+	market := marketplace.NewInMemory(priceModelFor(*dir))
 	switch {
 	case *dir != "":
 		if err := loadDir(market, *dir); err != nil {
@@ -108,6 +110,25 @@ func serve(addr string, h http.Handler) error {
 		return err
 	}
 	return nil
+}
+
+// priceModelFor picks the pricing model for a served directory. A workload
+// directory written by `datagen -workload` records the spec's price family
+// in workload.json; honoring it keeps the marketplace's quotes consistent
+// with the ground-truth plan cost recorded next to the data (a tiered or
+// flat workload served under the default entropy model would make the
+// recorded optimum unreachable). Everything else — generated datasets and
+// plain CSV directories — uses the default entropy model (nil).
+func priceModelFor(dir string) pricing.Model {
+	if dir == "" {
+		return nil
+	}
+	spec, _, _, err := workload.ReadTruth(filepath.Join(dir, "workload.json"))
+	if err != nil {
+		return nil // not a workload directory
+	}
+	fmt.Printf("pricing listings with the recorded %q model\n", spec.PriceFamily)
+	return workload.PriceModel(spec.PriceFamily)
 }
 
 // loadDir registers every .csv in dir; an optional *.fds file declares FDs

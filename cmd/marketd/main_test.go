@@ -8,6 +8,7 @@ import (
 
 	"github.com/dance-db/dance/internal/marketplace"
 	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/workload"
 )
 
 func TestLoadDirRoundTrip(t *testing.T) {
@@ -58,5 +59,43 @@ func TestLoadDirMalformedFDs(t *testing.T) {
 func TestLoadDirMissing(t *testing.T) {
 	if err := loadDir(marketplace.NewInMemory(nil), "/nonexistent-dir-xyz"); err == nil {
 		t.Fatal("missing directory should error")
+	}
+}
+
+// A served workload directory must quote prices under the price family the
+// generator recorded, or the ground truth written next to the CSVs (plan
+// cost, budget-pinned recovery) would be unreachable on the wire.
+func TestPriceModelForWorkloadDir(t *testing.T) {
+	spec, err := workload.ParseSpec("chain:2,price=flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	m := marketplace.NewInMemory(priceModelFor(dir))
+	if err := loadDir(m, dir); err != nil {
+		t.Fatal(err)
+	}
+	q := w.Truth.Queries[0]
+	got, err := m.QuoteProjection(context.Background(), q.Instance, q.Attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.PricingModel().PriceProjection(w.Base(), q.Attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("served quote %v != recorded model price %v (flat family not honored)", got, want)
+	}
+	if priceModelFor("") != nil || priceModelFor(t.TempDir()) != nil {
+		t.Fatal("non-workload directories must keep the default model")
 	}
 }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/dance-db/dance/internal/workload"
+)
+
+func TestRecoverySweep(t *testing.T) {
+	results, tab, err := Recovery(RecoveryOptions{Seeds: 2, BaseSeed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(DefaultRecoverySpecs()) {
+		t.Fatalf("got %d results for %d specs", len(results), len(DefaultRecoverySpecs()))
+	}
+	if len(tab.Rows) != len(results) {
+		t.Fatalf("table rows %d != results %d", len(tab.Rows), len(results))
+	}
+	total, recovered := 0, 0
+	for _, r := range results {
+		total += r.Seeds
+		recovered += r.Recovered
+		if r.CorrRecovered == 0 {
+			t.Errorf("%s: correlation never recovered over %d seeds", r.Spec, r.Seeds)
+		}
+	}
+	// The acceptance bar of the scenario matrix, applied to the sweep.
+	if rate := float64(recovered) / float64(total); rate < 0.90 {
+		t.Errorf("aggregate recovery rate %.2f below 0.90:\n%s", rate, tab.Render())
+	}
+}
+
+func TestRecoverOneVerdicts(t *testing.T) {
+	spec, err := workload.ParseSpec("chain:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrOK, costOK, rho, realized, err := RecoverOne(spec, 5, RecoveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !corrOK || !costOK {
+		t.Fatalf("clean chain:2 not recovered: corr=%v cost=%v rho=%v realized=%v", corrOK, costOK, rho, realized)
+	}
+	if rho <= 0 || realized <= 0 {
+		t.Fatalf("degenerate correlations: rho=%v realized=%v", rho, realized)
+	}
+}

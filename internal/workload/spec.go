@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the compact workload grammar used by `datagen -workload`
+// and the CI scenario matrix:
+//
+//	topology:size[,option=value...]
+//
+// where topology is chain, star or snowflake; size is the chain's hop count
+// or the star/snowflake branch count; and options override DefaultSpec:
+//
+//	rows=N      base listing rows            keys=N    key-domain size
+//	classes=N   latent classes               noise=F   label-flip probability
+//	skew=F      Zipf s of the base key draw  null=F    NULL-key row fraction
+//	kinds=S     int | string | mixed         decoys=N  uncorrelated listings
+//	attrs=N     noise attributes per listing fanout=N  rows per key
+//	price=S     entropy | flat | tiered
+//
+// Example: "snowflake:3,rows=800,kinds=mixed,null=0.05,skew=1.3,price=tiered".
+// ParseSpec(s.String()) round-trips every valid spec.
+func ParseSpec(s string) (Spec, error) {
+	parts := strings.Split(s, ",")
+	head := strings.SplitN(strings.TrimSpace(parts[0]), ":", 2)
+	if len(head) != 2 {
+		return Spec{}, fmt.Errorf("workload: spec %q must start with topology:size", s)
+	}
+	size, err := strconv.Atoi(head[1])
+	if err != nil {
+		return Spec{}, fmt.Errorf("workload: bad size in %q: %w", parts[0], err)
+	}
+	spec := DefaultSpec(Topology(head[0]), size)
+	for _, opt := range parts[1:] {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		kv := strings.SplitN(opt, "=", 2)
+		if len(kv) != 2 {
+			return Spec{}, fmt.Errorf("workload: malformed option %q (want key=value)", opt)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		var perr error
+		num := func() int {
+			n, err := strconv.Atoi(val)
+			perr = err
+			return n
+		}
+		fnum := func() float64 {
+			f, err := strconv.ParseFloat(val, 64)
+			perr = err
+			return f
+		}
+		switch key {
+		case "rows":
+			spec.Rows = num()
+		case "keys":
+			spec.Keys = num()
+		case "classes":
+			spec.Classes = num()
+		case "noise":
+			spec.Noise = fnum()
+		case "skew":
+			spec.Skew = fnum()
+		case "null":
+			spec.NullRate = fnum()
+		case "kinds":
+			spec.KeyKinds = val
+		case "decoys":
+			spec.Decoys = num()
+		case "attrs":
+			spec.ExtraAttrs = num()
+		case "fanout":
+			spec.Fanout = num()
+		case "price":
+			spec.PriceFamily = val
+		default:
+			return Spec{}, fmt.Errorf("workload: unknown option %q", key)
+		}
+		if perr != nil {
+			return Spec{}, fmt.Errorf("workload: bad value for %q: %w", key, perr)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// String renders the spec in the canonical grammar, defaults included, so
+// specs diff cleanly and ParseSpec round-trips.
+func (s Spec) String() string {
+	opts := map[string]string{
+		"rows":    strconv.Itoa(s.Rows),
+		"keys":    strconv.Itoa(s.Keys),
+		"classes": strconv.Itoa(s.Classes),
+		"noise":   trimFloat(s.Noise),
+		"skew":    trimFloat(s.Skew),
+		"null":    trimFloat(s.NullRate),
+		"kinds":   s.KeyKinds,
+		"decoys":  strconv.Itoa(s.Decoys),
+		"attrs":   strconv.Itoa(s.ExtraAttrs),
+		"fanout":  strconv.Itoa(s.Fanout),
+		"price":   s.PriceFamily,
+	}
+	keys := make([]string, 0, len(opts))
+	for k := range opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d", s.Topology, s.Size)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ",%s=%s", k, opts[k])
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/dance-db/dance/internal/datadir"
+)
+
+// WriteDir emits the workload in the directory layout marketd serves with
+// -dir: one typed CSV per listing, a workload.fds file with the published
+// FDs, and a workload.json ground-truth record (spec, seed, planted ρ, the
+// cheapest correct plan and its cost) that quickstarts and tests compare
+// acquisitions against. The directory is created if missing.
+func (w *Workload) WriteDir(dir string) error {
+	if _, err := datadir.WriteTables(dir, w.Listings, w.FDs, "workload"); err != nil {
+		return err
+	}
+	return w.WriteTruth(filepath.Join(dir, "workload.json"))
+}
+
+// truthFile is the serialized ground-truth record.
+type truthFile struct {
+	Spec  string      `json:"spec"`
+	Seed  int64       `json:"seed"`
+	Truth GroundTruth `json:"truth"`
+}
+
+// WriteTruth writes the ground-truth JSON record.
+func (w *Workload) WriteTruth(path string) error {
+	enc, err := json.MarshalIndent(truthFile{Spec: w.Spec.String(), Seed: w.Seed, Truth: w.Truth}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// ReadTruth loads a ground-truth record written by WriteTruth, returning
+// the spec, seed and truth it recorded.
+func ReadTruth(path string) (Spec, int64, GroundTruth, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, 0, GroundTruth{}, err
+	}
+	var tf truthFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return Spec{}, 0, GroundTruth{}, fmt.Errorf("workload: parse truth %s: %w", path, err)
+	}
+	spec, err := ParseSpec(tf.Spec)
+	if err != nil {
+		return Spec{}, 0, GroundTruth{}, err
+	}
+	return spec, tf.Seed, tf.Truth, nil
+}

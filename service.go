@@ -127,8 +127,8 @@ type PurchaseInfo struct {
 type ServiceLedgerEntry struct {
 	// Kind is "sample" (complete-sample purchases), "sample_delta"
 	// (incremental escalation top-ups) or "purchase" (plan executions).
-	Kind   string  `json:"kind"`
-	PlanID string  `json:"plan_id,omitempty"`
+	Kind   string `json:"kind"`
+	PlanID string `json:"plan_id,omitempty"`
 	// FromRate/ToRate bracket the sampling rates of a sample round
 	// (absent on purchases).
 	FromRate float64 `json:"from_rate,omitempty"`

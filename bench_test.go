@@ -32,7 +32,7 @@ import (
 
 func BenchmarkTable5DatasetDescription(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table5(experiments.Table5Options{Scale: 1, Seed: 1}); err != nil {
+		if _, err := experiments.Table5(context.Background(), experiments.Table5Options{Scale: 1, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -40,7 +40,7 @@ func BenchmarkTable5DatasetDescription(b *testing.B) {
 
 func BenchmarkSec61FDCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.FDCounts("tpch", experiments.Table5Options{Scale: 1, Seed: 1}); err != nil {
+		if _, err := experiments.FDCounts(context.Background(), "tpch", experiments.Table5Options{Scale: 1, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +49,7 @@ func BenchmarkSec61FDCounts(b *testing.B) {
 func BenchmarkFig4TimeVsInstances(b *testing.B) {
 	opts := experiments.Fig4Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{5, 8}, Iterations: 30}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4(opts); err != nil {
+		if _, err := experiments.Fig4(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +58,7 @@ func BenchmarkFig4TimeVsInstances(b *testing.B) {
 func BenchmarkFig5aTPCEScalability(b *testing.B) {
 	opts := experiments.Fig5Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{10, 29}, Iterations: 20}
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig5ab(opts); err != nil {
+		if _, _, err := experiments.Fig5ab(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,7 +68,7 @@ func BenchmarkFig5cBudgetSweep(b *testing.B) {
 	opts := experiments.Fig5Options{Scale: 1, Seed: 1, Rate: 0.6,
 		Ratios: []float64{0.04, 0.12, 1.0}, Iterations: 20}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig5c(opts); err != nil {
+		if _, err := experiments.Fig5c(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -77,7 +77,7 @@ func BenchmarkFig5cBudgetSweep(b *testing.B) {
 func BenchmarkFig6CorrelationDifference(b *testing.B) {
 	opts := experiments.Fig6Options{Scale: 1, Seed: 1, Rates: []float64{0.5, 1.0}, Iterations: 20}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(opts); err != nil {
+		if _, err := experiments.Fig6(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +87,7 @@ func BenchmarkFig7CorrelationVsBudget(b *testing.B) {
 	opts := experiments.Fig7Options{Scale: 1, Seed: 1, Rate: 0.6,
 		Ratios: []float64{0.5, 1.0}, Iterations: 20}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7(opts); err != nil {
+		if _, err := experiments.Fig7(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,7 +97,7 @@ func BenchmarkFig8Resampling(b *testing.B) {
 	opts := experiments.Fig8Options{Scale: 1, Seed: 1, Rate: 0.7,
 		ResampleRates: []float64{0.5}, Eta: 200, Iterations: 20}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig8(opts); err != nil {
+		if _, err := experiments.Fig8(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -106,7 +106,7 @@ func BenchmarkFig8Resampling(b *testing.B) {
 func BenchmarkTable6DanceVsDirect(b *testing.B) {
 	opts := experiments.Table6Options{Scale: 1, Seed: 1, Rate: 0.6, BudgetRatio: 0.8, Iterations: 20}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table6(opts); err != nil {
+		if _, err := experiments.Table6(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -117,7 +117,7 @@ func BenchmarkTable6DanceVsDirect(b *testing.B) {
 func BenchmarkAblationSteiner(b *testing.B) {
 	opts := experiments.AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationSteiner(opts); err != nil {
+		if _, err := experiments.AblationSteiner(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -126,7 +126,7 @@ func BenchmarkAblationSteiner(b *testing.B) {
 func BenchmarkAblationMCMC(b *testing.B) {
 	opts := experiments.AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationMCMC(opts); err != nil {
+		if _, err := experiments.AblationMCMC(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -135,7 +135,7 @@ func BenchmarkAblationMCMC(b *testing.B) {
 func BenchmarkAblationPricing(b *testing.B) {
 	opts := experiments.AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationPricing(opts); err != nil {
+		if _, err := experiments.AblationPricing(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -144,7 +144,7 @@ func BenchmarkAblationPricing(b *testing.B) {
 func BenchmarkAblationEta(b *testing.B) {
 	opts := experiments.AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationEta(opts); err != nil {
+		if _, err := experiments.AblationEta(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -399,7 +399,7 @@ func BenchmarkFigXTPCHBudgetTime(b *testing.B) {
 	opts := experiments.Fig5Options{Scale: 1, Seed: 1, Rate: 0.6,
 		Ratios: []float64{0.5, 1.0}, Iterations: 20}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.FigTPCHBudgetTime(opts); err != nil {
+		if _, err := experiments.FigTPCHBudgetTime(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}

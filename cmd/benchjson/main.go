@@ -17,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +26,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/dance-db/dance/internal/cli"
 )
 
 // Result is one benchmark's measurements.
@@ -38,9 +41,12 @@ type Result struct {
 // The -N GOMAXPROCS suffix is stripped so names are stable across machines.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
-func parse(r *bufio.Scanner) (map[string]Result, error) {
+func parse(ctx context.Context, r *bufio.Scanner) (map[string]Result, error) {
 	out := map[string]Result{}
 	for r.Scan() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m := benchLine.FindStringSubmatch(r.Text())
 		if m == nil {
 			continue
@@ -62,6 +68,8 @@ func parse(r *bufio.Scanner) (map[string]Result, error) {
 }
 
 func main() {
+	ctx, stop := cli.RootContext()
+	defer stop()
 	out := flag.String("out", "", "write parsed results as JSON to this file ('-' for stdout)")
 	baseline := flag.String("baseline", "", "committed baseline JSON to gate against")
 	check := flag.String("check", "", "comma-separated benchmark names to gate (ns/op)")
@@ -72,7 +80,7 @@ func main() {
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	results, err := parse(sc)
+	results, err := parse(ctx, sc)
 	if err != nil {
 		fatal(err)
 	}

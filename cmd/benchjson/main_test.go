@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ BenchmarkHeuristicTPCESerial 	    1716	   1439719.5 ns/op	 1316721 B/op	    5163
 BenchmarkNoMem-4         	     100	      1234 ns/op
 PASS
 `
-	got, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	got, err := parse(context.Background(), bufio.NewScanner(strings.NewReader(in)))
 	if err != nil {
 		t.Fatal(err)
 	}

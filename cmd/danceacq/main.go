@@ -18,9 +18,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
+
+	"github.com/dance-db/dance/internal/cli"
 
 	"github.com/dance-db/dance/internal/core"
 	"github.com/dance-db/dance/internal/marketplace"
@@ -36,7 +36,7 @@ var errFlagParse = errors.New("flag parse error")
 
 func main() {
 	// Ctrl-C cancels the acquisition mid-search.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.RootContext()
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if !errors.Is(err, errFlagParse) {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/dance-db/dance/internal/cli"
 	"github.com/dance-db/dance/internal/experiments"
 )
 
@@ -40,6 +41,8 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+	ctx, stop := cli.RootContext()
+	defer stop()
 	experiments.DefaultWorkers = *workers
 	if *list {
 		fmt.Println(strings.Join(experimentNames, "\n"))
@@ -80,59 +83,59 @@ func main() {
 	}
 
 	run("table5", one(func() (experiments.Table, error) {
-		return experiments.Table5(experiments.Table5Options{Scale: *scale, Seed: *seed})
+		return experiments.Table5(ctx, experiments.Table5Options{Scale: *scale, Seed: *seed})
 	}))
 	run("fdcount", func() ([]experiments.Table, error) {
-		h, err := experiments.FDCounts("tpch", experiments.Table5Options{Scale: *scale, Seed: *seed})
+		h, err := experiments.FDCounts(ctx, "tpch", experiments.Table5Options{Scale: *scale, Seed: *seed})
 		if err != nil {
 			return nil, err
 		}
-		e, err := experiments.FDCounts("tpce", experiments.Table5Options{Scale: *scale, Seed: *seed})
+		e, err := experiments.FDCounts(ctx, "tpce", experiments.Table5Options{Scale: *scale, Seed: *seed})
 		if err != nil {
 			return nil, err
 		}
 		return []experiments.Table{h, e}, nil
 	})
 	run("fig4", func() ([]experiments.Table, error) {
-		return experiments.Fig4(experiments.Fig4Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		return experiments.Fig4(ctx, experiments.Fig4Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
 	})
 	run("fig5a", func() ([]experiments.Table, error) {
-		a, _, err := experiments.Fig5ab(experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		a, _, err := experiments.Fig5ab(ctx, experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
 		return []experiments.Table{a}, err
 	})
 	run("fig5b", func() ([]experiments.Table, error) {
-		_, b, err := experiments.Fig5ab(experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		_, b, err := experiments.Fig5ab(ctx, experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
 		return []experiments.Table{b}, err
 	})
 	run("fig5c", one(func() (experiments.Table, error) {
-		return experiments.Fig5c(experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		return experiments.Fig5c(ctx, experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
 	}))
 	run("fig6", func() ([]experiments.Table, error) {
-		return experiments.Fig6(experiments.Fig6Options{Scale: *scale, Seed: *seed, Iterations: *iters})
+		return experiments.Fig6(ctx, experiments.Fig6Options{Scale: *scale, Seed: *seed, Iterations: *iters})
 	})
 	run("fig7", func() ([]experiments.Table, error) {
-		return experiments.Fig7(experiments.Fig7Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		return experiments.Fig7(ctx, experiments.Fig7Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
 	})
 	run("fig8", func() ([]experiments.Table, error) {
-		return experiments.Fig8(experiments.Fig8Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		return experiments.Fig8(ctx, experiments.Fig8Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
 	})
 	run("table6", one(func() (experiments.Table, error) {
-		return experiments.Table6(experiments.Table6Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		return experiments.Table6(ctx, experiments.Table6Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
 	}))
 	run("figx-tpch-budget-time", one(func() (experiments.Table, error) {
-		return experiments.FigTPCHBudgetTime(experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
+		return experiments.FigTPCHBudgetTime(ctx, experiments.Fig5Options{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters})
 	}))
 	run("recovery", one(func() (experiments.Table, error) {
-		_, tab, err := experiments.Recovery(experiments.RecoveryOptions{
+		_, tab, err := experiments.Recovery(ctx, experiments.RecoveryOptions{
 			Seeds: *seeds, BaseSeed: *seed, Rate: *rate, Iterations: *iters, Workers: *workers,
 		})
 		return tab, err
 	}))
 	abl := experiments.AblationOptions{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters}
-	run("ablation-steiner", one(func() (experiments.Table, error) { return experiments.AblationSteiner(abl) }))
-	run("ablation-mcmc", one(func() (experiments.Table, error) { return experiments.AblationMCMC(abl) }))
-	run("ablation-pricing", one(func() (experiments.Table, error) { return experiments.AblationPricing(abl) }))
-	run("ablation-eta", one(func() (experiments.Table, error) { return experiments.AblationEta(abl) }))
+	run("ablation-steiner", one(func() (experiments.Table, error) { return experiments.AblationSteiner(ctx, abl) }))
+	run("ablation-mcmc", one(func() (experiments.Table, error) { return experiments.AblationMCMC(ctx, abl) }))
+	run("ablation-pricing", one(func() (experiments.Table, error) { return experiments.AblationPricing(ctx, abl) }))
+	run("ablation-eta", one(func() (experiments.Table, error) { return experiments.AblationEta(ctx, abl) }))
 
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
 }

@@ -25,10 +25,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"os"
-	"os/signal"
-	"syscall"
 	"time"
+
+	"github.com/dance-db/dance/internal/cli"
 
 	dance "github.com/dance-db/dance"
 )
@@ -75,7 +74,7 @@ func main() {
 		Workers:     *workers,
 		DiscoverFDs: *discoverFDs,
 	})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.RootContext()
 	defer stop()
 	if *offline {
 		fmt.Println("running offline phase (buying correlated samples)…")

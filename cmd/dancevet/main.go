@@ -1,0 +1,80 @@
+// Command dancevet runs DANCE's project-specific static-analysis suite —
+// the invariants PRs 1–4 paid for in debugging time, made mechanical. See
+// DESIGN.md "Invariants & static analysis" for the analyzer ↔ historical
+// bug mapping.
+//
+// Usage:
+//
+//	go run ./cmd/dancevet [-tags tags] [-tests=false] [-run names] [packages...]
+//
+// Exit status is 1 when any diagnostic survives suppression, 2 on usage or
+// load errors. Suppress an intentional exception in source with
+// `//dancevet:ignore <analyzer> <reason>`.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dance-db/dance/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("dancevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tags := fs.String("tags", "", "comma-separated build tags forwarded to go list")
+	tests := fs.Bool("tests", true, "also analyze test files (test-variant packages)")
+	runOnly := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	dir := fs.String("C", "", "directory to run in (module root)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := analysis.All()
+	if *runOnly != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*runOnly, ",") {
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "dancevet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: *dir, Tags: *tags, Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "dancevet: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "dancevet: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "dancevet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/dance-db/dance/internal/cli"
 	"github.com/dance-db/dance/internal/datadir"
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/relation"
@@ -34,7 +36,9 @@ import (
 var errFlagParse = errors.New("flag parse error")
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := cli.RootContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if !errors.Is(err, errFlagParse) {
 			fmt.Fprintln(os.Stderr, err)
 		}
@@ -42,8 +46,10 @@ func main() {
 	}
 }
 
-// run is the testable body of the command.
-func run(args []string, stdout io.Writer) error {
+// run is the testable body of the command. The context is part of the
+// uniform cmd/ entry-point shape; generation is local and runs to
+// completion, so it is currently unobserved.
+func run(_ context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	var (
 		dataset = fs.String("dataset", "tpch", "tpch or tpce")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,13 +14,13 @@ import (
 
 func TestRunErrorExits(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-dataset", "nosuch", "-out", t.TempDir()}, &out); err == nil {
+	if err := run(context.Background(), []string{"-dataset", "nosuch", "-out", t.TempDir()}, &out); err == nil {
 		t.Fatal("unknown dataset must error")
 	}
-	if err := run([]string{"-workload", "ring:3", "-out", t.TempDir()}, &out); err == nil {
+	if err := run(context.Background(), []string{"-workload", "ring:3", "-out", t.TempDir()}, &out); err == nil {
 		t.Fatal("malformed workload spec must error")
 	}
-	if err := run([]string{"-bogusflag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogusflag"}, &out); err == nil {
 		t.Fatal("unknown flag must error")
 	}
 }
@@ -27,7 +28,7 @@ func TestRunErrorExits(t *testing.T) {
 func TestRunTPCHWritesLayout(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-dataset", "tpch", "-scale", "1", "-out", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-dataset", "tpch", "-scale", "1", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"region.csv", "lineitem.csv", "tpch.fds"} {
@@ -47,7 +48,7 @@ func TestRunWorkloadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	spec := "chain:2,kinds=mixed,null=0.05"
 	var out bytes.Buffer
-	if err := run([]string{"-workload", spec, "-seed", "9", "-out", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-workload", spec, "-seed", "9", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "planted ρ=") {

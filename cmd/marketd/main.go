@@ -19,12 +19,11 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
+	"github.com/dance-db/dance/internal/cli"
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/marketplace"
 	"github.com/dance-db/dance/internal/pricing"
@@ -64,7 +63,9 @@ func main() {
 		log.Fatalf("unknown dataset %q", *dataset)
 	}
 
-	infos, err := market.Catalog(context.Background())
+	ctx, stop := cli.RootContext()
+	defer stop()
+	infos, err := market.Catalog(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,15 +73,15 @@ func main() {
 		fmt.Printf("listing %s: %d rows, %d attrs\n", info.Name, info.Rows, len(info.Attrs))
 	}
 	fmt.Printf("marketplace listening on %s\n", *addr)
-	if err := serve(*addr, marketplace.Handler(market)); err != nil {
+	if err := serve(ctx, *addr, marketplace.Handler(market)); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // serve runs an http.Server with sane timeouts (a bare ListenAndServe
-// leaks slow-loris connections) and drains in-flight purchases on
-// SIGINT/SIGTERM before exiting.
-func serve(addr string, h http.Handler) error {
+// leaks slow-loris connections) and drains in-flight purchases when ctx is
+// cancelled (SIGINT/SIGTERM) before exiting.
+func serve(ctx context.Context, addr string, h http.Handler) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           h,
@@ -89,9 +90,6 @@ func serve(addr string, h http.Handler) error {
 		WriteTimeout:      5 * time.Minute, // full-table projections can be large
 		IdleTimeout:       2 * time.Minute,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -99,7 +97,6 @@ func serve(addr string, h http.Handler) error {
 		return err
 	case <-ctx.Done():
 	}
-	stop()
 	fmt.Println("shutting down: draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -188,6 +188,8 @@ func New(market Market, cfg Config) *Middleware { return core.New(market, cfg) }
 //
 // Deprecated: use (*Middleware).Offline with a context so a hung
 // marketplace can be cancelled.
+//
+//dancevet:ignore ctxflow deprecated context-free facade kept for v0 callers
 func Offline(mw *Middleware) error { return mw.Offline(context.Background()) }
 
 // Acquire runs an acquisition without a caller context.
@@ -195,6 +197,7 @@ func Offline(mw *Middleware) error { return mw.Offline(context.Background()) }
 // Deprecated: use (*Middleware).Acquire with a context so long searches
 // honor deadlines and cancellation.
 func Acquire(mw *Middleware, req Request) (*Plan, error) {
+	//dancevet:ignore ctxflow deprecated context-free facade kept for v0 callers
 	return mw.Acquire(context.Background(), req)
 }
 
@@ -202,6 +205,7 @@ func Acquire(mw *Middleware, req Request) (*Plan, error) {
 //
 // Deprecated: use (*Middleware).AcquireTopK with a context.
 func AcquireTopK(mw *Middleware, req Request, k int, weights ScoreWeights) ([]RankedPlan, error) {
+	//dancevet:ignore ctxflow deprecated context-free facade kept for v0 callers
 	return mw.AcquireTopK(context.Background(), req, k, weights)
 }
 
@@ -209,6 +213,7 @@ func AcquireTopK(mw *Middleware, req Request, k int, weights ScoreWeights) ([]Ra
 //
 // Deprecated: use (*Middleware).Execute with a context.
 func Execute(mw *Middleware, plan *Plan) (*Purchase, error) {
+	//dancevet:ignore ctxflow deprecated context-free facade kept for v0 callers
 	return mw.Execute(context.Background(), plan)
 }
 

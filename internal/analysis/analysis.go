@@ -1,0 +1,153 @@
+// Package analysis is dancevet's static-analysis framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// surface the repo would use if the module took external dependencies.
+//
+// Each Analyzer encodes one invariant DANCE has already paid for in
+// debugging time (see DESIGN.md "Invariants & static analysis"): map-order
+// float accumulation broke Correlation's determinism (PR 1), unsynchronized
+// maps raced under the parallel engine (PR 1/2), caches keyed by
+// printable-separator string concatenation aliased hostile dataset names
+// (PR 4), context-free call paths hung forever against slow marketplaces
+// (PR 2), and sentinel errors compared with == broke once wrapping was
+// introduced (PR 4). cmd/dancevet runs the suite over ./... in CI.
+//
+// Intentional exceptions are suppressed in source with
+//
+//	//dancevet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or on its own line directly above. The reason is
+// mandatory: a suppression without one is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a fully type-checked
+// package through the Pass and reports diagnostics; it must not mutate
+// shared state, so one Analyzer value can check packages concurrently.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression comments.
+	Name string
+	// Doc is a one-paragraph description, shown by `dancevet -list`.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding, positioned at Pos.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. Several analyzers
+// relax their rules there: tests may build throwaway contexts and assert on
+// error text.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// All returns every analyzer in the dancevet suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detfloat, Ctxflow, Lockguard, Cachekey, Errsentinel}
+}
+
+// ByName resolves an analyzer name, for suppression validation and -run
+// filters.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves the static *types.Func a call dispatches to, or nil
+// for calls through function values, type conversions and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name
+// (not a method).
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// lastSegment returns the final slash-separated segment of an import path.
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// pathHasSegment reports whether the import path contains seg as a whole
+// path segment (so "internal" matches "a/internal/b" but not "ainternal").
+func pathHasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,244 @@
+// Package analysistest runs dancevet analyzers over testdata fixture
+// packages and checks their diagnostics against `// want "regex"`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the repo's stdlib-only framework.
+//
+// Fixtures live under <testdata>/src/<path>/ as plain directories of Go
+// files (go tooling ignores testdata, so fixtures may contain deliberate
+// invariant violations without failing the repo's own vet/build). A
+// fixture file expects a diagnostic on a line by ending it with
+//
+//	code // want "regexp"
+//
+// Multiple expectations stack: // want "a" "b". Diagnostics suppressed by
+// //dancevet:ignore directives are dropped before matching, so a fixture
+// line carrying a directive and no want-comment asserts the suppression
+// machinery works.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/dance-db/dance/internal/analysis"
+)
+
+// TestData returns the caller package's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run loads the fixture package at <testdata>/src/<path>, applies the
+// analyzer, and reports mismatches between diagnostics and want-comments
+// through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	pkg, err := loadFixture(testdata, path)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	wants := parseWants(t, pkg)
+	// Match every finding to a want on its line.
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]+)`")
+
+func parseWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					pat := arg[2] // `raw` form: the pattern verbatim
+					if arg[2] == "" {
+						pat = unquoteWant(arg[1])
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquoteWant(s string) string {
+	// The capture group already stripped the surrounding quotes; undo the
+	// escapes a Go string literal would need for a quote.
+	return strings.ReplaceAll(s, `\"`, `"`)
+}
+
+// loadFixture parses and type-checks the fixture package rooted at
+// <testdata>/src/<path>. Imports resolve against sibling fixture packages
+// first (by path under src/), then against the real build graph via
+// `go list -export` (stdlib and module packages).
+func loadFixture(testdata, path string) (*analysis.Package, error) {
+	root := filepath.Join(testdata, "src")
+	fset := token.NewFileSet()
+	loader := &fixtureLoader{
+		root: root,
+		fset: fset,
+		pkgs: make(map[string]*loadedFixture),
+	}
+	lf, err := loader.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{
+		Path:  path,
+		Dir:   filepath.Join(root, path),
+		Fset:  fset,
+		Files: lf.files,
+		Types: lf.types,
+		Info:  lf.info,
+	}, nil
+}
+
+type loadedFixture struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type fixtureLoader struct {
+	root     string
+	fset     *token.FileSet
+	pkgs     map[string]*loadedFixture
+	external types.Importer // lazily built from go list -export
+}
+
+func (l *fixtureLoader) load(path string) (*loadedFixture, error) {
+	if lf, ok := l.pkgs[path]; ok {
+		if lf == nil {
+			return nil, fmt.Errorf("import cycle through fixture %q", path)
+		}
+		return lf, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %q: %w", path, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %q: no Go files in %s", path, dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("fixture %q: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importerFunc(func(ip string) (*types.Package, error) {
+		return l.resolve(ip)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %q: type-checking: %w", path, err)
+	}
+	lf := &loadedFixture{files: files, types: tpkg, info: info}
+	l.pkgs[path] = lf
+	return lf, nil
+}
+
+func (l *fixtureLoader) resolve(ip string) (*types.Package, error) {
+	// Fixture-local packages shadow everything else.
+	if st, err := os.Stat(filepath.Join(l.root, ip)); err == nil && st.IsDir() {
+		lf, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		return lf.types, nil
+	}
+	if l.external == nil {
+		ext, err := analysis.NewGoListImporter(l.fset)
+		if err != nil {
+			return nil, err
+		}
+		l.external = ext
+	}
+	return l.external.Import(ip)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

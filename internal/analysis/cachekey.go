@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// CacheKeyPackages names the packages (by final import-path segment) that
+// build long-lived cache keys from marketplace-controlled names.
+var CacheKeyPackages = map[string]bool{
+	"search":    true,
+	"joingraph": true,
+	"offline":   true,
+	"core":      true,
+	"sampling":  true,
+	"safekey":   true,
+}
+
+// Cachekey flags cache keys assembled by joining attacker-controllable
+// strings with printable separators — the exact PR 4 JICache bug: dataset
+// and attribute names are seller- and shopper-controlled free text, so
+// "a|b" + "|" + "c" and "a" + "|" + "b|c" collide and two different
+// (instance pair, join attrs) composites silently share one cached
+// estimate. Keys must separate dynamic parts with non-printable bytes
+// (\x00 between list elements, \x01 between sections — the repo
+// convention) or use safekey.Join, which length-prefixes and is injective
+// regardless of content.
+//
+// The analyzer looks at expressions that flow into key-shaped places — an
+// assignment to a variable or field whose name contains "key", an argument
+// to a parameter so named, or a return from a function so named — and
+// reports when two non-constant string operands are separated only by
+// printable constant text. strconv.Itoa/Format* results and %d/%q verbs
+// are exempt: numbers and quoted strings cannot smuggle a separator.
+var Cachekey = &Analyzer{
+	Name: "cachekey",
+	Doc: "cache keys must not join attacker-controllable strings with " +
+		"printable separators; use \\x00/\\x01 separators or safekey.Join " +
+		"(the PR 4 JICache aliasing bug)",
+	Run: runCachekey,
+}
+
+func runCachekey(pass *Pass) error {
+	if !CacheKeyPackages[lastSegment(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		var funcStack []*ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				funcStack = append(funcStack, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if !keyShapedExpr(lhs) {
+						continue
+					}
+					if i < len(n.Rhs) {
+						checkKeyExpr(pass, n.Rhs[i])
+					} else if len(n.Rhs) == 1 {
+						checkKeyExpr(pass, n.Rhs[0])
+					}
+				}
+			case *ast.CallExpr:
+				checkKeyArgs(pass, n)
+			case *ast.ReturnStmt:
+				if len(funcStack) > 0 && keyShapedName(funcStack[len(funcStack)-1].Name.Name) {
+					for _, r := range n.Results {
+						checkKeyExpr(pass, r)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func keyShapedName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "key")
+}
+
+func keyShapedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return keyShapedName(e.Name)
+	case *ast.SelectorExpr:
+		return keyShapedName(e.Sel.Name)
+	case *ast.IndexExpr:
+		return keyShapedExpr(e.X)
+	}
+	return false
+}
+
+// checkKeyArgs checks call arguments bound to parameters whose name
+// contains "key".
+func checkKeyArgs(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if pi >= sig.Params().Len() {
+			break
+		}
+		if keyShapedName(sig.Params().At(pi).Name()) {
+			checkKeyExpr(pass, arg)
+		}
+	}
+}
+
+// operand classifies one piece of a key-building expression.
+type operand struct {
+	// sep is non-empty constant text (separator material); dynamic marks a
+	// non-constant string whose content an adversary may control.
+	sep     string
+	dynamic bool
+	pos     ast.Expr
+}
+
+func checkKeyExpr(pass *Pass, e ast.Expr) {
+	ops := flattenKeyExpr(pass, e, nil)
+	reportPrintableJoins(pass, e, ops)
+}
+
+// reportPrintableJoins scans the operand sequence for two dynamic operands
+// whose intervening constant text is non-empty and entirely printable.
+func reportPrintableJoins(pass *Pass, site ast.Expr, ops []operand) {
+	seenDynamic := false
+	sep := ""
+	for _, op := range ops {
+		if !op.dynamic {
+			if seenDynamic {
+				sep += op.sep
+			}
+			continue
+		}
+		if seenDynamic && sep != "" && printable(sep) {
+			pass.Reportf(site.Pos(),
+				"cache key joins two attacker-controllable strings with printable separator %q: "+
+					"hostile dataset/attribute names can alias two different keys "+
+					"(PR 4 JICache bug); separate with \\x00/\\x01 or use safekey.Join", sep)
+			return
+		}
+		seenDynamic = true
+		sep = ""
+	}
+}
+
+// flattenKeyExpr reduces e to a sequence of constant separators and dynamic
+// string operands, recursing through +, Sprintf and strings.Join.
+func flattenKeyExpr(pass *Pass, e ast.Expr, ops []operand) []operand {
+	e = ast.Unparen(e)
+	// Constant folding first: a constant of any shape is separator text.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		if tv.Value.Kind() == constant.String {
+			ops = append(ops, operand{sep: constant.StringVal(tv.Value), pos: e})
+			return ops
+		}
+	}
+	switch ex := e.(type) {
+	case *ast.BinaryExpr:
+		if t := pass.TypeOf(ex); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				ops = flattenKeyExpr(pass, ex.X, ops)
+				ops = flattenKeyExpr(pass, ex.Y, ops)
+				return ops
+			}
+		}
+	case *ast.CallExpr:
+		f := calleeFunc(pass.TypesInfo, ex)
+		switch {
+		case isPkgFunc(f, "strings", "Join"):
+			// elems joined by a constant separator: the elems are dynamic;
+			// a printable (or empty-with-multiple-elems) separator between
+			// dynamic elements is the bug. Model as dynamic·sep·dynamic.
+			sep, isConst := constString(pass, ex.Args[1])
+			if isConst {
+				ops = append(ops, operand{dynamic: true, pos: ex})
+				if sep != "" {
+					ops = append(ops, operand{sep: sep, pos: ex})
+				}
+				ops = append(ops, operand{dynamic: true, pos: ex})
+				return ops
+			}
+		case isPkgFunc(f, "fmt", "Sprintf"):
+			return flattenSprintf(pass, ex, ops)
+		case f != nil && f.Pkg() != nil && lastSegment(f.Pkg().Path()) == "safekey":
+			// safekey.Join output is injective: treat as a single opaque
+			// dynamic operand (joining *it* with printable separators is
+			// still flagged — the outer join can alias).
+			ops = append(ops, operand{dynamic: true, pos: ex})
+			return ops
+		case f != nil && numericSafeCall(f):
+			// Numbers cannot contain separators; quoted strings escape them.
+			ops = append(ops, operand{sep: "", pos: ex})
+			return ops
+		}
+	}
+	// Anything else with string type is a dynamic operand; non-strings are
+	// inert (they only appear via Sprintf verbs handled above).
+	if t := pass.TypeOf(e); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			ops = append(ops, operand{dynamic: true, pos: e})
+		}
+	}
+	return ops
+}
+
+// flattenSprintf models a Sprintf call: literal format chunks are
+// separators; %s/%v verbs with string-typed arguments are dynamic; numeric
+// and %q/%x verbs are safe.
+func flattenSprintf(pass *Pass, call *ast.CallExpr, ops []operand) []operand {
+	if len(call.Args) == 0 {
+		return ops
+	}
+	format, ok := constString(pass, call.Args[0])
+	if !ok {
+		ops = append(ops, operand{dynamic: true, pos: call})
+		return ops
+	}
+	argIdx := 1
+	lit := strings.Builder{}
+	flushLit := func() {
+		if lit.Len() > 0 {
+			ops = append(ops, operand{sep: lit.String(), pos: call})
+			lit.Reset()
+		}
+	}
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			lit.WriteByte(format[i])
+			continue
+		}
+		i++
+		// Skip flags/width.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.*", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if verb == '%' {
+			lit.WriteByte('%')
+			continue
+		}
+		dynamic := false
+		if verb == 's' || verb == 'v' {
+			if argIdx < len(call.Args) {
+				if t := pass.TypeOf(call.Args[argIdx]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						dynamic = true
+					} else if _, isBasic := t.Underlying().(*types.Basic); !isBasic {
+						dynamic = true // Stringers render arbitrary text
+					}
+				}
+			}
+		}
+		if dynamic {
+			flushLit()
+			ops = append(ops, operand{dynamic: true, pos: call})
+		}
+		// Safe verbs contribute nothing an adversary controls; their
+		// rendered text still breaks up separators, so reset the literal
+		// run only for dynamic verbs (handled by flushLit above) — numeric
+		// text between two dynamics cannot be controlled, so it stays part
+		// of the separator? No: a number *can* be chosen adversarially in
+		// some callers. Be conservative and treat it as a boundary.
+		if !dynamic && verb != '%' {
+			flushLit()
+			ops = append(ops, operand{sep: "", pos: call})
+		}
+		argIdx++
+	}
+	flushLit()
+	return ops
+}
+
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// numericSafeCall reports calls whose string result cannot contain a chosen
+// separator byte: number formatting and quoting.
+func numericSafeCall(f *types.Func) bool {
+	if f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "strconv":
+		switch f.Name() {
+		case "Itoa", "FormatInt", "FormatUint", "FormatFloat", "FormatBool", "Quote", "QuoteToASCII":
+			return true
+		}
+	}
+	return false
+}
+
+// printable reports whether every byte of s is in the printable ASCII
+// range — the property that makes a separator spoofable by a hostile name.
+func printable(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == 0x7f {
+			return false
+		}
+	}
+	return len(s) > 0
+}

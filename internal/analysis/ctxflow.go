@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces the context-first API discipline PR 2 established after
+// context-free paths hung forever against slow marketplaces:
+//
+//   - an exported function (or method on an exported type) in an internal/
+//     package that calls anything taking a context.Context must itself
+//     accept a ctx as its first parameter and forward it. A function that
+//     manufactures its own context severs the caller's cancellation and
+//     deadline chain — exactly how the pre-PR-2 engine kept buying samples
+//     for requests whose shoppers had long hung up.
+//   - context.Background()/context.TODO() are reserved for package main and
+//     tests. Library code that needs a context must be handed one.
+//
+// Intentional roots (the deprecated facade shims, the shared cmd/ signal
+// context helper) carry //dancevet:ignore ctxflow directives.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags exported internal/ functions that call context-taking code " +
+		"without accepting a ctx first parameter, and context.Background/TODO " +
+		"outside package main and tests",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	inInternal := pathHasSegment(pass.Pkg.Path(), "internal")
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		testFile := pass.IsTestFile(file.Pos())
+		// Rule 2: no ad-hoc context roots outside main and tests.
+		if !isMain && !testFile {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.TypesInfo, call)
+				if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" {
+					return true
+				}
+				if f.Name() == "Background" || f.Name() == "TODO" {
+					pass.Reportf(call.Pos(),
+						"context.%s creates a context root outside package main or a test, "+
+							"severing the caller's cancellation chain (pre-PR-2 hang class); "+
+							"accept a ctx from the caller instead", f.Name())
+				}
+				return true
+			})
+		}
+		// Rule 1: exported internal/ functions must thread ctx.
+		if !inInternal || testFile {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxThreading(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkCtxThreading(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || !receiverExported(pass, fd) {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			if i != 0 {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s takes a context.Context but not as its first parameter; "+
+						"the repo's v1 API convention is ctx-first", fd.Name.Name)
+			}
+			return // has a ctx; assume it forwards
+		}
+	}
+	// No ctx parameter: find a call that passes a context the caller never
+	// provided — a package-level ctx (the pre-refactor experiments pattern),
+	// a ctx stored in a struct field, or a fresh Background()/TODO(). A ctx
+	// rooted in an enclosing function-literal parameter (HTTP handlers
+	// deriving r.Context()) is legitimately caller-provided.
+	var offending *ast.CallExpr
+	var calleeName string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if offending != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		csig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+		if !ok {
+			return true // conversion or built-in
+		}
+		if csig.Params().Len() == 0 || !isContextType(csig.Params().At(0).Type()) {
+			return true
+		}
+		if len(call.Args) == 0 || !unrootedCtx(pass, call.Args[0]) {
+			return true
+		}
+		offending = call
+		calleeName = types.ExprString(call.Fun)
+		return false
+	})
+	if offending == nil {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported %s calls %s with a context the caller never provided; "+
+			"accept ctx context.Context as the first parameter and forward it "+
+			"so callers can cancel (pre-PR-2 hang class)", fd.Name.Name, calleeName)
+}
+
+// unrootedCtx reports whether the context expression is manufactured rather
+// than derived from a caller: a direct Background()/TODO() call, a
+// package-level variable, or a struct-field-stored context.
+func unrootedCtx(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := pass.ObjectOf(e).(*types.Var)
+		if !ok {
+			return false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level ctx: nothing the caller controls
+		}
+		return false
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true // ctx stored in a struct field
+		}
+		v, ok := pass.ObjectOf(e.Sel).(*types.Var)
+		return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+	case *ast.CallExpr:
+		f := calleeFunc(pass.TypesInfo, e)
+		if f != nil && f.Pkg() != nil && f.Pkg().Path() == "context" &&
+			(f.Name() == "Background" || f.Name() == "TODO") {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// receiverExported reports whether fd is a plain function or a method on an
+// exported named type. Methods on unexported types are not reachable from
+// outside the package, so the invariant does not apply.
+func receiverExported(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := pass.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return true
+	}
+	return named.Obj().Exported()
+}

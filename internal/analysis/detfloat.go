@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismCriticalPackages names the packages (by final import-path
+// segment) whose outputs must be bit-reproducible per seed: the paper's
+// estimates are only comparable across runs — and the columnar fast path
+// only pinnable against the row path — if sampling and evaluation are
+// deterministic. PR 1 found Correlation drifting in the last ulps because
+// a conditional-entropy term was summed in map-iteration order.
+var DeterminismCriticalPackages = map[string]bool{
+	"infotheory": true,
+	"sampling":   true,
+	"search":     true,
+	"workload":   true,
+}
+
+// Detfloat flags the nondeterminism sources that have already bitten DANCE
+// inside determinism-critical packages:
+//
+//   - floating-point accumulation inside `range` over a map: float addition
+//     is not associative and Go randomizes map order, so the same data can
+//     produce different last-ulp sums on every run (the PR 1 Correlation
+//     bug). Iterate keys in sorted or first-appearance order instead.
+//   - the global math/rand source (rand.Intn, rand.Float64, rand.Shuffle,
+//     …): it is seeded per process, not per request. Use
+//     rand.New(rand.NewSource(seed)) so every chain and every candidate
+//     draws from its own deterministic stream.
+//   - time.Now: wall-clock input makes estimates unreproducible. Thread
+//     timestamps in from the caller (cmd/ layers may read the clock).
+var Detfloat = &Analyzer{
+	Name: "detfloat",
+	Doc: "flags map-iteration-order float accumulation, the global math/rand " +
+		"source and time.Now in determinism-critical packages " +
+		"(internal/infotheory, internal/sampling, internal/search, internal/workload)",
+	Run: runDetfloat,
+}
+
+func runDetfloat(pass *Pass) error {
+	if !DeterminismCriticalPackages[lastSegment(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			// Tests may deliberately exercise nondeterminism (the race and
+			// determinism regression suites do).
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRangeFloatAccum(pass, n)
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeFloatAccum reports float accumulators mutated inside a
+// range-over-map body when the accumulator outlives the loop.
+func checkMapRangeFloatAccum(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range assign.Lhs {
+				if isLoopExternalFloat(pass, lhs, rng) {
+					pass.Reportf(assign.Pos(),
+						"floating-point accumulation into %s inside range over a map: "+
+							"map iteration order is randomized and float addition is not associative, "+
+							"so the sum differs between runs (PR 1 Correlation bug); "+
+							"iterate keys in sorted or first-appearance order",
+						types.ExprString(lhs))
+				}
+			}
+		case token.ASSIGN:
+			// s = s + x (and s = x + s) forms.
+			for i, lhs := range assign.Lhs {
+				if i >= len(assign.Rhs) {
+					break
+				}
+				if !isLoopExternalFloat(pass, lhs, rng) {
+					continue
+				}
+				if selfReferentialSum(pass, lhs, assign.Rhs[i]) {
+					pass.Reportf(assign.Pos(),
+						"floating-point accumulation into %s inside range over a map: "+
+							"map iteration order is randomized and float addition is not associative, "+
+							"so the sum differs between runs (PR 1 Correlation bug); "+
+							"iterate keys in sorted or first-appearance order",
+						types.ExprString(lhs))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isLoopExternalFloat reports whether e is a float-typed lvalue declared
+// outside the range body (a struct field, or a variable from an enclosing
+// scope). Loop-local floats reset every iteration and cannot accumulate
+// across the map's random order.
+func isLoopExternalFloat(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Body.Pos() || obj.Pos() > rng.Body.End()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true // fields, elements and pointees outlive the iteration
+	}
+	return false
+}
+
+// selfReferentialSum reports whether rhs is an arithmetic expression that
+// mentions lhs (s = s + x).
+func selfReferentialSum(pass *Pass, lhs, rhs ast.Expr) bool {
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	target := types.ExprString(ast.Unparen(lhs))
+	found := false
+	ast.Inspect(bin, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && types.ExprString(ast.Unparen(e)) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// seededRandConstructors are the math/rand package-level functions that do
+// not touch the global source.
+var seededRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *Rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods on *rand.Rand etc. are seeded by construction
+	}
+	switch f.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !seededRandConstructors[f.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the process-global random source, which is not "+
+					"deterministic per seed; use rand.New(rand.NewSource(seed)) and thread the *Rand through",
+				lastSegment(f.Pkg().Path()), f.Name())
+		}
+	case "time":
+		if f.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now in a determinism-critical package makes estimates "+
+					"unreproducible; take the timestamp as a parameter from the cmd/ layer")
+		}
+	}
+}

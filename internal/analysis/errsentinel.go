@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Errsentinel enforces wrap-safe error handling. The repo's sentinels —
+// marketplace.ErrUnknownDataset, marketplace.ErrBadRate,
+// search.ErrInfeasible — travel through fmt.Errorf("...: %w", err) wrapping,
+// HTTP round trips that reconstruct them, and the danced service layer. An
+// == / != comparison sees only the outermost wrapper and silently stops
+// matching the moment anyone adds context to the chain; errors.Is is the
+// contract. The same applies to any exported ErrXxx package-level variable,
+// stdlib included.
+//
+// Matching on err.Error() text with strings.Contains/HasPrefix/HasSuffix is
+// the same bug in worse clothes — messages are not API — and is flagged in
+// non-test code (tests may assert on rendered messages).
+var Errsentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc: "flags ==/!= comparisons against ErrXxx sentinel variables (use " +
+		"errors.Is) and strings.Contains-style matching on err.Error() text",
+	Run: runErrsentinel,
+}
+
+func runErrsentinel(pass *Pass) error {
+	for _, file := range pass.Files {
+		testFile := pass.IsTestFile(file.Pos())
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkSentinelCompare(pass, n)
+				}
+			case *ast.CallExpr:
+				if !testFile {
+					checkErrorTextMatch(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSentinelCompare(pass *Pass, cmp *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		v := sentinelVar(pass, side)
+		if v == nil {
+			continue
+		}
+		name := v.Name()
+		if v.Pkg() != nil && v.Pkg() != pass.Pkg {
+			name = v.Pkg().Name() + "." + name
+		}
+		op := "=="
+		repl := "errors.Is(err, " + name + ")"
+		if cmp.Op == token.NEQ {
+			op = "!="
+			repl = "!" + repl
+		}
+		pass.Reportf(cmp.Pos(),
+			"%s %s compared with %s: the comparison breaks as soon as the error is "+
+				"wrapped (the marketplace client and danced layers wrap); use %s",
+			name, op, op, repl)
+		return
+	}
+}
+
+// sentinelVar resolves e to an exported package-level error variable whose
+// name matches ErrXxx, or nil.
+func sentinelVar(pass *Pass, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.ObjectOf(e)
+	case *ast.SelectorExpr:
+		obj = pass.ObjectOf(e.Sel)
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !v.Exported() || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || len(v.Name()) < 4 {
+		return nil
+	}
+	if c := v.Name()[3]; c < 'A' || c > 'Z' {
+		return nil // ErrX convention: "Err" + exported-style suffix
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func implementsError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}
+
+// checkErrorTextMatch flags strings.Contains/HasPrefix/HasSuffix/Index
+// calls fed by err.Error().
+func checkErrorTextMatch(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "strings" {
+		return
+	}
+	switch f.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "Index", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrErrorCall(pass, arg) {
+			pass.Reportf(call.Pos(),
+				"strings.%s on err.Error() matches rendered text, which is not API and "+
+					"changes under wrapping; export a sentinel and use errors.Is "+
+					"(or errors.As for typed errors)", f.Name())
+			return
+		}
+	}
+}
+
+func isErrErrorCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	return t != nil && implementsError(t)
+}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dance-db/dance/internal/analysis"
+	"github.com/dance-db/dance/internal/analysis/analysistest"
+)
+
+// TestLoadAndRunDriver drives the real pipeline — go list -export, gc
+// export-data import, type-check, analyze, suppress — over the tiny module
+// in testdata/driver, the same way cmd/dancevet runs over the repo.
+func TestLoadAndRunDriver(t *testing.T) {
+	dir := filepath.Join(analysistest.TestData(), "driver")
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir, Tests: true}, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	findings, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Logf("finding: %s", f)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the seeded cachekey finding, got %d", len(findings))
+	}
+	f := findings[0]
+	if f.Analyzer != "cachekey" || !strings.Contains(f.Message, "printable separator") {
+		t.Fatalf("unexpected finding: %s", f)
+	}
+	if !strings.HasSuffix(f.Pos.Filename, "keys.go") {
+		t.Fatalf("finding at unexpected file: %s", f.Pos.Filename)
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one positioned diagnostic from a named analyzer, after
+// suppression filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package, honors dancevet:ignore
+// directives, and returns the surviving findings ordered by position.
+// Malformed suppression directives are reported as findings of the
+// pseudo-analyzer "suppress".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	seen := make(map[string]bool)
+	add := func(name string, pos token.Position, msg string) {
+		key := fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%s", name, pos.Filename, pos.Line, pos.Column, msg)
+		if seen[key] {
+			return // plain + test-variant loads can both cover a file
+		}
+		seen[key] = true
+		findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: msg})
+	}
+	for _, pkg := range pkgs {
+		suppressions, malformed := parseSuppressions(pkg.Fset, pkg.Files)
+		for _, d := range malformed {
+			add("suppress", pkg.Fset.Position(d.Pos), d.Message)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diagnostics {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(suppressions, a.Name, pos) {
+					continue
+				}
+				add(a.Name, pos, d.Message)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func suppressed(bySite map[string][]*suppression, analyzer string, pos token.Position) bool {
+	for _, s := range bySite[siteKey(pos.Filename, pos.Line)] {
+		if s.Suppresses(analyzer) {
+			return true
+		}
+	}
+	return false
+}

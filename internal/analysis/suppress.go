@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// suppressionPrefix is the marker dancevet honors in source comments:
+//
+//	//dancevet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// mirroring staticcheck's lint:ignore shape. The directive suppresses the
+// named analyzers' diagnostics on the directive's own line and, when the
+// directive stands on a line of its own, on the next line as well.
+const suppressionPrefix = "//dancevet:ignore"
+
+// suppression is one parsed directive.
+type suppression struct {
+	analyzers []string // empty means malformed
+	reason    string
+	file      string
+	line      int // line the directive appears on
+	pos       token.Pos
+}
+
+// Suppresses reports whether the directive covers the named analyzer.
+func (s *suppression) Suppresses(analyzer string) bool {
+	for _, a := range s.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSuppressions extracts every dancevet:ignore directive from the
+// package's comments. Malformed directives (missing analyzer name, unknown
+// analyzer, or missing reason) are returned separately as diagnostics — a
+// suppression that silently fails to parse would un-suppress on refactor,
+// so dancevet makes malformedness loud instead.
+func parseSuppressions(fset *token.FileSet, files []*ast.File) (bySite map[string][]*suppression, malformed []Diagnostic) {
+	bySite = make(map[string][]*suppression)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressionPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, suppressionPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //dancevet:ignorefoo — not ours
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed dancevet:ignore: want \"//dancevet:ignore <analyzer>[,<analyzer>] <reason>\" (the reason is mandatory)",
+					})
+					continue
+				}
+				s := &suppression{
+					reason: strings.Join(fields[1:], " "),
+					file:   pos.Filename,
+					line:   pos.Line,
+					pos:    c.Pos(),
+				}
+				ok := true
+				for _, name := range strings.Split(fields[0], ",") {
+					if ByName(name) == nil {
+						malformed = append(malformed, Diagnostic{
+							Pos:     c.Pos(),
+							Message: fmt.Sprintf("dancevet:ignore names unknown analyzer %q", name),
+						})
+						ok = false
+						continue
+					}
+					s.analyzers = append(s.analyzers, name)
+				}
+				if !ok {
+					continue
+				}
+				// The directive covers its own line; a standalone directive
+				// (no code before it on the line) also covers the next line.
+				key := siteKey(pos.Filename, pos.Line)
+				bySite[key] = append(bySite[key], s)
+				if standalone(fset, f, c) {
+					next := siteKey(pos.Filename, pos.Line+1)
+					bySite[next] = append(bySite[next], s)
+				}
+			}
+		}
+	}
+	return bySite, malformed
+}
+
+// standalone reports whether the comment is the first thing on its line.
+func standalone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// If any node of the file starts earlier on the same line, the comment
+	// trails code. Scanning declarations is enough: statements inside them
+	// are covered by the declaration's extent.
+	trailing := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trailing {
+			return false
+		}
+		np := fset.Position(n.Pos())
+		ne := fset.Position(n.End())
+		if np.Line > pos.Line {
+			return false
+		}
+		if ne.Line < pos.Line {
+			return false
+		}
+		// Node overlaps the comment's line; does a token start on it before
+		// the comment column? Leaf nodes give the answer.
+		if np.Line == pos.Line && np.Column < pos.Column {
+			trailing = true
+			return false
+		}
+		return true
+	})
+	return !trailing
+}
+
+func siteKey(file string, line int) string {
+	return file + "\x00" + strconv.Itoa(line)
+}

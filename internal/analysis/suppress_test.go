@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSuppressionSrc(t *testing.T, src string) (map[string][]*suppression, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	bySite, malformed := parseSuppressions(fset, []*ast.File{f})
+	return bySite, malformed
+}
+
+func TestSuppressionTrailingCoversOwnLine(t *testing.T) {
+	bySite, malformed := parseSuppressionSrc(t, `package p
+
+func f() int {
+	x := 1 //dancevet:ignore detfloat trailing directive
+	return x
+}
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed: %v", malformed)
+	}
+	if s := bySite[siteKey("fix.go", 4)]; len(s) != 1 || !s[0].Suppresses("detfloat") {
+		t.Fatalf("line 4 not covered: %v", s)
+	}
+	if s := bySite[siteKey("fix.go", 5)]; len(s) != 0 {
+		t.Fatalf("trailing directive must not cover the next line: %v", s)
+	}
+}
+
+func TestSuppressionStandaloneCoversNextLine(t *testing.T) {
+	bySite, malformed := parseSuppressionSrc(t, `package p
+
+func f() int {
+	//dancevet:ignore cachekey,errsentinel two analyzers, one reason
+	x := 1
+	return x
+}
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed: %v", malformed)
+	}
+	s := bySite[siteKey("fix.go", 5)]
+	if len(s) != 1 {
+		t.Fatalf("next line not covered: %v", s)
+	}
+	if !s[0].Suppresses("cachekey") || !s[0].Suppresses("errsentinel") {
+		t.Fatalf("comma list not honored: %+v", s[0])
+	}
+	if s[0].Suppresses("detfloat") {
+		t.Fatal("suppression leaked to an unnamed analyzer")
+	}
+}
+
+func TestSuppressionMissingReasonIsMalformed(t *testing.T) {
+	_, malformed := parseSuppressionSrc(t, `package p
+
+//dancevet:ignore detfloat
+var X = 1
+`)
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "reason is mandatory") {
+		t.Fatalf("want one missing-reason diagnostic, got %v", malformed)
+	}
+}
+
+func TestSuppressionUnknownAnalyzerIsMalformed(t *testing.T) {
+	_, malformed := parseSuppressionSrc(t, `package p
+
+//dancevet:ignore nosuch the analyzer name is wrong
+var X = 1
+`)
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, `unknown analyzer "nosuch"`) {
+		t.Fatalf("want one unknown-analyzer diagnostic, got %v", malformed)
+	}
+}
+
+func TestSuppressionUnrelatedCommentIgnored(t *testing.T) {
+	bySite, malformed := parseSuppressionSrc(t, `package p
+
+//dancevet:ignorenospace is not a directive
+var X = 1
+`)
+	if len(malformed) != 0 || len(bySite) != 0 {
+		t.Fatalf("near-miss comment must be ignored, got %v / %v", bySite, malformed)
+	}
+}

@@ -1,0 +1,3 @@
+module example.com/driver
+
+go 1.22

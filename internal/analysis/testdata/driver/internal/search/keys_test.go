@@ -1,0 +1,11 @@
+package search
+
+import "testing"
+
+// The test file makes `go list -test` emit a test-variant package, so the
+// driver test covers the variant-dedup path in Load.
+func TestPairKey(t *testing.T) {
+	if PairKey("a", "b") != "a|b" {
+		t.Fatal("unexpected key")
+	}
+}

@@ -1,0 +1,9 @@
+// Package web is outside the cache-key-sensitive set: display strings may
+// join names however they like.
+package web
+
+import "fmt"
+
+func titleKey(section, page string) string {
+	return fmt.Sprintf("%s / %s", section, page)
+}

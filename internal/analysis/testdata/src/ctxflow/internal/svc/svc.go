@@ -1,0 +1,58 @@
+// Package svc is a dancevet fixture for ctxflow: an internal/ package whose
+// exported API must thread context. The positive cases reproduce the
+// pre-PR-2 hang class (work driven by a context the caller cannot cancel).
+package svc
+
+import "context"
+
+type Market struct{}
+
+func (m *Market) Catalog(ctx context.Context) error { return nil }
+
+var pkgCtx = context.Background() // want "context root outside package main"
+
+// Fetch is the seeded reproduction of the pre-refactor experiments pattern:
+// an exported entry point running on a package-level context.
+func Fetch(m *Market) error { // want "calls m.Catalog with a context the caller never provided"
+	return m.Catalog(pkgCtx)
+}
+
+func FetchTODO(m *Market) error { // want "calls m.Catalog with a context the caller never provided"
+	return m.Catalog(context.TODO()) // want "context root outside package main"
+}
+
+type client struct {
+	ctx context.Context
+	m   *Market
+}
+
+// Stored reproduces the struct-field-context anti-pattern.
+func (c *client) stored() error { return c.m.Catalog(c.ctx) }
+
+type Client struct {
+	ctx context.Context
+	m   *Market
+}
+
+func (c *Client) Refresh() error { // want "calls c.m.Catalog with a context the caller never provided"
+	return c.m.Catalog(c.ctx)
+}
+
+// FetchCtx threads ctx first: the convention dancevet enforces.
+func FetchCtx(ctx context.Context, m *Market) error { return m.Catalog(ctx) }
+
+func FetchCtxLast(m *Market, ctx context.Context) error { // want "not as its first parameter"
+	return m.Catalog(ctx)
+}
+
+// Handler-style closures derive their context from an enclosing function
+// literal parameter — caller-provided, so not flagged.
+func Handler(m *Market) func(ctx context.Context) error {
+	return func(ctx context.Context) error { return m.Catalog(ctx) }
+}
+
+// unexported helpers are package-internal; rule 1 does not apply.
+func fetchQuiet(m *Market) error { return m.Catalog(pkgCtx) }
+
+//dancevet:ignore ctxflow deprecated facade shim kept for v0 callers
+func Legacy(m *Market) error { return m.Catalog(context.Background()) }

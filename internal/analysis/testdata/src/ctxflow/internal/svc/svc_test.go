@@ -1,0 +1,15 @@
+package svc
+
+import (
+	"context"
+	"testing"
+)
+
+// Tests are context roots: Background here is fine, and exported test
+// helpers are exempt from the ctx-first rule.
+func TestFetch(t *testing.T) {
+	m := &Market{}
+	if err := m.Catalog(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

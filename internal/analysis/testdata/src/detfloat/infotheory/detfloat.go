@@ -1,0 +1,106 @@
+// Package infotheory is a dancevet fixture: its final path segment puts it
+// in the determinism-critical set. The positive cases re-introduce PR 1's
+// map-order float-summation bug.
+package infotheory
+
+import (
+	"math/rand"
+	"time"
+)
+
+// conditionalTerm is the seeded reproduction of the PR 1 Correlation bug:
+// per-group conditional-entropy terms summed in map-iteration order.
+func conditionalTerm(groups map[string][]float64, total float64) float64 {
+	hc := 0.0
+	for _, rows := range groups {
+		hc += float64(len(rows)) / total // want "floating-point accumulation"
+	}
+	return hc
+}
+
+func sumAssignForm(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s = s + v // want "floating-point accumulation"
+	}
+	return s
+}
+
+type agg struct{ total float64 }
+
+func fieldAccum(a *agg, m map[int]float64) {
+	for _, v := range m {
+		a.total += v // want "floating-point accumulation"
+	}
+}
+
+// loopLocal floats reset every iteration: nothing accumulates across the
+// map's random order.
+func loopLocal(m map[int][]float64) float64 {
+	best := 0.0
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Integer accumulation is order-independent.
+func intAccum(m map[string][]float64) int {
+	n := 0
+	for _, rows := range m {
+		n += len(rows)
+	}
+	return n
+}
+
+// Slices iterate deterministically.
+func sliceSum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func globalRandInt() int {
+	return rand.Intn(10) // want "process-global random source"
+}
+
+func globalShuffle(xs []float64) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global random source"
+}
+
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func seededZipf(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(rng, 1.2, 1, 100).Uint64()
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now in a determinism-critical package"
+}
+
+// Durations computed from a caller-provided instant are fine; only reading
+// the wall clock is flagged.
+func elapsed(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0)
+}
+
+func suppressedAccum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		//dancevet:ignore detfloat demo of an explicitly accepted exception
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,24 @@
+// Package web is outside the determinism-critical set: the same patterns
+// detfloat flags in infotheory/sampling/search/workload are allowed here.
+package web
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(50)) * time.Millisecond
+}
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func meanByKey(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s / float64(len(m))
+}

@@ -1,0 +1,54 @@
+// Package client is a dancevet fixture for errsentinel: sentinel errors
+// travel through %w wrapping and HTTP reconstruction, so == and rendered-
+// text matching silently break.
+package client
+
+import (
+	"errors"
+	"strings"
+
+	"errsentinel/sentinels"
+)
+
+var ErrUnknownDataset = errors.New("marketplace: unknown dataset")
+
+// errInternal is unexported: package-local, never crosses a wrap boundary.
+var errInternal = errors.New("internal")
+
+func Classify(err error) int {
+	if err == ErrUnknownDataset { // want "compared with =="
+		return 404
+	}
+	if err != ErrUnknownDataset { // want "compared with !="
+		return 0
+	}
+	if err == sentinels.ErrBadRate { // want `sentinels\.ErrBadRate == compared`
+		return 400
+	}
+	if errors.Is(err, ErrUnknownDataset) {
+		return 404
+	}
+	if err == errInternal {
+		return 500
+	}
+	if err == nil {
+		return 200
+	}
+	return 0
+}
+
+func Brittle(err error) bool {
+	return strings.Contains(err.Error(), "unknown dataset") // want "matches rendered text"
+}
+
+func BrittlePrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "marketplace:") // want "matches rendered text"
+}
+
+// Plain string matching is fine when no error is involved.
+func Fine(s string) bool { return strings.Contains(s, "x") }
+
+func Suppressed(err error) bool {
+	//dancevet:ignore errsentinel golden-output test helper pins the rendered message
+	return strings.Contains(err.Error(), "unknown dataset")
+}

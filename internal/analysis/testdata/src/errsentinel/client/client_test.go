@@ -1,0 +1,19 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Tests may assert on rendered messages — the text-matching rule is
+// test-exempt. The == rule is not: wrapping breaks it in tests too.
+func TestRendered(t *testing.T) {
+	err := errors.New("marketplace: unknown dataset")
+	if !strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatal("message changed")
+	}
+	if err == ErrUnknownDataset { // want "compared with =="
+		t.Fatal("distinct errors compared equal")
+	}
+}

@@ -1,0 +1,7 @@
+// Package sentinels exports sentinel errors for the errsentinel fixture's
+// cross-package cases.
+package sentinels
+
+import "errors"
+
+var ErrBadRate = errors.New("marketplace: bad rate")

@@ -1,0 +1,24 @@
+// Package cli holds the shared plumbing for the repo's command-line
+// entry points. Every cmd/ main derives its lifetime from RootContext so
+// Ctrl-C and SIGTERM cancel in-flight marketplace work instead of killing
+// it mid-purchase — the ctxflow analyzer enforces that no library package
+// manufactures its own root.
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// RootContext returns the process-lifetime context, cancelled on SIGINT or
+// SIGTERM. stop releases the signal registration (a second signal then
+// kills the process immediately, the conventional escape hatch for a hung
+// shutdown).
+//
+//dancevet:ignore ctxflow RootContext IS the root: the one sanctioned factory for process-lifetime contexts
+func RootContext() (ctx context.Context, stop context.CancelFunc) {
+	//dancevet:ignore ctxflow the process root: the one place outside main allowed to mint a context
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

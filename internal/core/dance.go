@@ -113,12 +113,12 @@ type Dance struct {
 	// consistent (rate, graph, searcher) snapshot under mu and then run on
 	// it lock-free; rebuilds commit a fully-built replacement under mu.
 	mu         sync.Mutex
-	rate       float64
-	sources    []source
-	sampleCost float64
-	rounds     []SampleRound
-	graph      *joingraph.Graph
-	searcher   *search.Searcher
+	rate       float64          // guarded by mu
+	sources    []source         // guarded by mu
+	sampleCost float64          // guarded by mu
+	rounds     []SampleRound    // guarded by mu
+	graph      *joingraph.Graph // guarded by mu
+	searcher   *search.Searcher // guarded by mu
 }
 
 // SampleRound records what one offline round bought: full samples (first

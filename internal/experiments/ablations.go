@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,7 +35,7 @@ func (o AblationOptions) withDefaults() AblationOptions {
 // landmark-union heuristic, the MST 2-approximation, and exact
 // Dreyfus–Wagner — by I-graph weight and time on the 29-instance TPC-E
 // join graph (the TPC-H graph is too small to separate them).
-func AblationSteiner(opts AblationOptions) (Table, error) {
+func AblationSteiner(ctx context.Context, opts AblationOptions) (Table, error) {
 	opts = opts.withDefaults()
 	tab := Table{
 		ID:      "ablation-steiner",
@@ -84,7 +85,7 @@ func AblationSteiner(opts AblationOptions) (Table, error) {
 
 // AblationMCMC compares Algorithm 1's Metropolis acceptance with greedy
 // hill-climbing: the real correlation each reaches.
-func AblationMCMC(opts AblationOptions) (Table, error) {
+func AblationMCMC(ctx context.Context, opts AblationOptions) (Table, error) {
 	opts = opts.withDefaults()
 	tab := Table{
 		ID:      "ablation-mcmc",
@@ -101,11 +102,11 @@ func AblationMCMC(opts AblationOptions) (Table, error) {
 			req.Iterations = opts.Iterations
 			req.Greedy = greedy
 			s := env.SampledSearcher()
-			res, err := s.Heuristic(expCtx, req)
+			res, err := s.Heuristic(ctx, req)
 			if err != nil {
 				return "N/A", nil
 			}
-			m, err := env.RealMetrics(s, res, req)
+			m, err := env.RealMetrics(ctx, s, res, req)
 			if err != nil {
 				return "", err
 			}
@@ -126,7 +127,7 @@ func AblationMCMC(opts AblationOptions) (Table, error) {
 
 // AblationPricing compares the entropy-based arbitrage-free model with flat
 // per-attribute pricing: the price of identical acquisitions under both.
-func AblationPricing(opts AblationOptions) (Table, error) {
+func AblationPricing(ctx context.Context, opts AblationOptions) (Table, error) {
 	opts = opts.withDefaults()
 	tab := Table{
 		ID:      "ablation-pricing",
@@ -142,11 +143,11 @@ func AblationPricing(opts AblationOptions) (Table, error) {
 		req := env.Request(q, opts.Seed)
 		req.Iterations = opts.Iterations
 		s := env.SampledSearcher()
-		res, err := s.Heuristic(expCtx, req)
+		res, err := s.Heuristic(ctx, req)
 		if err != nil {
 			return tab, err
 		}
-		entropyPrice, err := res.TG.Price(expCtx)
+		entropyPrice, err := res.TG.Price(ctx)
 		if err != nil {
 			return tab, err
 		}
@@ -169,7 +170,7 @@ func AblationPricing(opts AblationOptions) (Table, error) {
 
 // AblationEta sweeps the re-sampling threshold η: estimated correlation and
 // search time against the no-re-sampling baseline on the longest query.
-func AblationEta(opts AblationOptions) (Table, error) {
+func AblationEta(ctx context.Context, opts AblationOptions) (Table, error) {
 	opts = opts.withDefaults()
 	tab := Table{
 		ID:      "ablation-eta",
@@ -190,7 +191,7 @@ func AblationEta(opts AblationOptions) (Table, error) {
 		var res *search.Result
 		elapsed, err := timeSearch(func() error {
 			var e error
-			res, e = s.Heuristic(expCtx, req)
+			res, e = s.Heuristic(ctx, req)
 			return e
 		})
 		if err != nil {

@@ -20,10 +20,6 @@ import (
 	"github.com/dance-db/dance/internal/tpch"
 )
 
-// expCtx is the context experiments run under: batch regeneration of the
-// paper's tables has no caller-imposed deadline.
-var expCtx = context.Background()
-
 // Table is one rendered experiment artifact (a paper table or one panel of
 // a figure).
 type Table struct {
@@ -290,8 +286,8 @@ func (e *Env) FullSearcher() *search.Searcher { return search.NewSearcher(e.Full
 // graph may come from either graph; instance names resolve the full tables.
 // The Weight field is recomputed from full-data join informativeness so
 // sample-based and full-data searches are compared on the same scale.
-func (e *Env) RealMetrics(s *search.Searcher, res *search.Result, req search.Request) (search.Metrics, error) {
-	m, err := s.EvaluateOnTables(context.Background(), res.TG, req, e.Tables)
+func (e *Env) RealMetrics(ctx context.Context, s *search.Searcher, res *search.Result, req search.Request) (search.Metrics, error) {
+	m, err := s.EvaluateOnTables(ctx, res.TG, req, e.Tables)
 	if err != nil {
 		return m, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -65,7 +66,7 @@ func TestQuerySpecsResolve(t *testing.T) {
 }
 
 func TestFig4Small(t *testing.T) {
-	tabs, err := Fig4(Fig4Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{5, 6}, Iterations: 20})
+	tabs, err := Fig4(context.Background(), Fig4Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{5, 6}, Iterations: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFig4Small(t *testing.T) {
 }
 
 func TestFig4HeuristicFasterThanGPAtLargestN(t *testing.T) {
-	tabs, err := Fig4(Fig4Options{Scale: 1, Seed: 2, Rate: 0.6, Ns: []int{8}, Iterations: 20})
+	tabs, err := Fig4(context.Background(), Fig4Options{Scale: 1, Seed: 2, Rate: 0.6, Ns: []int{8}, Iterations: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFig4HeuristicFasterThanGPAtLargestN(t *testing.T) {
 }
 
 func TestFig5Small(t *testing.T) {
-	ta, tb, err := Fig5ab(Fig5Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{10, 15}, Iterations: 10})
+	ta, tb, err := Fig5ab(context.Background(), Fig5Options{Scale: 1, Seed: 1, Rate: 0.6, Ns: []int{10, 15}, Iterations: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFig5Small(t *testing.T) {
 			t.Errorf("Q3 I-graph size %d implausibly small", q3size)
 		}
 	}
-	tc, err := Fig5c(Fig5Options{Scale: 1, Seed: 1, Rate: 0.6, Ratios: []float64{0.02, 1.0}, Iterations: 10})
+	tc, err := Fig5c(context.Background(), Fig5Options{Scale: 1, Seed: 1, Rate: 0.6, Ratios: []float64{0.02, 1.0}, Iterations: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestFig5Small(t *testing.T) {
 }
 
 func TestFig6Small(t *testing.T) {
-	tabs, err := Fig6(Fig6Options{Scale: 1, Seed: 1, Rates: []float64{0.5, 1.0}, Iterations: 20})
+	tabs, err := Fig6(context.Background(), Fig6Options{Scale: 1, Seed: 1, Rates: []float64{0.5, 1.0}, Iterations: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestFig6Small(t *testing.T) {
 }
 
 func TestFig7Small(t *testing.T) {
-	tabs, err := Fig7(Fig7Options{Scale: 1, Seed: 1, Rate: 0.6, Ratios: []float64{0.5, 1.0}, Iterations: 20})
+	tabs, err := Fig7(context.Background(), Fig7Options{Scale: 1, Seed: 1, Rate: 0.6, Ratios: []float64{0.5, 1.0}, Iterations: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestFig7Small(t *testing.T) {
 }
 
 func TestFig8Small(t *testing.T) {
-	tabs, err := Fig8(Fig8Options{Scale: 1, Seed: 1, Rate: 0.7, ResampleRates: []float64{0.5, 0.9}, Eta: 200, Iterations: 20})
+	tabs, err := Fig8(context.Background(), Fig8Options{Scale: 1, Seed: 1, Rate: 0.7, ResampleRates: []float64{0.5, 0.9}, Eta: 200, Iterations: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFig8Small(t *testing.T) {
 }
 
 func TestTable5(t *testing.T) {
-	tab, err := Table5(Table5Options{Scale: 1, Seed: 1})
+	tab, err := Table5(context.Background(), Table5Options{Scale: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestTable5(t *testing.T) {
 }
 
 func TestFDCounts(t *testing.T) {
-	tab, err := FDCounts("tpch", Table5Options{Scale: 1, Seed: 1})
+	tab, err := FDCounts(context.Background(), "tpch", Table5Options{Scale: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestFDCounts(t *testing.T) {
 }
 
 func TestTable6(t *testing.T) {
-	tab, err := Table6(Table6Options{Scale: 1, Seed: 1, Rate: 0.6, BudgetRatio: 0.8, Iterations: 20})
+	tab, err := Table6(context.Background(), Table6Options{Scale: 1, Seed: 1, Rate: 0.6, BudgetRatio: 0.8, Iterations: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,28 +248,28 @@ func TestTable6(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	opts := AblationOptions{Scale: 1, Seed: 1, Rate: 0.6, Iterations: 15}
-	st, err := AblationSteiner(opts)
+	st, err := AblationSteiner(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(st.Rows) != 9 { // 3 queries × 3 strategies
 		t.Fatalf("steiner rows = %d", len(st.Rows))
 	}
-	mc, err := AblationMCMC(opts)
+	mc, err := AblationMCMC(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(mc.Rows) != 3 {
 		t.Fatalf("mcmc rows = %d", len(mc.Rows))
 	}
-	pr, err := AblationPricing(opts)
+	pr, err := AblationPricing(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pr.Rows) != 3 {
 		t.Fatalf("pricing rows = %d", len(pr.Rows))
 	}
-	et, err := AblationEta(opts)
+	et, err := AblationEta(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestFigTPCHBudgetTime(t *testing.T) {
-	tab, err := FigTPCHBudgetTime(Fig5Options{Scale: 1, Seed: 1, Rate: 0.6,
+	tab, err := FigTPCHBudgetTime(context.Background(), Fig5Options{Scale: 1, Seed: 1, Rate: 0.6,
 		Ratios: []float64{0.1, 1.0}, Iterations: 10})
 	if err != nil {
 		t.Fatal(err)

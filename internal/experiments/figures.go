@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,7 @@ func (o Fig4Options) withDefaults() Fig4Options {
 // Fig4 regenerates Figure 4(a–c): per query, wall-clock seconds of the
 // heuristic, LP (brute force on samples) and GP (brute force on full data)
 // for each instance count.
-func Fig4(opts Fig4Options) ([]Table, error) {
+func Fig4(ctx context.Context, opts Fig4Options) ([]Table, error) {
 	opts = opts.withDefaults()
 	queries := TPCHQueries()
 	tables := make([]Table, len(queries))
@@ -58,14 +59,14 @@ func Fig4(opts Fig4Options) ([]Table, error) {
 			req.Iterations = opts.Iterations
 
 			hTime, err := timeSearch(func() error {
-				_, err := env.SampledSearcher().Heuristic(expCtx, req)
+				_, err := env.SampledSearcher().Heuristic(ctx, req)
 				return err
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig4 %s n=%d heuristic: %w", q.Name, n, err)
 			}
 			lpTime, err := timeSearch(func() error {
-				_, err := env.SampledSearcher().BruteForce(expCtx, req, search.BruteForceLimits{})
+				_, err := env.SampledSearcher().BruteForce(ctx, req, search.BruteForceLimits{})
 				return err
 			})
 			if err != nil {
@@ -74,7 +75,7 @@ func Fig4(opts Fig4Options) ([]Table, error) {
 			gpCell := "skipped"
 			if !opts.SkipGP {
 				gpTime, err := timeSearch(func() error {
-					_, err := env.FullSearcher().BruteForce(expCtx, req, search.BruteForceLimits{})
+					_, err := env.FullSearcher().BruteForce(ctx, req, search.BruteForceLimits{})
 					return err
 				})
 				if err != nil {
@@ -135,7 +136,7 @@ func (o Fig5Options) withDefaults() Fig5Options {
 // (LP/GP are infeasible there, as in the paper).
 // Fig5b regenerates Figure 5(b): the I-graph size (tree vertex count) for
 // the same sweep. Both come from one pass.
-func Fig5ab(opts Fig5Options) (Table, Table, error) {
+func Fig5ab(ctx context.Context, opts Fig5Options) (Table, Table, error) {
 	opts = opts.withDefaults()
 	queries := TPCEQueries()
 	ta := Table{ID: "fig5a", Title: "Heuristic time (s) vs #instances (TPC-E)",
@@ -155,7 +156,7 @@ func Fig5ab(opts Fig5Options) (Table, Table, error) {
 			req := env.Request(q, opts.Seed)
 			req.Iterations = opts.Iterations
 			start := time.Now()
-			res, err := env.SampledSearcher().Heuristic(expCtx, req)
+			res, err := env.SampledSearcher().Heuristic(ctx, req)
 			elapsed := time.Since(start).Seconds()
 			if err != nil {
 				return ta, tb, fmt.Errorf("fig5 %s n=%d: %w", q.Name, n, err)
@@ -171,7 +172,7 @@ func Fig5ab(opts Fig5Options) (Table, Table, error) {
 
 // Fig5c regenerates Figure 5(c): heuristic time vs budget ratio on TPC-E,
 // with "N/A" where the budget cannot afford any acquisition.
-func Fig5c(opts Fig5Options) (Table, error) {
+func Fig5c(ctx context.Context, opts Fig5Options) (Table, error) {
 	opts = opts.withDefaults()
 	queries := TPCEQueries()
 	tab := Table{ID: "fig5c", Title: "Heuristic time (s) vs budget ratio (TPC-E, N/A = not affordable)",
@@ -184,7 +185,7 @@ func Fig5c(opts Fig5Options) (Table, error) {
 	ubs := make([]float64, len(queries))
 	for qi, q := range queries {
 		req := env.Request(q, opts.Seed)
-		_, ub, err := env.SampledSearcher().ApproxPriceRange(expCtx, req, 32)
+		_, ub, err := env.SampledSearcher().ApproxPriceRange(ctx, req, 32)
 		if err != nil {
 			return tab, fmt.Errorf("fig5c %s price range: %w", q.Name, err)
 		}
@@ -197,7 +198,7 @@ func Fig5c(opts Fig5Options) (Table, error) {
 			req.Iterations = opts.Iterations
 			req.Budget = r * ubs[qi]
 			start := time.Now()
-			_, err := env.SampledSearcher().Heuristic(expCtx, req)
+			_, err := env.SampledSearcher().Heuristic(ctx, req)
 			elapsed := time.Since(start).Seconds()
 			if err != nil {
 				row = append(row, "N/A")
@@ -234,7 +235,7 @@ func (o Fig6Options) withDefaults() Fig6Options {
 // Fig6 regenerates Figure 6(a–c): correlation difference
 // CD = (X_opt − X)/X_opt between the heuristic and LP/GP as the sampling
 // rate varies, measured on real correlations (full data).
-func Fig6(opts Fig6Options) ([]Table, error) {
+func Fig6(ctx context.Context, opts Fig6Options) ([]Table, error) {
 	opts = opts.withDefaults()
 	queries := TPCHQueries()
 	out := make([]Table, len(queries))
@@ -253,29 +254,29 @@ func Fig6(opts Fig6Options) ([]Table, error) {
 			req.Iterations = opts.Iterations
 
 			ss := env.SampledSearcher()
-			hres, err := ss.Heuristic(expCtx, req)
+			hres, err := ss.Heuristic(ctx, req)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s rate=%v heuristic: %w", q.Name, rate, err)
 			}
-			hReal, err := env.RealMetrics(ss, hres, req)
+			hReal, err := env.RealMetrics(ctx, ss, hres, req)
 			if err != nil {
 				return nil, err
 			}
 			lp := env.SampledSearcher()
-			lpres, err := lp.BruteForce(expCtx, req, search.BruteForceLimits{})
+			lpres, err := lp.BruteForce(ctx, req, search.BruteForceLimits{})
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s rate=%v LP: %w", q.Name, rate, err)
 			}
-			lpReal, err := env.RealMetrics(lp, lpres, req)
+			lpReal, err := env.RealMetrics(ctx, lp, lpres, req)
 			if err != nil {
 				return nil, err
 			}
 			gp := env.FullSearcher()
-			gpres, err := gp.BruteForce(expCtx, req, search.BruteForceLimits{})
+			gpres, err := gp.BruteForce(ctx, req, search.BruteForceLimits{})
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s rate=%v GP: %w", q.Name, rate, err)
 			}
-			gpReal, err := env.RealMetrics(gp, gpres, req)
+			gpReal, err := env.RealMetrics(ctx, gp, gpres, req)
 			if err != nil {
 				return nil, err
 			}
@@ -333,7 +334,7 @@ func (o Fig7Options) withDefaults() Fig7Options {
 
 // Fig7 regenerates Figure 7(a–c): real correlation vs budget ratio for the
 // heuristic, LP, and GP on TPC-H. Rows with no feasible result are "N/A".
-func Fig7(opts Fig7Options) ([]Table, error) {
+func Fig7(ctx context.Context, opts Fig7Options) ([]Table, error) {
 	opts = opts.withDefaults()
 	queries := TPCHQueries()
 	out := make([]Table, len(queries))
@@ -348,7 +349,7 @@ func Fig7(opts Fig7Options) ([]Table, error) {
 			Headers: []string{"budget_ratio", "heuristic", "lp", "gp"},
 		}
 		req := env.Request(q, opts.Seed)
-		_, ub, err := env.FullSearcher().PriceRange(expCtx, req, search.BruteForceLimits{})
+		_, ub, err := env.FullSearcher().PriceRange(ctx, req, search.BruteForceLimits{})
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s price range: %w", q.Name, err)
 		}
@@ -366,27 +367,27 @@ func Fig7(opts Fig7Options) ([]Table, error) {
 			}
 			hCell := cell(func() (search.Metrics, error) {
 				s := env.SampledSearcher()
-				res, err := s.Heuristic(expCtx, req)
+				res, err := s.Heuristic(ctx, req)
 				if err != nil {
 					return search.Metrics{}, err
 				}
-				return env.RealMetrics(s, res, req)
+				return env.RealMetrics(ctx, s, res, req)
 			})
 			lpCell := cell(func() (search.Metrics, error) {
 				s := env.SampledSearcher()
-				res, err := s.BruteForce(expCtx, req, search.BruteForceLimits{})
+				res, err := s.BruteForce(ctx, req, search.BruteForceLimits{})
 				if err != nil {
 					return search.Metrics{}, err
 				}
-				return env.RealMetrics(s, res, req)
+				return env.RealMetrics(ctx, s, res, req)
 			})
 			gpCell := cell(func() (search.Metrics, error) {
 				s := env.FullSearcher()
-				res, err := s.BruteForce(expCtx, req, search.BruteForceLimits{})
+				res, err := s.BruteForce(ctx, req, search.BruteForceLimits{})
 				if err != nil {
 					return search.Metrics{}, err
 				}
-				return env.RealMetrics(s, res, req)
+				return env.RealMetrics(ctx, s, res, req)
 			})
 			tab.Rows = append(tab.Rows, []string{fmt.Sprintf("%.2f", r), hCell, lpCell, gpCell})
 		}
@@ -428,7 +429,7 @@ func (o Fig8Options) withDefaults() Fig8Options {
 // Fig8 regenerates Figure 8(a–c): the correlation of the heuristic's
 // acquisition with re-sampling (intermediate joins above η re-sampled at
 // rate ρ) against the no-re-sampling correlation, as ρ varies.
-func Fig8(opts Fig8Options) ([]Table, error) {
+func Fig8(ctx context.Context, opts Fig8Options) ([]Table, error) {
 	opts = opts.withDefaults()
 	queries := TPCHQueries()
 	out := make([]Table, len(queries))
@@ -449,7 +450,7 @@ func Fig8(opts Fig8Options) ([]Table, error) {
 		reqBase := env.Request(q, opts.Seed)
 		reqBase.Iterations = opts.Iterations
 		sBase := env.SampledSearcher()
-		base, err := sBase.Heuristic(expCtx, reqBase)
+		base, err := sBase.Heuristic(ctx, reqBase)
 		if err != nil {
 			return nil, fmt.Errorf("fig8 %s baseline: %w", q.Name, err)
 		}
@@ -461,7 +462,7 @@ func Fig8(opts Fig8Options) ([]Table, error) {
 			req.Iterations = opts.Iterations
 			req.Eta = opts.Eta
 			req.ResampleRate = rho
-			withRes, err := env.SampledSearcher().Evaluate(expCtx, base.TG, req)
+			withRes, err := env.SampledSearcher().Evaluate(ctx, base.TG, req)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %s ρ=%v: %w", q.Name, rho, err)
 			}

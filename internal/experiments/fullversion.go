@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,7 +13,7 @@ import (
 // various budget ratios], and have similar observation as TPC-E dataset"
 // (Sec 6.2). Same protocol as Fig 5(c), on TPC-H, with LP/GP columns since
 // they are feasible there.
-func FigTPCHBudgetTime(opts Fig5Options) (Table, error) {
+func FigTPCHBudgetTime(ctx context.Context, opts Fig5Options) (Table, error) {
 	opts = opts.withDefaults()
 	queries := TPCHQueries()
 	tab := Table{
@@ -27,7 +28,7 @@ func FigTPCHBudgetTime(opts Fig5Options) (Table, error) {
 	ubs := make([]float64, len(queries))
 	for qi, q := range queries {
 		req := env.Request(q, opts.Seed)
-		_, ub, err := env.FullSearcher().PriceRange(expCtx, req, search.BruteForceLimits{})
+		_, ub, err := env.FullSearcher().PriceRange(ctx, req, search.BruteForceLimits{})
 		if err != nil {
 			return tab, fmt.Errorf("tpch budget time %s price range: %w", q.Name, err)
 		}
@@ -40,7 +41,7 @@ func FigTPCHBudgetTime(opts Fig5Options) (Table, error) {
 			req.Iterations = opts.Iterations
 			req.Budget = r * ubs[qi]
 			start := time.Now()
-			_, err := env.SampledSearcher().Heuristic(expCtx, req)
+			_, err := env.SampledSearcher().Heuristic(ctx, req)
 			elapsed := time.Since(start).Seconds()
 			if err != nil {
 				row = append(row, "N/A")

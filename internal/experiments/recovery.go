@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -107,7 +108,7 @@ const (
 // the recovery verdict. The Recovery experiment sweeps it; the
 // scenario-matrix e2e applies the same tolerances (RecoveryEpsilon,
 // BudgetSlack) around its own escalation-exercising drive.
-func RecoverOne(spec workload.Spec, seed int64, o RecoveryOptions) (corrOK, costOK bool, rho, realized float64, err error) {
+func RecoverOne(ctx context.Context, spec workload.Spec, seed int64, o RecoveryOptions) (corrOK, costOK bool, rho, realized float64, err error) {
 	o = o.withDefaults()
 	w, err := workload.Generate(spec, seed)
 	if err != nil {
@@ -127,7 +128,7 @@ func RecoverOne(spec workload.Spec, seed int64, o RecoveryOptions) (corrOK, cost
 		Seed:        seed + 13,
 		Workers:     o.Workers,
 	}
-	plan, err := mw.Acquire(expCtx, req)
+	plan, err := mw.Acquire(ctx, req)
 	if err != nil {
 		// A request-infeasible outcome is a legitimate non-recovery (the
 		// search could not find a plan within the optimum budget); any
@@ -139,7 +140,7 @@ func RecoverOne(spec workload.Spec, seed int64, o RecoveryOptions) (corrOK, cost
 		}
 		return false, false, w.Truth.Rho, 0, err
 	}
-	purchase, err := mw.Execute(expCtx, plan)
+	purchase, err := mw.Execute(ctx, plan)
 	if err != nil {
 		return false, false, w.Truth.Rho, 0, err
 	}
@@ -153,7 +154,7 @@ func RecoverOne(spec workload.Spec, seed int64, o RecoveryOptions) (corrOK, cost
 	// the witness would be vacuous.
 	bfReq := req
 	bfReq.Budget = 0
-	bfPrice, err := fullDataOptimumPrice(w, bfReq)
+	bfPrice, err := fullDataOptimumPrice(ctx, w, bfReq)
 	if err != nil {
 		return corrOK, false, rho, realized, err
 	}
@@ -163,7 +164,7 @@ func RecoverOne(spec workload.Spec, seed int64, o RecoveryOptions) (corrOK, cost
 
 // fullDataOptimumPrice runs the GP brute force on a full-data join graph of
 // the workload and returns its plan's price.
-func fullDataOptimumPrice(w *workload.Workload, req search.Request) (float64, error) {
+func fullDataOptimumPrice(ctx context.Context, w *workload.Workload, req search.Request) (float64, error) {
 	market := w.Marketplace()
 	var instances []*joingraph.Instance
 	for _, t := range w.Listings {
@@ -178,7 +179,7 @@ func fullDataOptimumPrice(w *workload.Workload, req search.Request) (float64, er
 	if err != nil {
 		return 0, err
 	}
-	res, err := search.NewSearcher(g).BruteForce(expCtx, req, search.BruteForceLimits{})
+	res, err := search.NewSearcher(g).BruteForce(ctx, req, search.BruteForceLimits{})
 	if err != nil {
 		return 0, err
 	}
@@ -187,7 +188,7 @@ func fullDataOptimumPrice(w *workload.Workload, req search.Request) (float64, er
 
 // Recovery sweeps the panel and renders the recovery-rate table (the CI
 // nightly's artifact).
-func Recovery(o RecoveryOptions) ([]RecoveryResult, Table, error) {
+func Recovery(ctx context.Context, o RecoveryOptions) ([]RecoveryResult, Table, error) {
 	o = o.withDefaults()
 	var results []RecoveryResult
 	tab := Table{
@@ -202,7 +203,7 @@ func Recovery(o RecoveryOptions) ([]RecoveryResult, Table, error) {
 		}
 		r := RecoveryResult{Spec: specStr, Seeds: o.Seeds}
 		for i := 0; i < o.Seeds; i++ {
-			corrOK, costOK, rho, realized, err := RecoverOne(spec, o.BaseSeed+int64(i), o)
+			corrOK, costOK, rho, realized, err := RecoverOne(ctx, spec, o.BaseSeed+int64(i), o)
 			if err != nil {
 				return nil, tab, fmt.Errorf("recovery %s seed %d: %w", specStr, o.BaseSeed+int64(i), err)
 			}

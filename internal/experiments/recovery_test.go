@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"github.com/dance-db/dance/internal/workload"
 )
 
 func TestRecoverySweep(t *testing.T) {
-	results, tab, err := Recovery(RecoveryOptions{Seeds: 2, BaseSeed: 50})
+	results, tab, err := Recovery(context.Background(), RecoveryOptions{Seeds: 2, BaseSeed: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestRecoverOneVerdicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	corrOK, costOK, rho, realized, err := RecoverOne(spec, 5, RecoveryOptions{})
+	corrOK, costOK, rho, realized, err := RecoverOne(context.Background(), spec, 5, RecoveryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/dance-db/dance/internal/fd"
@@ -30,7 +31,7 @@ func (o Table5Options) withDefaults() Table5Options {
 // Table5 regenerates the paper's Table 5: per-dataset instance counts,
 // min/max instance sizes, min/max attribute counts, and the average number
 // of AFDs per table (θ = 0.1, discovered by the TANE-style miner).
-func Table5(opts Table5Options) (Table, error) {
+func Table5(ctx context.Context, opts Table5Options) (Table, error) {
 	opts = opts.withDefaults()
 	tab := Table{
 		ID:    "table5",
@@ -96,7 +97,7 @@ type namedTable struct {
 
 // FDCounts regenerates the Sec 6.1 FD measurements: the per-table AFD count
 // at θ = 0.1 for the chosen dataset.
-func FDCounts(dataset string, opts Table5Options) (Table, error) {
+func FDCounts(ctx context.Context, dataset string, opts Table5Options) (Table, error) {
 	opts = opts.withDefaults()
 	tab := Table{
 		ID:      "fdcount-" + dataset,
@@ -150,7 +151,7 @@ func (o Table6Options) withDefaults() Table6Options {
 // (a) acquisition with DANCE (heuristic on samples) and (b) direct purchase
 // from the marketplace (GP on the full data). All metrics are real
 // (measured on full data).
-func Table6(opts Table6Options) (Table, error) {
+func Table6(ctx context.Context, opts Table6Options) (Table, error) {
 	opts = opts.withDefaults()
 	tab := Table{
 		ID:    "table6",
@@ -165,7 +166,7 @@ func Table6(opts Table6Options) (Table, error) {
 	for _, q := range TPCHQueries() {
 		req := env.Request(q, opts.Seed)
 		req.Iterations = opts.Iterations
-		lb, ub, err := env.FullSearcher().PriceRange(expCtx, req, search.BruteForceLimits{})
+		lb, ub, err := env.FullSearcher().PriceRange(ctx, req, search.BruteForceLimits{})
 		if err != nil {
 			return tab, fmt.Errorf("table6 %s price range: %w", q.Name, err)
 		}
@@ -180,11 +181,11 @@ func Table6(opts Table6Options) (Table, error) {
 		}
 
 		ss := env.SampledSearcher()
-		hres, err := ss.Heuristic(expCtx, req)
+		hres, err := ss.Heuristic(ctx, req)
 		if err != nil {
 			return tab, fmt.Errorf("table6 %s DANCE: %w", q.Name, err)
 		}
-		hReal, err := env.RealMetrics(ss, hres, req)
+		hReal, err := env.RealMetrics(ctx, ss, hres, req)
 		if err != nil {
 			return tab, err
 		}
@@ -194,11 +195,11 @@ func Table6(opts Table6Options) (Table, error) {
 		})
 
 		gs := env.FullSearcher()
-		gres, err := gs.BruteForce(expCtx, req, search.BruteForceLimits{})
+		gres, err := gs.BruteForce(ctx, req, search.BruteForceLimits{})
 		if err != nil {
 			return tab, fmt.Errorf("table6 %s GP: %w", q.Name, err)
 		}
-		gReal, err := env.RealMetrics(gs, gres, req)
+		gReal, err := env.RealMetrics(ctx, gs, gres, req)
 		if err != nil {
 			return tab, err
 		}

@@ -19,13 +19,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/graphalg"
 	"github.com/dance-db/dance/internal/infotheory"
 	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/safekey"
 )
 
 // Instance is one dataset registered in the join graph.
@@ -102,7 +102,7 @@ type Config struct {
 // re-estimation on the next build.
 type JICache struct {
 	mu sync.RWMutex
-	m  map[string]float64
+	m  map[string]float64 // guarded by mu
 }
 
 // jiCacheCap bounds the entries held across rebuilds.
@@ -159,7 +159,7 @@ type Graph struct {
 	// priceMu guards priceCache: Price is called from every concurrent
 	// MCMC chain of the parallel search engine.
 	priceMu    sync.RWMutex
-	priceCache map[string]float64
+	priceCache map[string]float64 // guarded by priceMu
 }
 
 // Build constructs the join graph from instances and estimates every
@@ -182,19 +182,21 @@ func Build(instances []*Instance, cfg Config) (*Graph, error) {
 			}
 			e := &IEdge{I: i, J: j, Shared: shared}
 			subsets := enumerateSubsets(shared, cfg.MaxJoinAttrs)
-			// \x01 between key parts, \x00 between attrs: instance names are
-			// seller-controlled free text, so plain printable separators
-			// could alias two different (pair, attrs) composites.
+			// Length-prefixed parts: instance names are seller-controlled
+			// free text, so any printable separator could alias two
+			// different (pair, attrs) composites. safekey.Join is
+			// prefix-compositional, so the pair prefix hoists out of the
+			// attrs loop.
 			pairKey := ""
 			if cfg.JI != nil {
-				pairKey = instances[i].CacheKey() + "\x01" + instances[j].CacheKey() + "\x01"
+				pairKey = safekey.Join(instances[i].CacheKey(), instances[j].CacheKey())
 			}
 			for _, attrs := range subsets {
 				var ji float64
 				var hit bool
 				key := ""
 				if cfg.JI != nil {
-					key = pairKey + strings.Join(attrs, "\x00")
+					key = pairKey + safekey.Join(attrs...)
 					ji, hit = cfg.JI.get(key)
 				}
 				if !hit {

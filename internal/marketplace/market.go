@@ -88,7 +88,7 @@ type LedgerEntry struct {
 // Ledger accumulates charges; safe for concurrent use.
 type Ledger struct {
 	mu      sync.Mutex
-	entries []LedgerEntry
+	entries []LedgerEntry // guarded by mu
 }
 
 // Add appends a charge.
@@ -132,8 +132,8 @@ func (l *Ledger) Entries() []LedgerEntry {
 // InMemory is the reference marketplace implementation.
 type InMemory struct {
 	mu       sync.RWMutex
-	listings map[string]*Listing
-	order    []string
+	listings map[string]*Listing // guarded by mu
+	order    []string            // guarded by mu
 	model    pricing.Model
 	ledger   *Ledger
 }

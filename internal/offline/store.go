@@ -93,10 +93,10 @@ func (s *Snapshot) Datasets() []*Dataset {
 // called from any goroutine at any time.
 type SampleStore struct {
 	mu       sync.Mutex
-	version  uint64
-	rate     float64
-	order    []string
-	datasets map[string]*Dataset
+	version  uint64              // guarded by mu
+	rate     float64             // guarded by mu
+	order    []string            // guarded by mu
+	datasets map[string]*Dataset // guarded by mu
 }
 
 // NewSampleStore returns an empty store.

@@ -1,0 +1,40 @@
+// Package safekey builds injective composite cache keys from
+// marketplace-controlled strings.
+//
+// Dataset and attribute names are seller- and shopper-supplied free
+// text, so any key scheme that separates parts with printable text can
+// be aliased by a hostile (or merely unlucky) name: "a|b"+"|"+"c" and
+// "a"+"|"+"b|c" render identically, and PR 4's JICache bug was exactly
+// that — two different (instance pair, join attrs) composites sharing
+// one cached join-informativeness estimate. The cachekey analyzer
+// (internal/analysis) flags printable-separator joins and points here.
+package safekey
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Join renders parts as a single key by length-prefixing each one —
+// len(part) in decimal, ':', the part's bytes — so the encoding is
+// injective for any part contents whatsoever, including parts that
+// contain digits, colons, NUL bytes or the rendered form of other
+// parts: Join(a...) == Join(b...) implies the part lists are equal.
+//
+// The encoding is also prefix-compositional: Join(a, b) + Join(c) ==
+// Join(a, b, c), so callers may hoist a shared prefix out of a loop and
+// append per-iteration suffixes without losing injectivity.
+func Join(parts ...string) string {
+	var b strings.Builder
+	n := 0
+	for _, p := range parts {
+		n += len(p) + 4
+	}
+	b.Grow(n)
+	for _, p := range parts {
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package safekey
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestJoinAliasPairs(t *testing.T) {
+	// Each pair is two different part lists that collide under a naive
+	// printable-separator join; Join must keep them apart.
+	pairs := [][2][]string{
+		{{"a|b", "c"}, {"a", "b|c"}}, // the PR 4 JICache shape
+		{{"a", "b"}, {"a|b"}},        // separator absorbed into a part
+		{{"1:a"}, {"a"}},             // part mimicking the encoding
+		{{"", "a"}, {"a", ""}},       // empty parts on either side
+		{{"a", "", "b"}, {"a", "b"}}, // interior empty part
+		{{"x\x00y"}, {"x", "y"}},     // embedded NUL
+		{{"2:ab"}, {"ab"}},           // full prefix spoof
+		{{"a", "11:bbbbbbbbbbb"}, {"a:11", "bbbbbbbbbbb"}},
+	}
+	for _, p := range pairs {
+		if Join(p[0]...) == Join(p[1]...) {
+			t.Errorf("Join(%q) == Join(%q) == %q; want distinct keys",
+				p[0], p[1], Join(p[0]...))
+		}
+	}
+}
+
+// TestJoinInjectiveExhaustive checks injectivity over every part list of
+// length ≤ 3 drawn from an alphabet chosen to stress the encoding:
+// empties, digits, the ':' delimiter, and strings that look like
+// length prefixes.
+func TestJoinInjectiveExhaustive(t *testing.T) {
+	alphabet := []string{"", ":", "1", "a", "1:", "1:a", "2:aa", "a:"}
+	seen := map[string]string{}
+	var lists [][]string
+	lists = append(lists, []string{})
+	for _, a := range alphabet {
+		lists = append(lists, []string{a})
+		for _, b := range alphabet {
+			lists = append(lists, []string{a, b})
+			for _, c := range alphabet {
+				lists = append(lists, []string{a, b, c})
+			}
+		}
+	}
+	for _, parts := range lists {
+		key := Join(parts...)
+		repr := fmt.Sprintf("%q", parts)
+		if prev, ok := seen[key]; ok && prev != repr {
+			t.Fatalf("collision: %q and %q both render to %q", prev, repr, key)
+		}
+		seen[key] = repr
+	}
+}
+
+func TestJoinPrefixCompositional(t *testing.T) {
+	got := Join("a@1", "b@2") + Join("x", "y")
+	want := Join("a@1", "b@2", "x", "y")
+	if got != want {
+		t.Fatalf("Join(a,b)+Join(x,y) = %q; Join(a,b,x,y) = %q", got, want)
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	if got := Join(); got != "" {
+		t.Fatalf("Join() = %q; want empty", got)
+	}
+	if Join("") == Join() {
+		t.Fatal("Join(\"\") must differ from Join()")
+	}
+}

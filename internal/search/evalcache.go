@@ -31,7 +31,7 @@ type evalCache struct {
 
 type evalCacheShard struct {
 	mu sync.RWMutex
-	m  map[string]Metrics
+	m  map[string]Metrics // guarded by mu
 }
 
 func newEvalCache() *evalCache {

@@ -38,9 +38,9 @@ type prefixCache struct {
 
 type prefixShard struct {
 	mu   sync.Mutex
-	m    map[string]*relation.Columnar
-	fifo []string
-	rows int
+	m    map[string]*relation.Columnar // guarded by mu
+	fifo []string                      // guarded by mu
+	rows int                           // guarded by mu
 }
 
 func newPrefixCache() *prefixCache {
@@ -115,14 +115,14 @@ func (c *prefixCache) Len() int {
 // offline state did not change.
 type colStore struct {
 	mu sync.RWMutex
-	m  map[string]*relation.Columnar
+	m  map[string]*relation.Columnar // guarded by mu
 }
 
 // joinIndexStore lazily builds and shares build-side join indexes per
 // (versioned instance, join-attribute set) pair.
 type joinIndexStore struct {
 	mu sync.RWMutex
-	m  map[string]*relation.JoinIndex
+	m  map[string]*relation.JoinIndex // guarded by mu
 }
 
 func joinIndexKey(instKey string, on []string) string {

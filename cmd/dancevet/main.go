@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	go run ./cmd/dancevet [-tags tags] [-tests=false] [-run names] [packages...]
+//	go run ./cmd/dancevet [-tags tags] [-tests=false] [-run names] [-json] [packages...]
+//	go run ./cmd/dancevet -write-schema api/v1.schema.json [packages...]
 //
 // Exit status is 1 when any diagnostic survives suppression, 2 on usage or
 // load errors. Suppress an intentional exception in source with
-// `//dancevet:ignore <analyzer> <reason>`.
+// `//dancevet:ignore <analyzer> <reason>`. -json emits one finding per line
+// as {"file","line","col","analyzer","message","suppressible"} for CI
+// tooling; -write-schema regenerates the wirecompat golden instead of
+// analyzing.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +31,18 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Suppressible is false for the "suppress" pseudo-analyzer: a malformed
+	// directive cannot itself be suppressed away.
+	Suppressible bool `json:"suppressible"`
+}
+
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("dancevet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -34,6 +51,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	runOnly := fs.String("run", "", "comma-separated analyzer names to run (default all)")
 	list := fs.Bool("list", false, "print the analyzer suite and exit")
 	dir := fs.String("C", "", "directory to run in (module root)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON lines instead of text")
+	writeSchema := fs.String("write-schema", "", "write the wirecompat golden schema to this path and exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -64,12 +83,41 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "dancevet: %v\n", err)
 		return 2
 	}
+	if *writeSchema != "" {
+		schema := analysis.ExtractWireSchema(pkgs)
+		data, err := json.MarshalIndent(schema, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "dancevet: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*writeSchema, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "dancevet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "dancevet: wrote %d wire types to %s\n", len(schema.Types), *writeSchema)
+		return 0
+	}
 	findings, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(stderr, "dancevet: %v\n", err)
 		return 2
 	}
+	enc := json.NewEncoder(stdout)
 	for _, f := range findings {
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding{
+				File:         f.Pos.Filename,
+				Line:         f.Pos.Line,
+				Col:          f.Pos.Column,
+				Analyzer:     f.Analyzer,
+				Message:      f.Message,
+				Suppressible: f.Analyzer != "suppress",
+			}); err != nil {
+				fmt.Fprintf(stderr, "dancevet: %v\n", err)
+				return 2
+			}
+			continue
+		}
 		fmt.Fprintln(stdout, f.String())
 	}
 	if len(findings) > 0 {

@@ -46,8 +46,13 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Dir is the package's source directory on disk ("" when unknown).
+	// wirecompat anchors its golden-schema lookup here.
+	Dir string
 
-	diagnostics []Diagnostic
+	diagnostics  []Diagnostic
+	flow         *Flow
+	suppressions map[string][]*suppression
 }
 
 // Diagnostic is one finding, positioned at Pos.
@@ -59,6 +64,18 @@ type Diagnostic struct {
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// SuppressedAt reports whether a dancevet:ignore directive for analyzer
+// covers pos's line. Flow-following analyzers use it to honor a suppression
+// placed at a join's *origin*: without it, every sink the flow layer
+// resolves through a suppressed helper would re-surface the same join,
+// forcing a directive per call site instead of one at the join itself.
+func (p *Pass) SuppressedAt(analyzer string, pos token.Pos) bool {
+	if p.suppressions == nil {
+		p.suppressions, _ = parseSuppressions(p.Fset, p.Files)
+	}
+	return suppressed(p.suppressions, analyzer, p.Fset.Position(pos))
 }
 
 // IsTestFile reports whether pos lies in a _test.go file. Several analyzers
@@ -82,7 +99,7 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 
 // All returns every analyzer in the dancevet suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Detfloat, Ctxflow, Lockguard, Cachekey, Errsentinel}
+	return []*Analyzer{Detfloat, Ctxflow, Lockguard, Lockorder, Cachekey, Errsentinel, Wirecompat}
 }
 
 // ByName resolves an analyzer name, for suppression validation and -run

@@ -18,7 +18,9 @@ func TestDetfloat(t *testing.T) {
 }
 
 func TestCtxflow(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), analysis.Ctxflow, "ctxflow/internal/svc")
+	td := analysistest.TestData()
+	analysistest.Run(t, td, analysis.Ctxflow, "ctxflow/internal/svc")
+	analysistest.Run(t, td, analysis.Ctxflow, "ctxflow/internal/edge")
 }
 
 func TestLockguard(t *testing.T) {
@@ -29,6 +31,15 @@ func TestCachekey(t *testing.T) {
 	td := analysistest.TestData()
 	analysistest.Run(t, td, analysis.Cachekey, "cachekey/search")
 	analysistest.Run(t, td, analysis.Cachekey, "cachekey/web")
+	analysistest.Run(t, td, analysis.Cachekey, "cachekey/flow/offline")
+}
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Lockorder, "lockorder/ab")
+}
+
+func TestWirecompat(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Wirecompat, "wirecompat/dance")
 }
 
 func TestErrsentinel(t *testing.T) {

@@ -2,20 +2,32 @@ package analysis
 
 import (
 	"go/ast"
-	"go/constant"
+	"go/token"
 	"go/types"
 	"strings"
 )
 
 // CacheKeyPackages names the packages (by final import-path segment) that
-// build long-lived cache keys from marketplace-controlled names.
+// build long-lived cache keys from marketplace-controlled names. The
+// analysis packages themselves are included: dancevet is subject to its own
+// rules (the CI sweep covers ./..., and the suppression sites inside the
+// analyzers double as living documentation of the mechanism).
 var CacheKeyPackages = map[string]bool{
-	"search":    true,
-	"joingraph": true,
-	"offline":   true,
-	"core":      true,
-	"sampling":  true,
-	"safekey":   true,
+	"search":       true,
+	"joingraph":    true,
+	"offline":      true,
+	"core":         true,
+	"sampling":     true,
+	"safekey":      true,
+	"analysis":     true,
+	"analysistest": true,
+}
+
+// PathSinkPackages names the packages whose string expressions reach the
+// filesystem: there, a marketplace-controlled name is a path-traversal
+// primitive as well as an aliasing one.
+var PathSinkPackages = map[string]bool{
+	"datadir": true,
 }
 
 // Cachekey flags cache keys assembled by joining attacker-controllable
@@ -28,24 +40,36 @@ var CacheKeyPackages = map[string]bool{
 // convention) or use safekey.Join, which length-prefixes and is injective
 // regardless of content.
 //
-// The analyzer looks at expressions that flow into key-shaped places — an
-// assignment to a variable or field whose name contains "key", an argument
-// to a parameter so named, or a return from a function so named — and
-// reports when two non-constant string operands are separated only by
-// printable constant text. strconv.Itoa/Format* results and %d/%q verbs
-// are exempt: numbers and quoted strings cannot smuggle a separator.
+// v2 is flow-sensitive: expressions are resolved through Pass.Flow, so a
+// join laundered through a local variable or a same-package helper
+// (`key := compose(a, b)` where compose returns a + "|" + b) is caught, and
+// operands that originate from a known taint source (marketplace/workload
+// listing names, HTTP request fields) are called out in the message. Sinks
+// are the v1 key-shaped places (assignments, arguments and returns whose
+// name contains "key"), string-keyed map index expressions, and — in
+// PathSinkPackages — file-path arguments, where a tainted operand alone is
+// reported even without a join. strconv.Itoa/Format* results and %d/%q
+// verbs stay exempt: numbers and quoted strings cannot smuggle a separator.
 var Cachekey = &Analyzer{
 	Name: "cachekey",
 	Doc: "cache keys must not join attacker-controllable strings with " +
 		"printable separators; use \\x00/\\x01 separators or safekey.Join " +
-		"(the PR 4 JICache aliasing bug)",
-	Run: runCachekey,
+		"(the PR 4 JICache aliasing bug); flows through helpers are followed",
 }
 
+// Run is attached in init: runCachekey reaches ByName (through
+// Pass.SuppressedAt → parseSuppressions), which closes an initialization
+// cycle back to Cachekey if referenced from the literal.
+func init() { Cachekey.Run = runCachekey }
+
 func runCachekey(pass *Pass) error {
-	if !CacheKeyPackages[lastSegment(pass.Pkg.Path())] {
+	seg := lastSegment(pass.Pkg.Path())
+	keyPkg := CacheKeyPackages[seg]
+	pathPkg := PathSinkPackages[seg]
+	if !keyPkg && !pathPkg {
 		return nil
 	}
+	fl := pass.Flow()
 	for _, file := range pass.Files {
 		if pass.IsTestFile(file.Pos()) {
 			continue
@@ -56,22 +80,34 @@ func runCachekey(pass *Pass) error {
 			case *ast.FuncDecl:
 				funcStack = append(funcStack, n)
 			case *ast.AssignStmt:
+				if !keyPkg {
+					break
+				}
 				for i, lhs := range n.Lhs {
 					if !keyShapedExpr(lhs) {
 						continue
 					}
 					if i < len(n.Rhs) {
-						checkKeyExpr(pass, n.Rhs[i])
+						checkKeyExpr(pass, fl, n.Rhs[i])
 					} else if len(n.Rhs) == 1 {
-						checkKeyExpr(pass, n.Rhs[0])
+						checkKeyExpr(pass, fl, n.Rhs[0])
 					}
 				}
 			case *ast.CallExpr:
-				checkKeyArgs(pass, n)
+				if keyPkg {
+					checkKeyArgs(pass, fl, n)
+				}
+				if pathPkg {
+					checkPathArgs(pass, fl, n)
+				}
+			case *ast.IndexExpr:
+				if keyPkg && stringKeyedMap(pass.TypeOf(n.X)) {
+					checkKeyExpr(pass, fl, n.Index)
+				}
 			case *ast.ReturnStmt:
-				if len(funcStack) > 0 && keyShapedName(funcStack[len(funcStack)-1].Name.Name) {
+				if keyPkg && len(funcStack) > 0 && keyShapedName(funcStack[len(funcStack)-1].Name.Name) {
 					for _, r := range n.Results {
-						checkKeyExpr(pass, r)
+						checkKeyExpr(pass, fl, r)
 					}
 				}
 			}
@@ -97,9 +133,23 @@ func keyShapedExpr(e ast.Expr) bool {
 	return false
 }
 
+// stringKeyedMap reports whether t is a map type whose key is string-ish —
+// the index expression of such a map is a cache-key sink.
+func stringKeyedMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	b, ok := m.Key().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
 // checkKeyArgs checks call arguments bound to parameters whose name
 // contains "key".
-func checkKeyArgs(pass *Pass, call *ast.CallExpr) {
+func checkKeyArgs(pass *Pass, fl *Flow, call *ast.CallExpr) {
 	f := calleeFunc(pass.TypesInfo, call)
 	if f == nil {
 		return
@@ -117,185 +167,142 @@ func checkKeyArgs(pass *Pass, call *ast.CallExpr) {
 			break
 		}
 		if keyShapedName(sig.Params().At(pi).Name()) {
-			checkKeyExpr(pass, arg)
+			checkKeyExpr(pass, fl, arg)
 		}
 	}
 }
 
-// operand classifies one piece of a key-building expression.
-type operand struct {
-	// sep is non-empty constant text (separator material); dynamic marks a
-	// non-constant string whose content an adversary may control.
-	sep     string
-	dynamic bool
-	pos     ast.Expr
+// pathSinkFuncs are the stdlib calls whose string arguments name filesystem
+// paths. For filepath.Join every argument is a path component; for the os
+// functions only the first argument is.
+var pathSinkFuncs = map[string]bool{
+	"path/filepath.Join": true,
+	"os.Create":          true,
+	"os.Open":            true,
+	"os.ReadFile":        true,
+	"os.WriteFile":       true,
+	"os.MkdirAll":        true,
+	"os.Remove":          true,
+	"os.RemoveAll":       true,
 }
 
-func checkKeyExpr(pass *Pass, e ast.Expr) {
-	ops := flattenKeyExpr(pass, e, nil)
-	reportPrintableJoins(pass, e, ops)
+// checkPathArgs checks file-path arguments (PathSinkPackages only): a
+// printable join aliases two paths just like a cache key, and a tainted
+// operand alone can traverse out of the data directory.
+func checkPathArgs(pass *Pass, fl *Flow, call *ast.CallExpr) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	qualified := f.Pkg().Path() + "." + f.Name()
+	//dancevet:ignore cachekey import paths and func names come from compiled source, not an adversary
+	if !pathSinkFuncs[qualified] {
+		return
+	}
+	args := call.Args
+	if f.Pkg().Path() == "os" && len(args) > 1 {
+		args = args[:1]
+	}
+	for _, arg := range args {
+		ops := fl.Flatten(arg)
+		if reportPrintableJoins(pass, arg, ops, "file path") {
+			continue
+		}
+		for _, op := range ops {
+			if op.Taint != "" {
+				pass.Reportf(arg.Pos(),
+					"file path includes %s without sanitization: a hostile name "+
+						"containing separators or \"..\" can alias or escape the data "+
+						"directory; hash the name or use safekey.Join%s",
+					op.Taint, viaClause(op))
+				break
+			}
+		}
+	}
 }
 
-// reportPrintableJoins scans the operand sequence for two dynamic operands
-// whose intervening constant text is non-empty and entirely printable.
-func reportPrintableJoins(pass *Pass, site ast.Expr, ops []operand) {
-	seenDynamic := false
+func checkKeyExpr(pass *Pass, fl *Flow, e ast.Expr) {
+	reportPrintableJoins(pass, e, fl.Flatten(e), "cache key")
+}
+
+// reportPrintableJoins scans the flattened composition for two dynamic
+// operands whose intervening constant text is non-empty and entirely
+// printable, and reports the first such join with its provenance.
+func reportPrintableJoins(pass *Pass, site ast.Expr, ops []Op, what string) bool {
+	var left *Op
 	sep := ""
-	for _, op := range ops {
-		if !op.dynamic {
-			if seenDynamic {
-				sep += op.sep
+	via := ""
+	var sepPos token.Pos
+	for i := range ops {
+		op := &ops[i]
+		if !op.Dynamic {
+			if left != nil {
+				if sep == "" && op.Sep != "" {
+					sepPos = op.Pos
+				}
+				sep += op.Sep
+				if op.Via != "" {
+					via = op.Via
+				}
 			}
 			continue
 		}
-		if seenDynamic && sep != "" && printable(sep) {
+		if left != nil && sep != "" && printable(sep) {
+			// A directive at the join's origin covers every flow through it
+			// (one suppression at the helper, not one per call site).
+			if pass.SuppressedAt(pass.Analyzer.Name, sepPos) {
+				left = op
+				sep = ""
+				via = ""
+				continue
+			}
+			if via == "" {
+				via = firstVia(left, op)
+			}
+			extra := ""
+			if via != "" {
+				extra += " (flows through " + via + ")"
+			}
+			if t := firstTaint(left, op); t != "" {
+				extra += " (operand is " + t + ")"
+			}
 			pass.Reportf(site.Pos(),
-				"cache key joins two attacker-controllable strings with printable separator %q: "+
+				"%s joins two attacker-controllable strings with printable separator %q: "+
 					"hostile dataset/attribute names can alias two different keys "+
-					"(PR 4 JICache bug); separate with \\x00/\\x01 or use safekey.Join", sep)
-			return
+					"(PR 4 JICache bug); separate with \\x00/\\x01 or use safekey.Join%s",
+				what, sep, extra)
+			return true
 		}
-		seenDynamic = true
+		left = op
 		sep = ""
+		via = ""
 	}
+	return false
 }
 
-// flattenKeyExpr reduces e to a sequence of constant separators and dynamic
-// string operands, recursing through +, Sprintf and strings.Join.
-func flattenKeyExpr(pass *Pass, e ast.Expr, ops []operand) []operand {
-	e = ast.Unparen(e)
-	// Constant folding first: a constant of any shape is separator text.
-	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
-		if tv.Value.Kind() == constant.String {
-			ops = append(ops, operand{sep: constant.StringVal(tv.Value), pos: e})
-			return ops
+func firstVia(ops ...*Op) string {
+	for _, op := range ops {
+		if op != nil && op.Via != "" {
+			return op.Via
 		}
 	}
-	switch ex := e.(type) {
-	case *ast.BinaryExpr:
-		if t := pass.TypeOf(ex); t != nil {
-			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-				ops = flattenKeyExpr(pass, ex.X, ops)
-				ops = flattenKeyExpr(pass, ex.Y, ops)
-				return ops
-			}
-		}
-	case *ast.CallExpr:
-		f := calleeFunc(pass.TypesInfo, ex)
-		switch {
-		case isPkgFunc(f, "strings", "Join"):
-			// elems joined by a constant separator: the elems are dynamic;
-			// a printable (or empty-with-multiple-elems) separator between
-			// dynamic elements is the bug. Model as dynamic·sep·dynamic.
-			sep, isConst := constString(pass, ex.Args[1])
-			if isConst {
-				ops = append(ops, operand{dynamic: true, pos: ex})
-				if sep != "" {
-					ops = append(ops, operand{sep: sep, pos: ex})
-				}
-				ops = append(ops, operand{dynamic: true, pos: ex})
-				return ops
-			}
-		case isPkgFunc(f, "fmt", "Sprintf"):
-			return flattenSprintf(pass, ex, ops)
-		case f != nil && f.Pkg() != nil && lastSegment(f.Pkg().Path()) == "safekey":
-			// safekey.Join output is injective: treat as a single opaque
-			// dynamic operand (joining *it* with printable separators is
-			// still flagged — the outer join can alias).
-			ops = append(ops, operand{dynamic: true, pos: ex})
-			return ops
-		case f != nil && numericSafeCall(f):
-			// Numbers cannot contain separators; quoted strings escape them.
-			ops = append(ops, operand{sep: "", pos: ex})
-			return ops
-		}
-	}
-	// Anything else with string type is a dynamic operand; non-strings are
-	// inert (they only appear via Sprintf verbs handled above).
-	if t := pass.TypeOf(e); t != nil {
-		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-			ops = append(ops, operand{dynamic: true, pos: e})
-		}
-	}
-	return ops
+	return ""
 }
 
-// flattenSprintf models a Sprintf call: literal format chunks are
-// separators; %s/%v verbs with string-typed arguments are dynamic; numeric
-// and %q/%x verbs are safe.
-func flattenSprintf(pass *Pass, call *ast.CallExpr, ops []operand) []operand {
-	if len(call.Args) == 0 {
-		return ops
-	}
-	format, ok := constString(pass, call.Args[0])
-	if !ok {
-		ops = append(ops, operand{dynamic: true, pos: call})
-		return ops
-	}
-	argIdx := 1
-	lit := strings.Builder{}
-	flushLit := func() {
-		if lit.Len() > 0 {
-			ops = append(ops, operand{sep: lit.String(), pos: call})
-			lit.Reset()
+func firstTaint(ops ...*Op) string {
+	for _, op := range ops {
+		if op != nil && op.Taint != "" {
+			return op.Taint
 		}
 	}
-	for i := 0; i < len(format); i++ {
-		if format[i] != '%' {
-			lit.WriteByte(format[i])
-			continue
-		}
-		i++
-		// Skip flags/width.
-		for i < len(format) && strings.ContainsRune("+-# 0123456789.*", rune(format[i])) {
-			i++
-		}
-		if i >= len(format) {
-			break
-		}
-		verb := format[i]
-		if verb == '%' {
-			lit.WriteByte('%')
-			continue
-		}
-		dynamic := false
-		if verb == 's' || verb == 'v' {
-			if argIdx < len(call.Args) {
-				if t := pass.TypeOf(call.Args[argIdx]); t != nil {
-					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						dynamic = true
-					} else if _, isBasic := t.Underlying().(*types.Basic); !isBasic {
-						dynamic = true // Stringers render arbitrary text
-					}
-				}
-			}
-		}
-		if dynamic {
-			flushLit()
-			ops = append(ops, operand{dynamic: true, pos: call})
-		}
-		// Safe verbs contribute nothing an adversary controls; their
-		// rendered text still breaks up separators, so reset the literal
-		// run only for dynamic verbs (handled by flushLit above) — numeric
-		// text between two dynamics cannot be controlled, so it stays part
-		// of the separator? No: a number *can* be chosen adversarially in
-		// some callers. Be conservative and treat it as a boundary.
-		if !dynamic && verb != '%' {
-			flushLit()
-			ops = append(ops, operand{sep: "", pos: call})
-		}
-		argIdx++
-	}
-	flushLit()
-	return ops
+	return ""
 }
 
-func constString(pass *Pass, e ast.Expr) (string, bool) {
-	tv, ok := pass.TypesInfo.Types[e]
-	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-		return "", false
+func viaClause(op Op) string {
+	if op.Via == "" {
+		return ""
 	}
-	return constant.StringVal(tv.Value), true
+	return " (flows through " + op.Via + ")"
 }
 
 // numericSafeCall reports calls whose string result cannot contain a chosen

@@ -17,6 +17,14 @@ import (
 //   - context.Background()/context.TODO() are reserved for package main and
 //     tests. Library code that needs a context must be handed one.
 //
+// Closures are not a boundary for either rule: rule 1 inspects an exported
+// function's whole body, so a manufactured context reaching a call inside a
+// `go func` literal — or through a bound method value — still flags the
+// function, while a ctx declared *inside* the literal launders rule 1 (a
+// local is indistinguishable from a threaded-in context) but leaves rule 2
+// to flag the Background/TODO call that created it.
+// testdata/src/ctxflow/internal/edge pins these behaviors.
+//
 // Intentional roots (the deprecated facade shims, the shared cmd/ signal
 // context helper) carry //dancevet:ignore ctxflow directives.
 var Ctxflow = &Analyzer{

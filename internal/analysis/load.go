@@ -120,7 +120,7 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 			base = base[:i]
 		}
 		if lp.ForTest != "" {
-			base = lp.ForTest + "_test_variant_" + lp.ImportPath // external _test packages stay distinct
+			base = lp.ForTest + "\x00" + lp.ImportPath // external _test packages stay distinct
 		}
 		if cur, ok := byBase[base]; !ok || len(lp.GoFiles) > len(cur.GoFiles) {
 			byBase[base] = lp

@@ -1,0 +1,653 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Lockorder builds a lock-acquisition-order graph per package and reports
+// every cycle with both witness paths — the static half of the deadlock
+// defense the nightly -race sweep probes dynamically. The repo's lock
+// population is already plural (core.Dance.mu and offlineMu, the sharded
+// evaluator and prefix caches, the JI and price memos, the sample store)
+// and the ROADMAP's durable-state and coalescing waves multiply it, so the
+// inversion class is fossilized now: if function f acquires B while holding
+// A, the graph gains edge A→B; a cycle means two interleaved goroutines can
+// each hold what the other wants.
+//
+// Mechanics:
+//
+//   - A lock is identified by its declaration, not its instance:
+//     "pkg.Type.field" for a struct-field mutex, "pkg.var" for a
+//     package-level one, "pkg.Type" for an embedded sync.Mutex. Two shards
+//     of one array share an identity, so same-identity nesting is *not*
+//     reported (ordering distinct instances of one lock class needs a
+//     runtime discipline — address order — the analyzer cannot see).
+//   - Edges come from a linear walk of each function (same approximations
+//     as lockguard: branch bodies are walked but their lock effects do not
+//     survive the join; `go` literals start with nothing held; deferred
+//     Unlocks keep the lock held to the end), plus transitive same-package
+//     call summaries from Pass.Flow — holding A and calling g() that
+//     eventually Locks B adds A→B with the call chain as witness. Calls
+//     that cross package boundaries are invisible; CI compensates by
+//     running the analyzer over every package.
+//   - RLock counts as an acquisition: reader/writer interleavings deadlock
+//     through the same inversions.
+//
+// Intended order is declared on the mutex field itself:
+//
+//	// lockorder: before mu
+//	offlineMu sync.Mutex
+//
+// adds a declared edge, so the *opposite* inferred edge closes a cycle and
+// fails CI even before a second inverted site exists. `lockorder: leaf`
+// asserts the mutex is terminal — any acquisition made while holding it is
+// reported on the spot.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc: "no cycles in the lock-acquisition-order graph; `lockorder: before " +
+		"<mu>` declares intended order, `lockorder: leaf` forbids nesting " +
+		"under the annotated mutex (the deadlock class ahead of the " +
+		"durable-state and coalescing waves)",
+	Run: runLockorder,
+}
+
+var lockorderRe = regexp.MustCompile(`lockorder:\s*(?:before\s+([A-Za-z_][A-Za-z0-9_]*)|(leaf))`)
+
+// lockEdge is one ordered pair in the acquisition graph with its first
+// witness.
+type lockEdge struct {
+	from, to string
+	desc     string
+	pos      token.Pos
+	declared bool
+}
+
+// heldLock is one acquisition on the current walk path.
+type heldLock struct {
+	id  string
+	pos token.Pos
+}
+
+// lockAcq is one (possibly transitive) acquisition a function may perform.
+type lockAcq struct {
+	pos  token.Pos
+	path string // call chain from the summarized function, "" when direct
+}
+
+type lockOrder struct {
+	pass *Pass
+	fl   *Flow
+
+	edges map[string]*lockEdge
+	order []string // edge keys in insertion order, for determinism
+	leaf  map[string]token.Pos
+
+	acqMemo     map[*types.Func]map[string]lockAcq
+	acqVisiting map[*types.Func]bool
+}
+
+func runLockorder(pass *Pass) error {
+	lo := &lockOrder{
+		pass:        pass,
+		fl:          pass.Flow(),
+		edges:       map[string]*lockEdge{},
+		leaf:        map[string]token.Pos{},
+		acqMemo:     map[*types.Func]map[string]lockAcq{},
+		acqVisiting: map[*types.Func]bool{},
+	}
+	lo.collectAnnotations()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lo.walkStmt(fd, fd.Body, nil)
+		}
+	}
+	lo.reportLeafViolations()
+	lo.reportCycles()
+	return nil
+}
+
+// collectAnnotations reads `lockorder:` directives off mutex struct fields.
+func (lo *lockOrder) collectAnnotations() {
+	pkgName := lo.pass.Pkg.Name()
+	for _, file := range lo.pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					lo.fieldAnnotations(pkgName, ts.Name.Name, field)
+				}
+			}
+		}
+	}
+}
+
+func (lo *lockOrder) fieldAnnotations(pkgName, typeName string, field *ast.Field) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, m := range lockorderRe.FindAllStringSubmatch(cg.Text(), -1) {
+			for _, name := range field.Names {
+				obj := lo.pass.TypesInfo.Defs[name]
+				if obj == nil || !isSyncMutexType(obj.Type()) {
+					lo.pass.Reportf(name.Pos(),
+						"lockorder annotation on %s.%s, which is not a sync.Mutex/RWMutex field",
+						typeName, name.Name)
+					continue
+				}
+				id := pkgName + "." + typeName + "." + name.Name
+				switch {
+				case m[1] != "":
+					to := pkgName + "." + typeName + "." + m[1]
+					lo.addEdge(id, to, fmt.Sprintf(
+						"declared `lockorder: before %s` (%s)", m[1], lo.shortPos(name.Pos())),
+						name.Pos(), true)
+				case m[2] != "":
+					//dancevet:ignore cachekey Go identifiers cannot contain dots, so pkg.Type.field is injective
+					lo.leaf[id] = name.Pos()
+				}
+			}
+		}
+	}
+}
+
+func (lo *lockOrder) addEdge(from, to, desc string, pos token.Pos, declared bool) {
+	if from == to {
+		return // same lock class: instance ordering is out of static reach
+	}
+	key := from + "\x00" + to
+	if _, ok := lo.edges[key]; ok {
+		return // first witness wins
+	}
+	lo.edges[key] = &lockEdge{from: from, to: to, desc: desc, pos: pos, declared: declared}
+	lo.order = append(lo.order, key)
+}
+
+// walkStmt interprets stmt with the ordered list of held locks, returning
+// the post-state. fd is the enclosing function (witness labels).
+func (lo *lockOrder) walkStmt(fd *ast.FuncDecl, stmt ast.Stmt, held []heldLock) []heldLock {
+	switch s := stmt.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			held = lo.walkStmt(fd, inner, held)
+		}
+		return held
+	case *ast.ExprStmt:
+		return lo.walkExpr(fd, s.X, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			held = lo.walkExpr(fd, rhs, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = lo.walkExpr(fd, v, held)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.IfStmt:
+		held = lo.walkStmt(fd, s.Init, held)
+		held = lo.walkExpr(fd, s.Cond, held)
+		lo.walkStmt(fd, s.Body, cloneHeld(held))
+		if s.Else != nil {
+			lo.walkStmt(fd, s.Else, cloneHeld(held))
+		}
+		return held // branch lock effects do not survive the join
+	case *ast.ForStmt:
+		held = lo.walkStmt(fd, s.Init, held)
+		held = lo.walkExpr(fd, s.Cond, held)
+		body := lo.walkStmt(fd, s.Body, cloneHeld(held))
+		lo.walkStmt(fd, s.Post, body)
+		return held
+	case *ast.RangeStmt:
+		held = lo.walkExpr(fd, s.X, held)
+		lo.walkStmt(fd, s.Body, cloneHeld(held))
+		return held
+	case *ast.SwitchStmt:
+		held = lo.walkStmt(fd, s.Init, held)
+		held = lo.walkExpr(fd, s.Tag, held)
+		lo.walkCaseBodies(fd, s.Body, held)
+		return held
+	case *ast.TypeSwitchStmt:
+		held = lo.walkStmt(fd, s.Init, held)
+		lo.walkStmt(fd, s.Assign, cloneHeld(held))
+		lo.walkCaseBodies(fd, s.Body, held)
+		return held
+	case *ast.SelectStmt:
+		lo.walkCaseBodies(fd, s.Body, held)
+		return held
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			held = lo.walkExpr(fd, r, held)
+		}
+		return held
+	case *ast.DeferStmt:
+		if op, _, ok := lo.mutexOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return held // deferred release: held until return, as lockguard models
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lo.walkStmt(fd, lit.Body, cloneHeld(held))
+			return held
+		}
+		return lo.walkExpr(fd, s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine does not inherit the spawner's critical section.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lo.walkStmt(fd, lit.Body, nil)
+		}
+		for _, a := range s.Call.Args {
+			held = lo.walkExpr(fd, a, held)
+		}
+		return held
+	case *ast.LabeledStmt:
+		return lo.walkStmt(fd, s.Stmt, held)
+	case *ast.SendStmt:
+		held = lo.walkExpr(fd, s.Chan, held)
+		return lo.walkExpr(fd, s.Value, held)
+	default:
+		return held
+	}
+}
+
+func (lo *lockOrder) walkCaseBodies(fd *ast.FuncDecl, body *ast.BlockStmt, held []heldLock) {
+	for _, c := range body.List {
+		entry := cloneHeld(held)
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				entry = lo.walkExpr(fd, e, entry)
+			}
+			for _, s := range cc.Body {
+				entry = lo.walkStmt(fd, s, entry)
+			}
+		case *ast.CommClause:
+			entry = lo.walkStmt(fd, cc.Comm, entry)
+			for _, s := range cc.Body {
+				entry = lo.walkStmt(fd, s, entry)
+			}
+		}
+	}
+}
+
+// walkExpr applies lock effects of calls inside e, in source order.
+func (lo *lockOrder) walkExpr(fd *ast.FuncDecl, e ast.Expr, held []heldLock) []heldLock {
+	switch e := e.(type) {
+	case nil:
+		return held
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			held = lo.walkExpr(fd, a, held)
+		}
+		if op, id, ok := lo.mutexOp(e); ok {
+			switch op {
+			case "Lock", "RLock":
+				for _, h := range held {
+					lo.addEdge(h.id, id, fmt.Sprintf(
+						"%s acquires %s (%s) while holding %s (%s)",
+						fd.Name.Name, id, lo.shortPos(e.Pos()), h.id, lo.shortPos(h.pos)),
+						e.Pos(), false)
+				}
+				return append(held, heldLock{id: id, pos: e.Pos()})
+			case "Unlock", "RUnlock":
+				return releaseHeld(held, id)
+			}
+			return held
+		}
+		if f := calleeFunc(lo.pass.TypesInfo, e); f != nil && len(held) > 0 {
+			if lo.fl.DeclOf(f) != nil {
+				acqs := lo.acquiresOf(f)
+				for _, id := range sortedAcqKeys(acqs) {
+					acq := acqs[id]
+					chain := f.Name()
+					if acq.path != "" {
+						chain += " → " + acq.path
+					}
+					for _, h := range held {
+						lo.addEdge(h.id, id, fmt.Sprintf(
+							"%s holds %s (%s) and calls %s, which acquires %s (%s)",
+							fd.Name.Name, h.id, lo.shortPos(h.pos), chain, id, lo.shortPos(acq.pos)),
+							e.Pos(), false)
+					}
+				}
+			}
+		}
+		if lit, ok := e.Fun.(*ast.FuncLit); ok {
+			// Immediately invoked: runs under the current critical section.
+			lo.walkStmt(fd, lit.Body, cloneHeld(held))
+		}
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			held = lo.walkExpr(fd, sel.X, held)
+		}
+		return held
+	case *ast.FuncLit:
+		// Stored for later: runs under an unknown critical section — walk
+		// with nothing held so only its internal ordering is recorded.
+		lo.walkStmt(fd, e.Body, nil)
+		return held
+	case *ast.BinaryExpr:
+		held = lo.walkExpr(fd, e.X, held)
+		return lo.walkExpr(fd, e.Y, held)
+	case *ast.UnaryExpr:
+		return lo.walkExpr(fd, e.X, held)
+	case *ast.ParenExpr:
+		return lo.walkExpr(fd, e.X, held)
+	case *ast.StarExpr:
+		return lo.walkExpr(fd, e.X, held)
+	case *ast.SelectorExpr:
+		return lo.walkExpr(fd, e.X, held)
+	case *ast.IndexExpr:
+		held = lo.walkExpr(fd, e.X, held)
+		return lo.walkExpr(fd, e.Index, held)
+	case *ast.SliceExpr:
+		held = lo.walkExpr(fd, e.X, held)
+		held = lo.walkExpr(fd, e.Low, held)
+		held = lo.walkExpr(fd, e.High, held)
+		return lo.walkExpr(fd, e.Max, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			held = lo.walkExpr(fd, el, held)
+		}
+		return held
+	case *ast.KeyValueExpr:
+		return lo.walkExpr(fd, e.Value, held)
+	case *ast.TypeAssertExpr:
+		return lo.walkExpr(fd, e.X, held)
+	default:
+		return held
+	}
+}
+
+// acquiresOf summarizes every lock f may acquire, directly or through
+// same-package callees (go-spawned work excluded: another goroutine's
+// acquisitions are not ordered after the caller's holds).
+func (lo *lockOrder) acquiresOf(f *types.Func) map[string]lockAcq {
+	if m, ok := lo.acqMemo[f]; ok {
+		return m
+	}
+	if lo.acqVisiting[f] {
+		return nil
+	}
+	lo.acqVisiting[f] = true
+	out := map[string]lockAcq{}
+	if fd := lo.fl.DeclOf(f); fd != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if op, id, ok := lo.mutexOp(n); ok && (op == "Lock" || op == "RLock") {
+					if _, dup := out[id]; !dup {
+						out[id] = lockAcq{pos: n.Pos()}
+					}
+				}
+			}
+			return true
+		})
+		for _, g := range lo.fl.CalleesOf(fd) {
+			if g == f {
+				continue
+			}
+			for id, acq := range lo.acquiresOf(g) {
+				if _, dup := out[id]; dup {
+					continue
+				}
+				path := g.Name()
+				if acq.path != "" {
+					path += " → " + acq.path
+				}
+				out[id] = lockAcq{pos: acq.pos, path: path}
+			}
+		}
+	}
+	delete(lo.acqVisiting, f)
+	lo.acqMemo[f] = out
+	return out
+}
+
+// mutexOp recognizes a sync.Mutex/RWMutex method call and resolves the
+// receiver to a lock identity. ok is false when the receiver cannot be
+// named statically (local aliases, sync.Locker values).
+func (lo *lockOrder) mutexOp(call *ast.CallExpr) (op, id string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	f, _ := lo.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch f.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	id = lo.lockIDOf(sel.X)
+	if id == "" {
+		return "", "", false
+	}
+	return f.Name(), id, true
+}
+
+// lockIDOf names the mutex x denotes: "pkg.Type.field", "pkg.var", or
+// "pkg.Type" for an embedded mutex.
+func (lo *lockOrder) lockIDOf(x ast.Expr) string {
+	x = ast.Unparen(x)
+	t := lo.pass.TypeOf(x)
+	if t == nil {
+		return ""
+	}
+	if isSyncMutexType(t) {
+		switch xx := x.(type) {
+		case *ast.SelectorExpr:
+			if selection, ok := lo.pass.TypesInfo.Selections[xx]; ok && selection.Kind() == types.FieldVal {
+				obj := selection.Obj()
+				owner := namedRecv(selection.Recv())
+				if obj.Pkg() != nil && owner != "" {
+					//dancevet:ignore cachekey Go identifiers cannot contain dots, so pkg.Type.field is injective
+					return obj.Pkg().Name() + "." + owner + "." + obj.Name()
+				}
+				return ""
+			}
+			// Qualified package-level var: pkg.mu.
+			if v, ok := lo.pass.ObjectOf(xx.Sel).(*types.Var); ok && packageLevel(v) {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+		case *ast.Ident:
+			if v, ok := lo.pass.ObjectOf(xx).(*types.Var); ok && packageLevel(v) {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+		}
+		return ""
+	}
+	// Promoted method through an embedded mutex: the named type is the lock.
+	tt := t
+	if ptr, isPtr := tt.(*types.Pointer); isPtr {
+		tt = ptr.Elem()
+	}
+	if named, isNamed := tt.(*types.Named); isNamed {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() != "sync" {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func (lo *lockOrder) reportLeafViolations() {
+	leaves := make([]string, 0, len(lo.leaf))
+	for id := range lo.leaf {
+		leaves = append(leaves, id)
+	}
+	sort.Strings(leaves)
+	for _, id := range leaves {
+		for _, key := range lo.order {
+			e := lo.edges[key]
+			if e.from != id {
+				continue
+			}
+			lo.pass.Reportf(e.pos,
+				"%s is annotated `lockorder: leaf` (%s) but the graph has %s → %s: %s",
+				id, lo.shortPos(lo.leaf[id]), e.from, e.to, e.desc)
+		}
+	}
+}
+
+func (lo *lockOrder) reportCycles() {
+	adj := map[string][]*lockEdge{}
+	var nodes []string
+	seenNode := map[string]bool{}
+	for _, key := range lo.order {
+		e := lo.edges[key]
+		adj[e.from] = append(adj[e.from], e)
+		for _, n := range []string{e.from, e.to} {
+			if !seenNode[n] {
+				seenNode[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+	}
+
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := map[string]int{}
+	var stack []string
+	var edgeStack []*lockEdge
+	reported := map[string]bool{}
+
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, e := range adj[n] {
+			switch color[e.to] {
+			case white:
+				edgeStack = append(edgeStack, e)
+				dfs(e.to)
+				edgeStack = edgeStack[:len(edgeStack)-1]
+			case gray:
+				lo.reportCycle(stack, append(edgeStack, e), e.to, reported)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+}
+
+// reportCycle extracts the cycle closing at node start from the DFS stacks
+// and reports it once, with every edge's witness.
+func (lo *lockOrder) reportCycle(stack []string, edges []*lockEdge, start string, reported map[string]bool) {
+	i := 0
+	for ; i < len(stack); i++ {
+		if stack[i] == start {
+			break
+		}
+	}
+	cycleNodes := append(append([]string{}, stack[i:]...), start)
+	cycleEdges := edges[i:]
+
+	canon := append([]string{}, stack[i:]...)
+	sort.Strings(canon)
+	key := strings.Join(canon, "\x00")
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+
+	var witnesses []string
+	for _, e := range cycleEdges {
+		witnesses = append(witnesses, e.desc)
+	}
+	lo.pass.Reportf(cycleEdges[0].pos,
+		"lock-order cycle %s: two goroutines interleaving these paths deadlock — %s",
+		strings.Join(cycleNodes, " → "), strings.Join(witnesses, "; "))
+}
+
+func (lo *lockOrder) shortPos(pos token.Pos) string {
+	p := lo.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func isSyncMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func packageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func cloneHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+func releaseHeld(held []heldLock, id string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].id == id {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+func sortedAcqKeys(m map[string]lockAcq) []string {
+	keys := make([]string, 0, len(m))
+	for id := range m {
+		keys = append(keys, id)
+	}
+	sort.Strings(keys)
+	return keys
+}

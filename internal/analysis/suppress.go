@@ -15,6 +15,10 @@ import (
 // mirroring staticcheck's lint:ignore shape. The directive suppresses the
 // named analyzers' diagnostics on the directive's own line and, when the
 // directive stands on a line of its own, on the next line as well.
+// Flow-following analyzers (cachekey v2) additionally honor a directive at a
+// join's origin: suppressing a helper's join where it is built also covers
+// the findings its flows would create at downstream sinks
+// (Pass.SuppressedAt).
 const suppressionPrefix = "//dancevet:ignore"
 
 // suppression is one parsed directive.

@@ -1,0 +1,11 @@
+// Package marketplace is a taint-source stand-in for cachekey v2 fixtures:
+// its final path segment matches the real marketplace package, so Name
+// fields read from it carry listing-name taint.
+package marketplace
+
+// DatasetInfo mirrors the real free catalog record: Name is seller-supplied
+// free text.
+type DatasetInfo struct {
+	Name string
+	Rows int
+}

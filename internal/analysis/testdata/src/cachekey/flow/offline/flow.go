@@ -1,0 +1,61 @@
+// Package offline is a dancevet fixture for cachekey v2's interprocedural
+// flows: joins laundered through same-package helpers and local variables,
+// map-index sinks, and taint provenance from marketplace listing names and
+// HTTP request fields. v1 (AST-local, key-shaped sites only) saw none of
+// the positive cases below.
+package offline
+
+import (
+	"net/http"
+	"strconv"
+
+	"cachekey/flow/marketplace"
+)
+
+var cache = map[string]float64{}
+
+// compose is not key-shaped, so v1 never looked inside it; v2 summarizes it
+// as param·"|"·param and substitutes call arguments.
+func compose(a, b string) string {
+	return a + "|" + b
+}
+
+// composeSafe uses the repo's non-printable separator convention.
+func composeSafe(a, b string) string {
+	return a + "\x00" + b
+}
+
+// launderedHelper: the join happens inside compose; the key-shaped
+// assignment and the map index both see only a call and an identifier.
+func launderedHelper(name, attr string) float64 {
+	key := compose(name, attr) // want `printable separator "\|".*\(flows through compose\)`
+	return cache[key]          // want `printable separator "\|".*\(flows through compose\)`
+}
+
+// launderedLocal: the join is bound to an innocently named local first; the
+// key-shaped assignment's RHS is a bare identifier v1 could not see through.
+func launderedLocal(name, attr string) float64 {
+	k := name + ":" + attr
+	key := k          // want `printable separator ":"`
+	return cache[key] // want `printable separator ":"`
+}
+
+// formKey: the left operand is shopper-controlled request text; the report
+// names the source.
+func formKey(r *http.Request, attr string) float64 {
+	key := r.FormValue("dataset") + "/" + attr // want `printable separator "/".*operand is an HTTP request field \(http\.Request\.FormValue\)`
+	return cache[key]                          // want `operand is an HTTP request field`
+}
+
+// listingKey: the left operand is a seller-controlled listing name.
+func listingKey(info marketplace.DatasetInfo, attr string) float64 {
+	key := info.Name + "|" + attr // want `printable separator "\|".*operand is a marketplace listing name \(DatasetInfo\.Name\)`
+	return cache[key]             // want `operand is a marketplace listing name`
+}
+
+// safeKeyed stays quiet: the helper joins with \x00, the section separator
+// is \x01, and the numeric suffix cannot smuggle a separator byte.
+func safeKeyed(name, attr string, v uint64) float64 {
+	key := composeSafe(name, attr) + "\x01" + strconv.FormatUint(v, 10)
+	return cache[key]
+}

@@ -51,7 +51,7 @@ func lookup(c *cache, name, attr string) (float64, bool) {
 
 func assigned(c *cache, name, attr string) float64 {
 	cacheKey := name + "|" + attr // want "printable separator"
-	v, _ := c.get(cacheKey)
+	v, _ := c.get(cacheKey)       // want "printable separator"
 	return v
 }
 

@@ -1,0 +1,50 @@
+// Package edge pins ctxflow's behavior on contexts that reach calls through
+// closures, method values and go-literals — the shapes the background-worker
+// waves (durable danced state, request coalescing) will write.
+package edge
+
+import "context"
+
+// bgCtx is the pre-refactor experiments pattern: a package-level root.
+var bgCtx = context.Background() // want `context.Background creates a context root`
+
+// Client is an exported receiver so rule 1 applies to its callers.
+type Client struct{}
+
+// Fetch is ctx-first, as the v1 API convention requires.
+func (Client) Fetch(ctx context.Context) error { return nil }
+
+// ClosureCapture: the offending call sits inside a goroutine literal, but
+// rule 1 inspects the exported function's whole body — the closure is not a
+// boundary, and the function severing the cancellation chain is flagged.
+func ClosureCapture(c Client) { // want `exported ClosureCapture calls c.Fetch with a context the caller never provided`
+	go func() {
+		_ = c.Fetch(bgCtx)
+	}()
+}
+
+// MethodValue: binding the method does not hide its signature; the call
+// through the bound value is still seen, named by the value it went through.
+func MethodValue(c Client) { // want `exported MethodValue calls fetch with a context the caller never provided`
+	fetch := c.Fetch
+	_ = fetch(bgCtx)
+}
+
+// GoLiteralLocalRoot documents the analyzer's split verdict on a local
+// context.Background inside a go-literal: rule 1 treats a locally declared
+// ctx as caller-derived (it cannot distinguish one from a threaded-in
+// context), so the exported function is not flagged — but rule 2 still
+// flags the Background call itself, so the pattern cannot land silently.
+func GoLiteralLocalRoot(c Client) {
+	go func() {
+		ctx := context.Background() // want `context.Background creates a context root`
+		_ = c.Fetch(ctx)
+	}()
+}
+
+// HandlerDerived: a ctx entering through the literal's own parameter is
+// caller-provided; neither rule fires.
+func HandlerDerived(c Client) {
+	run := func(ctx context.Context) { _ = c.Fetch(ctx) }
+	_ = run
+}

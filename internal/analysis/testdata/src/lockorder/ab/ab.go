@@ -1,0 +1,99 @@
+// Package ab is a dancevet fixture for lockorder: a two-lock inversion
+// closed through a helper call (reported with both witness chains), a
+// violated `lockorder: leaf` annotation, a declared order contradicted by
+// the inferred edge, and the negative shapes (same lock class, go-spawned
+// goroutines).
+package ab
+
+import "sync"
+
+// Server's two mutexes are acquired in opposite orders by X and Y — the
+// classic inversion. Y's second acquisition hides inside a helper, so only
+// the transitive call summary sees it.
+type Server struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *Server) X() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `lock-order cycle ab.Server.a → ab.Server.b → ab.Server.a: .*X acquires ab.Server.b .* while holding ab.Server.a .*; Y holds ab.Server.b .* and calls lockA, which acquires ab.Server.a`
+	defer s.b.Unlock()
+}
+
+func (s *Server) lockA() {
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+func (s *Server) Y() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.lockA()
+}
+
+// Leafy asserts terminality and violates it.
+type Leafy struct {
+	m    sync.Mutex // lockorder: leaf
+	next sync.Mutex
+}
+
+func (l *Leafy) violate() {
+	l.m.Lock()
+	l.next.Lock() // want `ab.Leafy.m is annotated .lockorder: leaf. .* but the graph has ab.Leafy.m → ab.Leafy.next: violate acquires ab.Leafy.next .* while holding ab.Leafy.m`
+	l.next.Unlock()
+	l.m.Unlock()
+}
+
+// Declared's intended order is written on the field; backwards infers the
+// opposite edge, closing a cycle before a second inverted site exists.
+type Declared struct {
+	// lockorder: before second
+	first  sync.Mutex // want `lock-order cycle ab.Declared.first → ab.Declared.second → ab.Declared.first: .*declared .lockorder: before second. .*; backwards acquires ab.Declared.first .* while holding ab.Declared.second`
+	second sync.Mutex
+}
+
+func (d *Declared) backwards() {
+	d.second.Lock()
+	d.first.Lock()
+	d.first.Unlock()
+	d.second.Unlock()
+}
+
+// Annotations on non-mutex fields are themselves diagnosed.
+type Mislabeled struct {
+	name string // lockorder: leaf // want `lockorder annotation on Mislabeled.name, which is not a sync.Mutex/RWMutex field`
+}
+
+// G: goroutines do not inherit the spawner's critical section — spawn adds
+// no front→back edge, so inverted's back→front edge closes no cycle.
+type G struct {
+	front sync.Mutex
+	back  sync.Mutex
+}
+
+func (g *G) spawn() {
+	g.front.Lock()
+	go func() {
+		g.back.Lock()
+		g.back.Unlock()
+	}()
+	g.front.Unlock()
+}
+
+func (g *G) inverted() {
+	g.back.Lock()
+	g.front.Lock()
+	g.front.Unlock()
+	g.back.Unlock()
+}
+
+// Two instances of one lock class share an identity; ordering them is a
+// runtime (address-order) discipline, not a static edge.
+func pair(x, y *G) {
+	x.back.Lock()
+	y.back.Lock()
+	y.back.Unlock()
+	x.back.Unlock()
+}

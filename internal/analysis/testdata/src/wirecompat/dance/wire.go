@@ -1,0 +1,17 @@
+// Package dance is a dancevet fixture for wirecompat: its package name puts
+// it in the v1 wire-contract set, and the sibling v1.schema.json golden
+// declares the frozen surface. The golden pins fields "rate" (Go name Rate)
+// and "seed"; this source renamed Rate's tag to "rate_limit" and dropped
+// Seed entirely — both breaking, both reported on the type declaration.
+package dance
+
+type AcquireRequest struct { // want `v1 field "rate" of dance.AcquireRequest was renamed to "rate_limit" on the wire` `v1 field "seed" of dance.AcquireRequest was removed from the wire`
+	Instance string  `json:"instance"`
+	Rate     float64 `json:"rate_limit"`
+}
+
+// Quote matches the golden exactly — no finding.
+type Quote struct {
+	Price float64 `json:"price"`
+	Note  string  `json:"note,omitempty"`
+}

@@ -1,0 +1,562 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// WireContractPackages names the packages (by final import-path segment)
+// whose JSON-tagged structs are the frozen v1 wire surface: the danced
+// service API (root package), marketd's marketplace protocol, and the
+// workload generator's ground-truth record (a contract with the scenario
+// matrix and with saved truth files on disk).
+var WireContractPackages = map[string]bool{
+	"dance":       true,
+	"marketplace": true,
+	"workload":    true,
+}
+
+// wireSchemaBase is the golden file's path under the module root.
+const wireSchemaBase = "api/v1.schema.json"
+
+// Wirecompat extracts the v1 JSON contract — field names, wire types,
+// omitempty, and enum-ish string sets — from the wire structs of
+// WireContractPackages and compares it against the committed golden
+// api/v1.schema.json. Removals, renames, type changes, omitempty flips and
+// enum-value removals are breaking for deployed clients and saved truth
+// files, and are reported as such; additions only ask for a golden
+// regeneration (`go run ./cmd/dancevet -write-schema api/v1.schema.json`),
+// keeping the gate mechanical. Referenced structs are followed through
+// go/types, so untagged types that marshal by Go field names (ScoreWeights,
+// pricing.Query) are frozen too — exactly the fields a well-meaning rename
+// would silently break.
+//
+// Inside a fixture, a `v1.schema.json` next to the sources overrides the
+// module-root golden.
+var Wirecompat = &Analyzer{
+	Name: "wirecompat",
+	Doc: "the v1 JSON wire contract (field names, types, omitempty, enum " +
+		"values) must match the committed api/v1.schema.json golden; " +
+		"removals/renames/type changes are breaking, additions regenerate " +
+		"the golden",
+	Run: runWirecompat,
+}
+
+// WireSchema is the serialized golden contract.
+type WireSchema struct {
+	Version string              `json:"version"`
+	Types   map[string]WireType `json:"types"`
+}
+
+// WireType is one struct on the wire, keyed by wire field name.
+type WireType struct {
+	Fields map[string]WireField `json:"fields"`
+}
+
+// WireField is one field's contract.
+type WireField struct {
+	// Go is the Go field name (rename detection: same Go name, different
+	// wire name).
+	Go string `json:"go"`
+	// Type is the rendered wire type ("string", "number", "integer",
+	// "boolean", "array<T>", "object<K,V>", "*T", a qualified struct key, or
+	// "any").
+	Type string `json:"type"`
+	// Omitempty records the `,omitempty` tag option.
+	Omitempty bool `json:"omitempty,omitempty"`
+	// Values is the enum-ish set of constant strings the package assigns to
+	// this field, when any.
+	Values []string `json:"values,omitempty"`
+}
+
+func runWirecompat(pass *Pass) error {
+	if !WireContractPackages[lastSegment(pass.Pkg.Path())] {
+		return nil
+	}
+	ex := extractWire(pass.Fset, pass.Files, pass.TypesInfo)
+	if len(ex.types) == 0 {
+		return nil
+	}
+	goldenPath, golden, err := loadGolden(pass.Dir)
+	if err != nil {
+		pass.Reportf(ex.anchor, "golden schema %s is unreadable: %v", goldenPath, err)
+		return nil
+	}
+	if golden == nil {
+		pass.Reportf(ex.anchor,
+			"package has v1 wire types but no golden schema at %s; generate it with "+
+				"`go run ./cmd/dancevet -write-schema %s`", goldenPath, wireSchemaBase)
+		return nil
+	}
+	compareWire(pass, ex, golden)
+	return nil
+}
+
+// loadGolden finds the golden schema: a v1.schema.json next to the package
+// sources (fixtures) wins, else <module root>/api/v1.schema.json. A (path,
+// nil, nil) return means the expected golden does not exist yet.
+func loadGolden(dir string) (string, *WireSchema, error) {
+	candidates := []string{filepath.Join(dir, "v1.schema.json")}
+	for d := dir; d != "" && d != string(filepath.Separator); d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			candidates = append(candidates, filepath.Join(d, filepath.FromSlash(wireSchemaBase)))
+			break
+		}
+		if filepath.Dir(d) == d {
+			break
+		}
+	}
+	for i, path := range candidates {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				if i == len(candidates)-1 {
+					return path, nil, nil
+				}
+				continue
+			}
+			return path, nil, err
+		}
+		var s WireSchema
+		if err := json.Unmarshal(data, &s); err != nil {
+			return path, nil, err
+		}
+		return path, &s, nil
+	}
+	return wireSchemaBase, nil, nil
+}
+
+func compareWire(pass *Pass, ex *wireExtraction, golden *WireSchema) {
+	var regen []string
+	for _, key := range sortedWireKeys(ex.types) {
+		got := ex.types[key]
+		pos := ex.posOf(key)
+		want, ok := golden.Types[key]
+		if !ok {
+			regen = append(regen, "new wire type "+key)
+			continue
+		}
+		// Index extracted fields by Go name for rename detection.
+		byGo := map[string]string{}
+		for wname, f := range got.Fields {
+			byGo[f.Go] = wname
+		}
+		renamedTo := map[string]bool{}
+		wantNames := make([]string, 0, len(want.Fields))
+		for wname := range want.Fields {
+			wantNames = append(wantNames, wname)
+		}
+		sort.Strings(wantNames)
+		for _, wname := range wantNames {
+			wf := want.Fields[wname]
+			gf, ok := got.Fields[wname]
+			if !ok {
+				if newName, renamed := byGo[wf.Go]; renamed && newName != wname {
+					renamedTo[newName] = true
+					pass.Reportf(pos,
+						"v1 field %q of %s was renamed to %q on the wire — breaking for "+
+							"deployed clients; keep the old name or add a v2 type", wname, key, newName)
+					continue
+				}
+				pass.Reportf(pos,
+					"v1 field %q of %s was removed from the wire — breaking for deployed "+
+						"clients; additions are fine, removals need a v2", wname, key)
+				continue
+			}
+			if gf.Type != wf.Type {
+				pass.Reportf(pos,
+					"v1 field %q of %s changed wire type %s → %s — breaking for deployed clients",
+					wname, key, wf.Type, gf.Type)
+			}
+			if gf.Omitempty != wf.Omitempty {
+				pass.Reportf(pos,
+					"v1 field %q of %s changed omitempty %v → %v — changes when the field "+
+						"appears on the wire", wname, key, wf.Omitempty, gf.Omitempty)
+			}
+			gotValues := map[string]bool{}
+			for _, v := range gf.Values {
+				gotValues[v] = true
+			}
+			for _, v := range wf.Values {
+				if !gotValues[v] {
+					pass.Reportf(pos,
+						"v1 field %q of %s no longer carries wire value %q — breaking for "+
+							"clients switching on it", wname, key, v)
+				}
+			}
+			if len(gf.Values) > len(wf.Values) {
+				regen = append(regen, "new values on "+key+"."+wname)
+			}
+		}
+		for _, wname := range sortedFieldKeys(got.Fields) {
+			if _, ok := want.Fields[wname]; !ok && !renamedTo[wname] {
+				regen = append(regen, "new field "+wname+" on "+key)
+			}
+		}
+	}
+	// Types the golden pins under this package's name that no longer exist.
+	prefix := pass.Pkg.Name() + "."
+	goldenKeys := make([]string, 0, len(golden.Types))
+	for key := range golden.Types {
+		goldenKeys = append(goldenKeys, key)
+	}
+	sort.Strings(goldenKeys)
+	for _, key := range goldenKeys {
+		if strings.HasPrefix(key, prefix) {
+			if _, ok := ex.types[key]; !ok {
+				pass.Reportf(ex.anchor,
+					"v1 wire type %s was removed but the golden %s still declares it — "+
+						"breaking; restore it or ship a v2", key, wireSchemaBase)
+			}
+		}
+	}
+	if len(regen) > 0 {
+		pass.Reportf(ex.anchor,
+			"wire surface grew (%s): regenerate the golden with "+
+				"`go run ./cmd/dancevet -write-schema %s`",
+			strings.Join(regen, ", "), wireSchemaBase)
+	}
+}
+
+// ExtractWireSchema builds the full schema over every contract package, for
+// `cmd/dancevet -write-schema`.
+func ExtractWireSchema(pkgs []*Package) *WireSchema {
+	s := &WireSchema{Version: "v1", Types: map[string]WireType{}}
+	for _, pkg := range pkgs {
+		if !WireContractPackages[lastSegment(pkg.Path)] {
+			continue
+		}
+		ex := extractWire(pkg.Fset, pkg.Files, pkg.Info)
+		for key, wt := range ex.types {
+			s.Types[key] = *wt
+		}
+	}
+	return s
+}
+
+// wireExtraction is the contract extracted from one package: wire types
+// keyed "pkg.Type", with source positions for reporting.
+type wireExtraction struct {
+	types  map[string]*WireType
+	pos    map[string]token.Pos
+	anchor token.Pos // package-level fallback position
+}
+
+func (ex *wireExtraction) posOf(key string) token.Pos {
+	if p, ok := ex.pos[key]; ok {
+		return p
+	}
+	return ex.anchor
+}
+
+func extractWire(fset *token.FileSet, files []*ast.File, info *types.Info) *wireExtraction {
+	ex := &wireExtraction{types: map[string]*WireType{}, pos: map[string]token.Pos{}}
+	var worklist []*types.Named
+	seen := map[string]bool{}
+	enqueue := func(named *types.Named) {
+		key := wireTypeKey(named)
+		if key == "" || seen[key] {
+			return
+		}
+		seen[key] = true
+		worklist = append(worklist, named)
+	}
+
+	// Roots: structs declared in this package with at least one json tag.
+	for _, file := range files {
+		if isTestFilename(fset, file.Pos()) {
+			continue
+		}
+		if ex.anchor == token.NoPos {
+			ex.anchor = file.Name.Pos()
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok || !hasJSONTag(st) {
+					continue
+				}
+				ex.pos[wireTypeKey(named)] = ts.Name.Pos()
+				enqueue(named)
+			}
+		}
+	}
+
+	for len(worklist) > 0 {
+		named := worklist[0]
+		worklist = worklist[1:]
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		wt := WireType{Fields: map[string]WireField{}}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() && !f.Embedded() {
+				continue
+			}
+			tag := reflect.StructTag(st.Tag(i)).Get("json")
+			name, opts := parseJSONTag(tag)
+			if name == "-" && !strings.Contains(tag, ",") {
+				continue
+			}
+			rendered := renderWireType(f.Type(), enqueue)
+			switch {
+			case f.Embedded() && name == "":
+				// encoding/json inlines untagged embedded structs; pin the
+				// embedding itself and freeze the embedded type separately.
+				wt.Fields["<embed>"+rendered] = WireField{Go: f.Name(), Type: rendered}
+			default:
+				if name == "" {
+					if !f.Exported() {
+						continue
+					}
+					name = f.Name()
+				}
+				wt.Fields[name] = WireField{
+					Go:        f.Name(),
+					Type:      rendered,
+					Omitempty: hasOption(opts, "omitempty"),
+				}
+			}
+		}
+		ex.types[wireTypeKey(named)] = &wt
+	}
+
+	collectWireValues(fset, files, info, ex)
+	return ex
+}
+
+// collectWireValues harvests constant strings assigned to string fields of
+// contract types — the enum-ish sets (ledger Kind, error Code) clients
+// switch on.
+func collectWireValues(fset *token.FileSet, files []*ast.File, info *types.Info, ex *wireExtraction) {
+	record := func(named *types.Named, goField, value string) {
+		wt, ok := ex.types[wireTypeKey(named)]
+		if !ok {
+			return
+		}
+		for wname, f := range wt.Fields {
+			if f.Go != goField {
+				continue
+			}
+			if f.Type != "string" {
+				return
+			}
+			for _, v := range f.Values {
+				if v == value {
+					return
+				}
+			}
+			f.Values = append(f.Values, value)
+			sort.Strings(f.Values)
+			wt.Fields[wname] = f
+			return
+		}
+	}
+	constStr := func(e ast.Expr) (string, bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", false
+		}
+		return constant.StringVal(tv.Value), true
+	}
+	namedOf := func(t types.Type) *types.Named {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, _ := t.(*types.Named)
+		return named
+	}
+	for _, file := range files {
+		if isTestFilename(fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				tv, ok := info.Types[n]
+				if !ok {
+					return true
+				}
+				named := namedOf(tv.Type)
+				if named == nil {
+					return true
+				}
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if v, ok := constStr(kv.Value); ok {
+						record(named, key.Name, v)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					selection, ok := info.Selections[sel]
+					if !ok || selection.Kind() != types.FieldVal {
+						continue
+					}
+					named := namedOf(selection.Recv())
+					if named == nil {
+						continue
+					}
+					if v, ok := constStr(n.Rhs[i]); ok {
+						record(named, sel.Sel.Name, v)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func wireTypeKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	//dancevet:ignore cachekey Go identifiers cannot contain dots, so pkg.Type is injective
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// renderWireType maps a Go type to its wire rendering, enqueueing named
+// structs for their own extraction.
+func renderWireType(t types.Type, enqueue func(*types.Named)) string {
+	switch tt := t.(type) {
+	case *types.Pointer:
+		return "*" + renderWireType(tt.Elem(), enqueue)
+	case *types.Slice:
+		if b, ok := tt.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+			return "string" // []byte marshals as base64 text
+		}
+		return "array<" + renderWireType(tt.Elem(), enqueue) + ">"
+	case *types.Array:
+		return "array<" + renderWireType(tt.Elem(), enqueue) + ">"
+	case *types.Map:
+		//dancevet:ignore cachekey wire renderings are human-facing labels; Go type syntax cannot contain "," ambiguously
+		return "object<" + renderWireType(tt.Key(), enqueue) + "," +
+			renderWireType(tt.Elem(), enqueue) + ">"
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Time" {
+					return "string"
+				}
+				if obj.Name() == "Duration" {
+					return "integer"
+				}
+			case "encoding/json":
+				if obj.Name() == "RawMessage" {
+					return "raw"
+				}
+			}
+		}
+		if _, ok := tt.Underlying().(*types.Struct); ok {
+			enqueue(tt)
+			return wireTypeKey(tt)
+		}
+		return renderWireType(tt.Underlying(), enqueue)
+	case *types.Basic:
+		info := tt.Info()
+		switch {
+		case info&types.IsBoolean != 0:
+			return "boolean"
+		case info&types.IsInteger != 0:
+			return "integer"
+		case info&types.IsFloat != 0:
+			return "number"
+		case info&types.IsString != 0:
+			return "string"
+		}
+	case *types.Interface:
+		return "any"
+	case *types.Alias:
+		return renderWireType(types.Unalias(tt), enqueue)
+	}
+	return t.String()
+}
+
+func hasJSONTag(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := reflect.StructTag(st.Tag(i)).Lookup("json"); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func parseJSONTag(tag string) (name string, opts []string) {
+	parts := strings.Split(tag, ",")
+	return parts[0], parts[1:]
+}
+
+func hasOption(opts []string, opt string) bool {
+	for _, o := range opts {
+		if o == opt {
+			return true
+		}
+	}
+	return false
+}
+
+func isTestFilename(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+func sortedWireKeys(m map[string]*WireType) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedFieldKeys(m map[string]WireField) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -107,6 +107,7 @@ type Dance struct {
 	// purchases, graph construction): concurrent escalations must not buy
 	// duplicate sample rounds. It is never held while mu is wanted by
 	// readers for long — the slow work happens with only offlineMu held.
+	// lockorder: before mu
 	offlineMu sync.Mutex
 
 	// mu guards the mutable middleware state below. Requests read a

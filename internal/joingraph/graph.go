@@ -101,7 +101,7 @@ type Config struct {
 // dead keys behind, and on overflow the cache resets — a reset only costs
 // re-estimation on the next build.
 type JICache struct {
-	mu sync.RWMutex
+	mu sync.RWMutex       // lockorder: leaf
 	m  map[string]float64 // guarded by mu
 }
 
@@ -158,6 +158,7 @@ type Graph struct {
 
 	// priceMu guards priceCache: Price is called from every concurrent
 	// MCMC chain of the parallel search engine.
+	// lockorder: leaf
 	priceMu    sync.RWMutex
 	priceCache map[string]float64 // guarded by priceMu
 }

@@ -87,7 +87,7 @@ type LedgerEntry struct {
 
 // Ledger accumulates charges; safe for concurrent use.
 type Ledger struct {
-	mu      sync.Mutex
+	mu      sync.Mutex    // lockorder: leaf
 	entries []LedgerEntry // guarded by mu
 }
 

@@ -92,7 +92,7 @@ func (s *Snapshot) Datasets() []*Dataset {
 // serializes writers behind its offline mutex anyway; Snapshot may be
 // called from any goroutine at any time.
 type SampleStore struct {
-	mu       sync.Mutex
+	mu       sync.Mutex          // lockorder: leaf
 	version  uint64              // guarded by mu
 	rate     float64             // guarded by mu
 	order    []string            // guarded by mu

@@ -120,7 +120,7 @@ func SampleDiscount(fullPrice, rate float64) float64 {
 type cached struct {
 	inner Model
 
-	mu    sync.Mutex
+	mu    sync.Mutex // lockorder: leaf
 	cache map[string]float64
 }
 

@@ -30,7 +30,7 @@ type evalCache struct {
 }
 
 type evalCacheShard struct {
-	mu sync.RWMutex
+	mu sync.RWMutex       // lockorder: leaf
 	m  map[string]Metrics // guarded by mu
 }
 

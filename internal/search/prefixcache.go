@@ -37,7 +37,7 @@ type prefixCache struct {
 }
 
 type prefixShard struct {
-	mu   sync.Mutex
+	mu   sync.Mutex                    // lockorder: leaf
 	m    map[string]*relation.Columnar // guarded by mu
 	fifo []string                      // guarded by mu
 	rows int                           // guarded by mu
@@ -114,14 +114,14 @@ func (c *prefixCache) Len() int {
 // shared across graph rebuilds keeps serving encodings for instances whose
 // offline state did not change.
 type colStore struct {
-	mu sync.RWMutex
+	mu sync.RWMutex                  // lockorder: leaf
 	m  map[string]*relation.Columnar // guarded by mu
 }
 
 // joinIndexStore lazily builds and shares build-side join indexes per
 // (versioned instance, join-attribute set) pair.
 type joinIndexStore struct {
-	mu sync.RWMutex
+	mu sync.RWMutex                   // lockorder: leaf
 	m  map[string]*relation.JoinIndex // guarded by mu
 }
 

@@ -7,15 +7,22 @@
 // Usage:
 //
 //	danced -addr :9090 -market http://localhost:8080
-//	danced -addr :9090 -local tpch -scale 5
+//	danced -addr :9090 -local tpch -scale 5 -persist /var/lib/danced
 //
 // Endpoints:
 //
 //	POST /v1/acquire   POST /v1/topk   POST /v1/execute
-//	GET  /v1/plans/{id}   GET /v1/ledger
+//	GET  /v1/plans/{id}   GET /v1/ledger   GET /v1/stats
 //
 // Request deadlines: the client's HTTP context cancels server-side work,
 // and a timeout_ms request field adds a server-enforced deadline.
+//
+// With -persist, plans, the charge ledger, and the offline sample state
+// are journaled to the given directory; a restarted danced resumes from
+// disk without re-buying samples and still resolves old plan IDs. Identical
+// concurrent acquisitions coalesce onto one search, and -max-inflight
+// bounds concurrently executing searches (excess load is shed with 429 +
+// Retry-After).
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"time"
 
@@ -43,6 +51,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent sample fetches and MCMC chains (0 = one per CPU)")
 		offline     = flag.Bool("offline", true, "run the offline phase (sample purchases) at startup instead of lazily on the first request")
 		discoverFDs = flag.Bool("discover-fds", true, "mine approximate FDs on samples for datasets that publish none (danceacq does the same; without it the quality floor β is vacuous on FD-less datasets)")
+		persistDir  = flag.String("persist", "", "journal directory for durable state (plans, ledger, offline samples); empty keeps everything in memory")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing searches; non-coalescable excess is shed with 429 (0 = twice GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -68,12 +78,30 @@ func main() {
 		log.Fatal("provide -market URL or -local tpch|tpce")
 	}
 
+	var store dance.PersistStore
+	if *persistDir != "" {
+		var err error
+		store, err = dance.OpenPersist(*persistDir, dance.PersistOptions{})
+		if err != nil {
+			log.Fatalf("opening persist journal: %v", err)
+		}
+		fmt.Printf("journaling durable state under %s\n", *persistDir)
+	}
+
 	mw := dance.New(market, dance.Config{
 		SampleRate:  *rate,
 		SampleSeed:  uint64(*seed),
 		Workers:     *workers,
 		DiscoverFDs: *discoverFDs,
+		Persist:     store,
 	})
+	svc, err := dance.NewService(mw, dance.ServiceOptions{
+		Persist:             store,
+		MaxInFlightSearches: *maxInflight,
+	})
+	if err != nil {
+		log.Fatalf("restoring service state: %v", err)
+	}
 	ctx, stop := cli.RootContext()
 	defer stop()
 	if *offline {
@@ -85,19 +113,25 @@ func main() {
 			len(mw.Graph().Instances), mw.SampleCost())
 	}
 
-	fmt.Printf("danced listening on %s\n", *addr)
-	if err := serve(ctx, *addr, dance.AcquireHandler(mw)); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("danced listening on %s\n", ln.Addr())
+	if err := serve(ctx, ln, svc.Handler(), svc.Close); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// serve runs an http.Server with sane timeouts and drains in-flight
-// acquisitions on SIGINT/SIGTERM before exiting. Write timeouts are long:
-// an acquisition legitimately searches for minutes; clients bound their
-// own wait with deadlines.
-func serve(ctx context.Context, addr string, h http.Handler) error {
+// serve runs an http.Server on ln with sane timeouts. When ctx ends
+// (SIGINT/SIGTERM via cli.RootContext) it drains in-flight acquisitions
+// with http.Server.Shutdown and only then calls onDrained — the hook that
+// settles outstanding spend and flushes the persist journal, so every
+// response already sent is also on disk before the process exits. Write
+// timeouts are long: an acquisition legitimately searches for minutes;
+// clients bound their own wait with deadlines.
+func serve(ctx context.Context, ln net.Listener, h http.Handler, onDrained func() error) error {
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
@@ -105,7 +139,7 @@ func serve(ctx context.Context, addr string, h http.Handler) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
@@ -119,6 +153,11 @@ func serve(ctx context.Context, addr string, h http.Handler) error {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if onDrained != nil {
+		if err := onDrained(); err != nil {
+			return fmt.Errorf("flushing journal after drain: %w", err)
+		}
 	}
 	return nil
 }

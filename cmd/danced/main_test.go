@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeDrainsInFlightRequests pins the shutdown contract: cancelling
+// the root context stops accepting, lets the in-flight request finish and
+// receive its full response, and only then runs the onDrained hook (where
+// danced flushes the persist journal).
+func TestServeDrainsInFlightRequests(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	var order []string
+	mark := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	started := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mark("request-start")
+		close(started)
+		time.Sleep(200 * time.Millisecond) // still running when shutdown begins
+		mark("request-end")
+		w.Write([]byte("done"))
+	})
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve(ctx, ln, h, func() error { mark("drained"); return nil })
+	}()
+
+	respErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			respErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && string(body) != "done" {
+			t.Errorf("body = %q, want full response through shutdown", body)
+		}
+		respErr <- err
+	}()
+
+	<-started
+	cancel() // the SIGTERM path
+
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := <-respErr; err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"request-start", "request-end", "drained"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (journal must flush only after the drain)", order, want)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Command danceload is a load and chaos harness for danced: it generates a
+// synthetic marketplace (internal/workload), serves it over HTTP with
+// seeded fault injection (internal/marketplace/chaos), runs a danced
+// service on top, and hammers it with concurrent shoppers. It reports
+// acquire/execute latency percentiles, dollar spend by kind, the
+// coalescing hit rate, shed load, and the recovery rate — the fraction of
+// disturbed calls (shed or transiently failed) that ultimately succeeded.
+//
+// Usage:
+//
+//	danceload -spec chain:2 -shoppers 8 -requests 40 -chaos light
+//	danceload -spec star:3 -chaos heavy -json report.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dance-db/dance/internal/cli"
+	"github.com/dance-db/dance/internal/marketplace/chaos"
+	"github.com/dance-db/dance/internal/workload"
+
+	dance "github.com/dance-db/dance"
+)
+
+func main() {
+	ctx, stop := cli.RootContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Report is the harness's machine-readable output (the -json artifact).
+type Report struct {
+	Spec     string `json:"spec"`
+	Seed     int64  `json:"seed"`
+	Chaos    string `json:"chaos"`
+	Shoppers int    `json:"shoppers"`
+	Requests int    `json:"requests"`
+
+	AcquireP50MS float64 `json:"acquire_p50_ms"`
+	AcquireP99MS float64 `json:"acquire_p99_ms"`
+	ExecuteP50MS float64 `json:"execute_p50_ms"`
+	ExecuteP99MS float64 `json:"execute_p99_ms"`
+
+	Searches        int64   `json:"searches"`
+	Coalesced       int64   `json:"coalesced"`
+	Shed            int64   `json:"shed"`
+	CoalesceHitRate float64 `json:"coalesce_hit_rate"`
+
+	Disturbed    int     `json:"disturbed"`
+	Recovered    int     `json:"recovered"`
+	Failed       int     `json:"failed"`
+	RecoveryRate float64 `json:"recovery_rate"`
+
+	SpendTotal     float64 `json:"spend_total"`
+	SpendSamples   float64 `json:"spend_samples"`
+	SpendDeltas    float64 `json:"spend_deltas"`
+	SpendPurchases float64 `json:"spend_purchases"`
+
+	InjectedFaults map[string]int `json:"injected_faults,omitempty"`
+}
+
+// chaosProbs maps the -chaos level to injection weights. Heavy leans on the
+// billing-dangerous faults (partial deliveries) to stress idempotency.
+func chaosProbs(level string) (chaos.Probabilities, error) {
+	switch level {
+	case "off":
+		return chaos.Probabilities{}, nil
+	case "light":
+		return chaos.Light(), nil
+	case "heavy":
+		return chaos.Probabilities{Err5xx: 0.15, Reset: 0.1, Partial: 0.15, Slow: 0.1}, nil
+	default:
+		return chaos.Probabilities{}, fmt.Errorf("danceload: unknown -chaos %q (want off, light or heavy)", level)
+	}
+}
+
+// serveOn serves h on a loopback listener and returns its base URL and a
+// shutdown func.
+func serveOn(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// metrics collects shopper-side observations.
+type metrics struct {
+	mu        sync.Mutex
+	acquireMS []float64
+	executeMS []float64
+	disturbed int
+	recovered int
+	failed    int
+}
+
+func (m *metrics) observe(kind string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms := float64(d) / float64(time.Millisecond)
+	if kind == "acquire" {
+		m.acquireMS = append(m.acquireMS, ms)
+	} else {
+		m.executeMS = append(m.executeMS, ms)
+	}
+}
+
+// percentile returns the p-th percentile (0 < p ≤ 1) of xs, 0 when empty.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// acquireWithRecovery runs one acquire, retrying shed (429) and transient
+// failures with the server's backoff hint. It reports whether the call was
+// disturbed and whether it ultimately succeeded.
+func acquireWithRecovery(ctx context.Context, client *dance.AcquireClient, req dance.AcquireRequest) (plan *dance.PlanInfo, disturbed bool, err error) {
+	const maxTries = 8
+	for try := 0; try < maxTries; try++ {
+		plan, err = client.Acquire(ctx, req)
+		if err == nil {
+			return plan, disturbed, nil
+		}
+		if errors.Is(err, dance.ErrInfeasible) || ctx.Err() != nil {
+			return nil, disturbed, err
+		}
+		disturbed = true
+		backoff := 25 * time.Millisecond
+		if hint, ok := dance.RetryAfter(err); ok && hint > 0 && hint < time.Second {
+			backoff = hint
+		}
+		select {
+		case <-ctx.Done():
+			return nil, disturbed, ctx.Err()
+		case <-time.After(backoff):
+		}
+	}
+	return nil, disturbed, err
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("danceload", flag.ContinueOnError)
+	var (
+		specStr    = fs.String("spec", "chain:2", "workload spec (see internal/workload)")
+		seed       = fs.Int64("seed", 1, "workload, sampling, chaos and shopper seed")
+		shoppers   = fs.Int("shoppers", 8, "concurrent shopper goroutines")
+		requests   = fs.Int("requests", 40, "total acquire calls across all shoppers")
+		variants   = fs.Int("variants", 4, "distinct request variants (fewer variants → more coalescing)")
+		iterations = fs.Int("iterations", 30, "MCMC iterations per acquire")
+		rate       = fs.Float64("rate", 0.5, "offline sampling rate")
+		chaosLevel = fs.String("chaos", "light", "fault injection level: off, light or heavy")
+		inflight   = fs.Int("max-inflight", 0, "danced search slots (0 = twice GOMAXPROCS)")
+		execEvery  = fs.Int("execute-every", 5, "execute every n-th successful acquisition's plan (0 = never)")
+		jsonPath   = fs.String("json", "", "write the report as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec, err := workload.ParseSpec(*specStr)
+	if err != nil {
+		return err
+	}
+	probs, err := chaosProbs(*chaosLevel)
+	if err != nil {
+		return err
+	}
+	w, err := workload.Generate(spec, *seed)
+	if err != nil {
+		return err
+	}
+
+	// Marketplace behind chaos; the shopper owns the base listing.
+	injector := chaos.NewInjector(chaos.Config{Seed: uint64(*seed), Probs: probs, SlowFor: 20 * time.Millisecond})
+	market := w.MarketplaceWithoutBase()
+	marketURL, stopMarket, err := serveOn(chaos.Middleware(dance.Handler(market), injector))
+	if err != nil {
+		return err
+	}
+	defer stopMarket()
+
+	mw := dance.New(dance.NewMarketClient(marketURL), dance.Config{
+		SampleRate: *rate,
+		SampleSeed: uint64(*seed),
+	})
+	mw.AddSource(w.Base(), w.FDs[w.Base().Name])
+	svc, err := dance.NewService(mw, dance.ServiceOptions{
+		MaxInFlightSearches: *inflight,
+		RetryAfter:          50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	dancedURL, stopDanced, err := serveOn(svc.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopDanced()
+
+	var m metrics
+	var wg sync.WaitGroup
+	perShopper := (*requests + *shoppers - 1) / *shoppers
+	nv := *variants
+	if nv < 1 {
+		nv = 1
+	}
+	fmt.Fprintf(out, "danceload: %s seed=%d chaos=%s — %d shoppers × %d requests, %d variants\n",
+		spec, *seed, *chaosLevel, *shoppers, perShopper, nv)
+
+	issued := 0
+	for s := 0; s < *shoppers && issued < *requests; s++ {
+		n := perShopper
+		if issued+n > *requests {
+			n = *requests - issued
+		}
+		issued += n
+		wg.Add(1)
+		go func(shopper, n int) {
+			defer wg.Done()
+			client := dance.NewAcquireClient(dancedURL)
+			for i := 0; i < n; i++ {
+				req := dance.AcquireRequest{
+					SourceAttrs: []string{w.Truth.X},
+					TargetAttrs: []string{w.Truth.Y},
+					Budget:      1e9,
+					Iterations:  *iterations,
+					Seed:        *seed + int64((shopper*n+i)%nv),
+				}
+				start := time.Now()
+				plan, disturbed, err := acquireWithRecovery(ctx, client, req)
+				m.mu.Lock()
+				if disturbed {
+					m.disturbed++
+					if err == nil {
+						m.recovered++
+					}
+				}
+				if err != nil {
+					m.failed++
+				}
+				m.mu.Unlock()
+				if err != nil {
+					continue
+				}
+				m.observe("acquire", time.Since(start))
+				if *execEvery > 0 && i%*execEvery == 0 {
+					start = time.Now()
+					if _, err := client.Execute(ctx, plan.ID); err == nil {
+						m.observe("execute", time.Since(start))
+					} else if ctx.Err() == nil {
+						m.mu.Lock()
+						m.failed++
+						m.mu.Unlock()
+					}
+				}
+			}
+		}(s, n)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+
+	ledger, err := dance.NewAcquireClient(dancedURL).Ledger(ctx)
+	if err != nil {
+		return err
+	}
+	st := svc.Stats()
+
+	rep := Report{
+		Spec:         spec.String(),
+		Seed:         *seed,
+		Chaos:        *chaosLevel,
+		Shoppers:     *shoppers,
+		Requests:     issued,
+		AcquireP50MS: percentile(m.acquireMS, 0.50),
+		AcquireP99MS: percentile(m.acquireMS, 0.99),
+		ExecuteP50MS: percentile(m.executeMS, 0.50),
+		ExecuteP99MS: percentile(m.executeMS, 0.99),
+		Searches:     st.Searches,
+		Coalesced:    st.Coalesced,
+		Shed:         st.Shed,
+		Disturbed:    m.disturbed,
+		Recovered:    m.recovered,
+		Failed:       m.failed,
+		RecoveryRate: 1,
+		SpendTotal:   ledger.Total,
+	}
+	if joined := st.Searches + st.Coalesced; joined > 0 {
+		rep.CoalesceHitRate = float64(st.Coalesced) / float64(joined)
+	}
+	if m.disturbed > 0 {
+		rep.RecoveryRate = float64(m.recovered) / float64(m.disturbed)
+	}
+	for _, e := range ledger.Entries {
+		switch e.Kind {
+		case "sample":
+			rep.SpendSamples += e.Amount
+		case "sample_delta":
+			rep.SpendDeltas += e.Amount
+		case "purchase":
+			rep.SpendPurchases += e.Amount
+		}
+	}
+	if *chaosLevel != "off" {
+		rep.InjectedFaults = injector.Counts()
+	}
+
+	fmt.Fprintf(out, "acquire  p50 %.1fms  p99 %.1fms   execute  p50 %.1fms  p99 %.1fms\n",
+		rep.AcquireP50MS, rep.AcquireP99MS, rep.ExecuteP50MS, rep.ExecuteP99MS)
+	fmt.Fprintf(out, "searches %d  coalesced %d (hit rate %.0f%%)  shed %d\n",
+		rep.Searches, rep.Coalesced, 100*rep.CoalesceHitRate, rep.Shed)
+	fmt.Fprintf(out, "disturbed %d  recovered %d (recovery %.0f%%)  failed %d\n",
+		rep.Disturbed, rep.Recovered, 100*rep.RecoveryRate, rep.Failed)
+	fmt.Fprintf(out, "spend $%.2f  (samples %.2f, deltas %.2f, purchases %.2f)\n",
+		rep.SpendTotal, rep.SpendSamples, rep.SpendDeltas, rep.SpendPurchases)
+	if rep.InjectedFaults != nil {
+		fmt.Fprintf(out, "injected: %v\n", rep.InjectedFaults)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", *jsonPath)
+	}
+	return nil
+}

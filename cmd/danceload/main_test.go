@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke: a small run under light chaos completes, recovers everything the
+// injector disturbed, coalesces duplicate requests, and writes a parseable
+// JSON artifact.
+func TestDanceloadSmoke(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "report.json")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-spec", "chain:1",
+		"-seed", "1",
+		"-shoppers", "4",
+		"-requests", "12",
+		"-variants", "2",
+		"-iterations", "20",
+		"-chaos", "light",
+		"-json", artifact,
+	}, &out)
+	if err != nil {
+		t.Fatalf("danceload: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "spend $") {
+		t.Fatalf("missing spend line:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact not JSON: %v\n%s", err, data)
+	}
+	if rep.Requests != 12 || rep.Failed != 0 {
+		t.Fatalf("report = %+v, want 12 requests and zero hard failures", rep)
+	}
+	if rep.RecoveryRate < 0.9 {
+		t.Fatalf("recovery rate %v < 0.9: %+v", rep.RecoveryRate, rep)
+	}
+	if rep.AcquireP50MS <= 0 || rep.AcquireP99MS < rep.AcquireP50MS {
+		t.Fatalf("latency percentiles degenerate: %+v", rep)
+	}
+	if rep.SpendTotal <= 0 {
+		t.Fatalf("no spend recorded: %+v", rep)
+	}
+	// Two variants across 12 requests: duplicates must exist; under load
+	// they either coalesce or run separate (sequential) searches, but the
+	// search count can never exceed the request count.
+	if rep.Searches > int64(rep.Requests) {
+		t.Fatalf("more searches than requests: %+v", rep)
+	}
+}
+
+func TestDanceloadRejectsUnknownChaos(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-chaos", "apocalyptic"}, &out); err == nil {
+		t.Fatal("unknown chaos level must error")
+	}
+}

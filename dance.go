@@ -49,6 +49,7 @@ import (
 	"github.com/dance-db/dance/internal/infotheory"
 	"github.com/dance-db/dance/internal/joingraph"
 	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/persist"
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/search"
@@ -128,7 +129,29 @@ type (
 	ScoreWeights = search.ScoreWeights
 	// RankedPlan is one scored acquisition option from AcquireTopK.
 	RankedPlan = core.RankedPlan
+	// PlanRecord is a plan flattened to plain data: it can be journaled,
+	// restored, and executed (ExecuteRecord) without the in-memory join
+	// graph that produced it.
+	PlanRecord = core.PlanRecord
+	// JoinStep is one flattened hop of a PlanRecord's join path.
+	JoinStep = core.JoinStep
 )
+
+// Durability.
+type (
+	// PersistStore journals ledger entries, plans, and offline sample state
+	// durably; pass one to Config.Persist and ServiceOptions.Persist.
+	PersistStore = persist.Store
+	// PersistOptions configure OpenPersist.
+	PersistOptions = persist.Options
+)
+
+// OpenPersist opens (or creates) a durable journal rooted at dir. Pass the
+// returned store to both Config.Persist and ServiceOptions.Persist so one
+// journal covers sample state, plans, and the service ledger.
+func OpenPersist(dir string, opts PersistOptions) (PersistStore, error) {
+	return persist.Open(dir, opts)
+}
 
 // ErrInfeasible marks acquisition failures caused by the request itself
 // (constraints admit no plan, or attributes nobody sells) rather than by

@@ -24,6 +24,7 @@ import (
 	"github.com/dance-db/dance/internal/marketplace"
 	"github.com/dance-db/dance/internal/offline"
 	"github.com/dance-db/dance/internal/parallel"
+	"github.com/dance-db/dance/internal/persist"
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/search"
@@ -57,6 +58,12 @@ type Config struct {
 	// inherit it for the parallel search. 0 or negative means one worker
 	// per CPU; 1 forces fully serial operation.
 	Workers int
+	// Persist journals the sample store durably: before the first offline
+	// round the middleware restores every persisted dataset (making an
+	// Offline refresh at the persisted rate free), and after each round it
+	// saves the datasets whose state changed. Samples cost money; nil
+	// keeps the pre-durability in-memory-only behavior.
+	Persist persist.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +116,12 @@ type Dance struct {
 	// readers for long — the slow work happens with only offlineMu held.
 	// lockorder: before mu
 	offlineMu sync.Mutex
+	// restored and persisted belong to the offline path: they are touched
+	// only with offlineMu held (restore, rebuild). persisted marks the
+	// per-dataset state already journaled to cfg.Persist, so unchanged
+	// datasets are not re-written every round.
+	restored  bool
+	persisted map[string]persistedMark
 
 	// mu guards the mutable middleware state below. Requests read a
 	// consistent (rate, graph, searcher) snapshot under mu and then run on
@@ -145,13 +158,97 @@ func (r SampleRound) Cost() float64 { return r.FullCost + r.DeltaCost }
 func New(market marketplace.Market, cfg Config) *Dance {
 	cfg = cfg.withDefaults()
 	return &Dance{
-		market: market,
-		cfg:    cfg,
-		rate:   cfg.SampleRate,
-		store:  offline.NewSampleStore(),
-		caches: search.NewCaches(),
-		ji:     joingraph.NewJICache(),
+		market:    market,
+		cfg:       cfg,
+		rate:      cfg.SampleRate,
+		store:     offline.NewSampleStore(),
+		caches:    search.NewCaches(),
+		ji:        joingraph.NewJICache(),
+		persisted: make(map[string]persistedMark),
 	}
+}
+
+// persistedMark records the dataset state last journaled to cfg.Persist. An
+// empty-delta escalation changes a dataset's covered rate without bumping
+// its version, and a first FD resolution to the empty set changes the
+// resolved marker the same way, so the version alone cannot decide whether
+// a re-save is due.
+type persistedMark struct {
+	version     uint64
+	rate        float64
+	fdsResolved bool
+}
+
+func markOf(ds *offline.Dataset) persistedMark {
+	return persistedMark{version: ds.Version, rate: ds.Rate, fdsResolved: ds.FDs != nil}
+}
+
+// restore loads the persisted offline state into the sample store, once per
+// middleware. Restored datasets make the next rebuild's purchases free (at
+// the persisted rate) or delta-only (above it). The caller must hold
+// offlineMu.
+func (d *Dance) restore() error {
+	if d.cfg.Persist == nil || d.restored {
+		return nil
+	}
+	d.restored = true
+	st, err := d.cfg.Persist.Load()
+	if err != nil {
+		return fmt.Errorf("dance: restoring offline state: %w", err)
+	}
+	for _, ds := range st.Datasets {
+		d.store.Replace(ds.Name, ds.Table, ds.JoinAttrs, ds.Seed, ds.Rate, ds.FullRows)
+		if ds.FDsResolved {
+			if err := d.store.SetFDs(ds.Name, ds.FDs); err != nil {
+				return fmt.Errorf("dance: restoring FDs of %s: %w", ds.Name, err)
+			}
+		}
+	}
+	for _, ds := range d.store.Snapshot().Datasets() {
+		d.persisted[ds.Name] = markOf(ds)
+	}
+	if st.Rate > 0 {
+		d.store.CommitRate(st.Rate)
+		d.mu.Lock()
+		// The persisted rate resumes where the crashed session left off;
+		// a higher configured SampleRate still wins (the rebuild then buys
+		// only the deltas above the restored holdings).
+		if st.Rate > d.rate {
+			d.rate = st.Rate
+		}
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// persistRound journals every dataset whose state changed in this round,
+// plus the committed rate. The caller must hold offlineMu.
+func (d *Dance) persistRound(snap *offline.Snapshot, rate float64) error {
+	if d.cfg.Persist == nil {
+		return nil
+	}
+	for _, ds := range snap.Datasets() {
+		if d.persisted[ds.Name] == markOf(ds) {
+			continue
+		}
+		rec := persist.DatasetRecord{
+			Name:        ds.Name,
+			JoinAttrs:   ds.JoinAttrs,
+			Seed:        ds.Seed,
+			Rate:        ds.Rate,
+			FullRows:    ds.FullRows,
+			FDs:         ds.FDs,
+			FDsResolved: ds.FDs != nil,
+		}
+		if err := d.cfg.Persist.SaveDataset(rec, ds.Table); err != nil {
+			return fmt.Errorf("dance: persisting sample of %s: %w", ds.Name, err)
+		}
+		d.persisted[ds.Name] = markOf(ds)
+	}
+	if err := d.cfg.Persist.SaveRate(rate); err != nil {
+		return fmt.Errorf("dance: persisting sample rate: %w", err)
+	}
+	return nil
 }
 
 // AddSource registers shopper-owned data (the S of the acquisition request).
@@ -233,6 +330,9 @@ func primaryJoinAttr(info marketplace.DatasetInfo, catalog []marketplace.Dataset
 func (d *Dance) Offline(ctx context.Context) error {
 	d.offlineMu.Lock()
 	defer d.offlineMu.Unlock()
+	if err := d.restore(); err != nil {
+		return err
+	}
 	return d.rebuild(ctx, d.SampleRate())
 }
 
@@ -257,6 +357,11 @@ func (d *Dance) ensure(ctx context.Context) (snapshot, error) {
 		d.mu.Unlock()
 		return snap, nil
 	}
+	d.mu.Unlock()
+	if err := d.restore(); err != nil {
+		return snapshot{}, err
+	}
+	d.mu.Lock()
 	rate := d.rate
 	d.mu.Unlock()
 	if err := d.rebuild(ctx, rate); err != nil {
@@ -487,6 +592,12 @@ func (d *Dance) rebuild(ctx context.Context, rate float64) error {
 		return fmt.Errorf("dance: join graph: %w", err)
 	}
 	recordSpend()
+	// Journal the round before publishing it: a persist failure leaves the
+	// in-memory store merged (so a retry re-persists without re-buying) but
+	// never lets requests run ahead of what a crash would recover.
+	if err := d.persistRound(snap, rate); err != nil {
+		return err
+	}
 	searcher := search.NewSearcherWithCaches(g, d.caches)
 	// Drop cached state of superseded dataset versions: a long-lived
 	// session escalates many times, and each round would otherwise strand
@@ -643,6 +754,49 @@ type Purchase struct {
 	Realized search.Metrics
 }
 
+// JoinStep is one hop of a plan's join path, by table name: the durable form
+// of the target graph's relation.PathStep, resolvable against whatever tables
+// an execution actually bought.
+type JoinStep struct {
+	Table string
+	On    []string
+}
+
+// PlanRecord is the flattened, self-contained form of a Plan: everything
+// ExecuteRecord needs, reduced to plain values. Service layers journal plan
+// records (via persist.Store) and can execute them after a restart, when the
+// in-memory target graph that produced the plan is gone.
+type PlanRecord struct {
+	Queries []pricing.Query
+	Steps   []JoinStep
+	Weight  float64
+	FDs     []fd.FD
+	Est     search.Metrics
+	Request search.Request
+}
+
+// Record flattens the plan's target graph into a PlanRecord.
+func (p *Plan) Record() (*PlanRecord, error) {
+	if p == nil || p.TG == nil {
+		return nil, fmt.Errorf("dance: nil plan")
+	}
+	steps, err := p.TG.JoinSteps()
+	if err != nil {
+		return nil, err
+	}
+	rec := &PlanRecord{
+		Queries: append([]pricing.Query(nil), p.Queries...),
+		Weight:  p.TG.Weight(),
+		FDs:     p.TG.FDs(),
+		Est:     p.Est,
+		Request: p.Request,
+	}
+	for _, st := range steps {
+		rec.Steps = append(rec.Steps, JoinStep{Table: st.Table.Name, On: st.On})
+	}
+	return rec, nil
+}
+
 // Execute buys every query of the plan and reassembles the join.
 //
 // On error the returned *Purchase is still non-nil once any projection was
@@ -651,12 +805,24 @@ type Purchase struct {
 // for partial spend. Only a nil or never-started plan returns a nil
 // Purchase.
 func (d *Dance) Execute(ctx context.Context, plan *Plan) (*Purchase, error) {
-	if plan == nil || plan.TG == nil {
+	rec, err := plan.Record()
+	if err != nil {
+		return nil, err
+	}
+	return d.ExecuteRecord(ctx, rec)
+}
+
+// ExecuteRecord buys every query of a flattened plan record and reassembles
+// the join: the restart-safe sibling of Execute. A record loaded from a
+// persist journal executes exactly like the freshly-searched plan it was
+// flattened from. Partial-spend error semantics match Execute.
+func (d *Dance) ExecuteRecord(ctx context.Context, rec *PlanRecord) (*Purchase, error) {
+	if rec == nil || len(rec.Steps) == 0 {
 		return nil, fmt.Errorf("dance: nil plan")
 	}
 	bought := map[string]*relation.Table{}
 	p := &Purchase{}
-	for _, q := range plan.Queries {
+	for _, q := range rec.Queries {
 		t, price, err := d.market.ExecuteProjection(ctx, q)
 		if err != nil {
 			return p, fmt.Errorf("dance: executing %s: %w", q, err)
@@ -671,15 +837,11 @@ func (d *Dance) Execute(ctx context.Context, plan *Plan) (*Purchase, error) {
 		bought[s.table.Name] = s.table
 	}
 	d.mu.Unlock()
-	steps, err := plan.TG.JoinSteps()
-	if err != nil {
-		return p, err
-	}
-	full := make([]relation.PathStep, len(steps))
-	for i, st := range steps {
-		bt, ok := bought[st.Table.Name]
+	full := make([]relation.PathStep, len(rec.Steps))
+	for i, st := range rec.Steps {
+		bt, ok := bought[st.Table]
 		if !ok {
-			return p, fmt.Errorf("dance: plan references %q which was neither bought nor owned", st.Table.Name)
+			return p, fmt.Errorf("dance: plan references %q which was neither bought nor owned", st.Table)
 		}
 		full[i] = relation.PathStep{Table: bt, On: st.On}
 	}
@@ -690,17 +852,17 @@ func (d *Dance) Execute(ctx context.Context, plan *Plan) (*Purchase, error) {
 	p.Joined = joined
 
 	// Realized metrics on the actual purchase.
-	x, y, err := corrAttrsOf(plan.Request)
+	x, y, err := corrAttrsOf(rec.Request)
 	if err != nil {
 		return p, err
 	}
-	p.Realized.Weight = plan.TG.Weight()
+	p.Realized.Weight = rec.Weight
 	p.Realized.Price = p.TotalPrice
 	if joined.NumRows() > 0 {
 		if p.Realized.Correlation, err = infotheory.Correlation(joined, x, y); err != nil {
 			return p, err
 		}
-		if p.Realized.Quality, err = fd.QualitySet(joined, plan.TG.FDs()); err != nil {
+		if p.Realized.Quality, err = fd.QualitySet(joined, rec.FDs); err != nil {
 			return p, err
 		}
 	}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dance-db/dance/internal/persist"
+	"github.com/dance-db/dance/internal/search"
+)
+
+// TestPersistMakesRestartFree: a middleware journaling to a persist.Store is
+// abandoned without any shutdown (fsync'd journal ≙ kill -9); a fresh
+// middleware over the same directory restores the sample store from disk and
+// its Offline round buys nothing from the marketplace.
+func TestPersistMakesRestartFree(t *testing.T) {
+	dir := t.TempDir()
+	m, src := buildScenario(11)
+	st, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, Config{SampleRate: 0.6, SampleSeed: 9, Persist: st})
+	d.AddSource(src, nil)
+	if err := d.Offline(bg); err != nil {
+		t.Fatal(err)
+	}
+	spent := m.Ledger().Total()
+	if spent <= 0 {
+		t.Fatal("first offline round should cost money")
+	}
+	// Crash: no Close, no flush beyond the per-append fsyncs.
+
+	st2, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	d2 := New(m, Config{SampleRate: 0.6, SampleSeed: 9, Persist: st2})
+	d2.AddSource(src, nil)
+	if err := d2.Offline(bg); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Ledger().Total(); got != spent {
+		t.Fatalf("restarted offline re-bought samples: ledger %v -> %v", spent, got)
+	}
+	if d2.SampleCost() != 0 {
+		t.Fatalf("restarted middleware claims sample spend %v", d2.SampleCost())
+	}
+	if d2.SampleRate() != 0.6 {
+		t.Fatalf("restored rate = %v", d2.SampleRate())
+	}
+
+	// The restored graph answers requests like the original.
+	plan, err := d2.Acquire(bg, acquisitionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Acquire(bg, acquisitionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Est.Correlation-want.Est.Correlation) > 1e-12 {
+		t.Fatalf("restored estimate %v != original %v", plan.Est.Correlation, want.Est.Correlation)
+	}
+}
+
+// TestPersistEscalationBuysOnlyDeltas: restarting with a higher configured
+// rate tops up the restored holdings with delta purchases instead of
+// re-buying full samples.
+func TestPersistEscalationBuysOnlyDeltas(t *testing.T) {
+	dir := t.TempDir()
+	m, src := buildScenario(12)
+	st, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, Config{SampleRate: 0.4, SampleSeed: 9, Persist: st})
+	d.AddSource(src, nil)
+	if err := d.Offline(bg); err != nil {
+		t.Fatal(err)
+	}
+	fullBefore := m.Ledger().TotalByKind("sample")
+
+	st2, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	d2 := New(m, Config{SampleRate: 0.8, SampleSeed: 9, Persist: st2})
+	d2.AddSource(src, nil)
+	if err := d2.Offline(bg); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Ledger().TotalByKind("sample"); got != fullBefore {
+		t.Fatalf("restart at a higher rate re-bought full samples: %v -> %v", fullBefore, got)
+	}
+	if m.Ledger().TotalByKind("sample_delta") <= 0 {
+		t.Fatal("escalated restart should buy deltas")
+	}
+	rounds := d2.SampleRounds()
+	if len(rounds) != 1 || rounds[0].FullCost != 0 || rounds[0].DeltaCost <= 0 {
+		t.Fatalf("rounds = %+v", rounds)
+	}
+	if rounds[0].FromRate != 0.4 || rounds[0].ToRate != 0.8 {
+		t.Fatalf("round rates = %+v", rounds[0])
+	}
+}
+
+// TestPlanRecordExecutesLikePlan: the flattened record of a plan executes to
+// the same purchase as the plan itself.
+func TestPlanRecordExecutesLikePlan(t *testing.T) {
+	m, src := buildScenario(13)
+	d := New(m, Config{SampleRate: 0.9, SampleSeed: 5})
+	d.AddSource(src, nil)
+	plan, err := d.Acquire(bg, acquisitionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := plan.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Steps) == 0 || rec.Weight != plan.TG.Weight() {
+		t.Fatalf("record = %+v", rec)
+	}
+	direct, err := d.Execute(bg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRec, err := d.ExecuteRecord(bg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.TotalPrice != viaRec.TotalPrice ||
+		direct.Realized.Correlation != viaRec.Realized.Correlation ||
+		direct.Realized.Quality != viaRec.Realized.Quality ||
+		direct.Joined.NumRows() != viaRec.Joined.NumRows() {
+		t.Fatalf("record execution diverged:\n direct %+v\n record %+v", direct, viaRec)
+	}
+}
+
+func TestExecuteRecordNil(t *testing.T) {
+	m, _ := buildScenario(14)
+	d := New(m, Config{})
+	if _, err := d.ExecuteRecord(bg, nil); err == nil {
+		t.Fatal("nil record must fail")
+	}
+	if _, err := d.ExecuteRecord(bg, &PlanRecord{Request: search.Request{TargetAttrs: []string{"x", "y"}}}); err == nil {
+		t.Fatal("stepless record must fail")
+	}
+}

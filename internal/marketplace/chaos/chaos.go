@@ -1,0 +1,253 @@
+// Package chaos injects deterministic faults into a marketplace's HTTP
+// surface so the client's retry, idempotency, and recovery machinery can be
+// exercised under test and load. An Injector draws faults from a seeded
+// stream — the same seed and arrival order reproduce the same faults — and
+// Middleware applies them around a marketplace Handler:
+//
+//   - err5xx: answer 503 with a plain-text body before the marketplace runs
+//     (no billing happened; the client retries).
+//   - reset: abort the connection before the marketplace runs.
+//   - stall: hold the request for StallFor, then abort — a hung upstream
+//     that trips the client's per-try timeout.
+//   - partial: let the marketplace run (billing happens), then deliver only
+//     half the response and abort — the retried request must not bill again,
+//     which is exactly what the Idempotency-Key replay guarantees.
+//   - slow: deliver the complete response after an extra SlowFor.
+//
+// WrapMarket additionally injects transient repricing into QuoteProjection,
+// modeling marketplaces whose quotes wobble between calls.
+//
+// Middleware must wrap OUTSIDE marketplace.Handler: the idempotency cache
+// inside the handler then records the complete response before chaos
+// truncates it on the wire, so a replayed retry delivers the full body.
+package chaos
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/pricing"
+	"github.com/dance-db/dance/internal/relation"
+)
+
+// Probabilities weights each fault class per request. At most one fault
+// fires per request; the sum of the first five must be ≤ 1. Reprice draws
+// independently, per quote call.
+type Probabilities struct {
+	Err5xx  float64
+	Reset   float64
+	Stall   float64
+	Partial float64
+	Slow    float64
+	Reprice float64
+}
+
+// Light is a mild mix suitable for CI: roughly one request in four is
+// disturbed, every disturbance recoverable by the default retry policy.
+func Light() Probabilities {
+	return Probabilities{Err5xx: 0.08, Reset: 0.05, Partial: 0.05, Slow: 0.07}
+}
+
+// Config configures an Injector.
+type Config struct {
+	// Seed drives the fault stream; the same seed and request arrival order
+	// reproduce the same faults.
+	Seed uint64
+	// Probs weights the fault classes.
+	Probs Probabilities
+	// StallFor is how long a stalled request hangs before the connection
+	// aborts (default 5s). Keep it above the client's per-try timeout to
+	// model a hang, below it to model a slow failure.
+	StallFor time.Duration
+	// SlowFor delays a slow response (default 200ms).
+	SlowFor time.Duration
+	// RepriceAmp bounds transient repricing: a repriced quote is scaled by
+	// a factor in [1-amp, 1+amp] (default 0.2).
+	RepriceAmp float64
+}
+
+// Injector draws faults deterministically from a seeded stream and counts
+// what it injected, per fault class plus "none".
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex     // lockorder: leaf
+	rng    *rand.Rand     // guarded by mu
+	counts map[string]int // guarded by mu
+}
+
+// NewInjector returns an injector for the config, applying defaults.
+func NewInjector(cfg Config) *Injector {
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 5 * time.Second
+	}
+	if cfg.SlowFor <= 0 {
+		cfg.SlowFor = 200 * time.Millisecond
+	}
+	if cfg.RepriceAmp <= 0 {
+		cfg.RepriceAmp = 0.2
+	}
+	return &Injector{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x63686f73)),
+		counts: make(map[string]int),
+	}
+}
+
+// draw picks this request's fault (or "none") and counts it.
+func (in *Injector) draw() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	u := in.rng.Float64()
+	p := in.cfg.Probs
+	fault := "none"
+	switch {
+	case u < p.Err5xx:
+		fault = "err5xx"
+	case u < p.Err5xx+p.Reset:
+		fault = "reset"
+	case u < p.Err5xx+p.Reset+p.Stall:
+		fault = "stall"
+	case u < p.Err5xx+p.Reset+p.Stall+p.Partial:
+		fault = "partial"
+	case u < p.Err5xx+p.Reset+p.Stall+p.Partial+p.Slow:
+		fault = "slow"
+	}
+	in.counts[fault]++
+	return fault
+}
+
+// repriceFactor draws the transient quote scaling for one call (1 = none).
+func (in *Injector) repriceFactor() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= in.cfg.Probs.Reprice {
+		return 1
+	}
+	in.counts["reprice"]++
+	return 1 + in.cfg.RepriceAmp*(2*in.rng.Float64()-1)
+}
+
+// Counts returns a copy of the per-fault injection counts ("none" included).
+func (in *Injector) Counts() map[string]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// sleepOrDone waits d unless ctx ends first.
+func sleepOrDone(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// replay buffers a handler's response for delayed or truncated delivery.
+type replay struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func record(next http.Handler, r *http.Request) replay {
+	w := &recorderWriter{header: make(http.Header), status: http.StatusOK}
+	next.ServeHTTP(w, r)
+	return replay{status: w.status, header: w.header, body: w.body}
+}
+
+type recorderWriter struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (w *recorderWriter) Header() http.Header  { return w.header }
+func (w *recorderWriter) WriteHeader(code int) { w.status = code }
+func (w *recorderWriter) Write(p []byte) (int, error) {
+	w.body = append(w.body, p...)
+	return len(p), nil
+}
+
+func (rp replay) writeTo(w http.ResponseWriter, truncate bool) {
+	for k, vs := range rp.header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(rp.status)
+	if truncate {
+		w.Write(rp.body[:len(rp.body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	w.Write(rp.body)
+}
+
+// Middleware wraps next with fault injection. Wrap it around (outside)
+// marketplace.Handler — see the package comment.
+func Middleware(next http.Handler, in *Injector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch in.draw() {
+		case "err5xx":
+			// Plain text on purpose: a payload-less 5xx is the
+			// infrastructure failing, which the client treats as transient.
+			http.Error(w, "chaos: injected 5xx", http.StatusServiceUnavailable)
+		case "reset":
+			panic(http.ErrAbortHandler)
+		case "stall":
+			sleepOrDone(r.Context(), in.cfg.StallFor)
+			panic(http.ErrAbortHandler)
+		case "partial":
+			// The marketplace runs to completion (and bills); only the
+			// delivery is cut short.
+			record(next, r).writeTo(w, true)
+		case "slow":
+			rp := record(next, r)
+			sleepOrDone(r.Context(), in.cfg.SlowFor)
+			rp.writeTo(w, false)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// market injects transient repricing around an inner Market.
+type market struct {
+	marketplace.Market
+	in *Injector
+}
+
+// WrapMarket returns m with QuoteProjection prices transiently scaled per
+// the injector's Reprice probability. Samples and executed queries bill
+// their true prices — repricing models quote wobble, not billing faults.
+func WrapMarket(m marketplace.Market, in *Injector) marketplace.Market {
+	return market{Market: m, in: in}
+}
+
+func (m market) QuoteProjection(ctx context.Context, name string, attrs []string) (float64, error) {
+	price, err := m.Market.QuoteProjection(ctx, name, attrs)
+	if err != nil {
+		return price, err
+	}
+	return price * m.in.repriceFactor(), nil
+}
+
+// Interface conformance for the forwarded methods.
+var _ marketplace.Market = market{}
+
+// ExecuteProjection forwards unchanged; declared so the embedding is
+// explicit about what chaos does NOT touch.
+func (m market) ExecuteProjection(ctx context.Context, q pricing.Query) (*relation.Table, float64, error) {
+	return m.Market.ExecuteProjection(ctx, q)
+}

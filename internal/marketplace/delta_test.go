@@ -294,7 +294,10 @@ func TestSampleDeltaFallbackAgainstOldServer(t *testing.T) {
 	if want := pricing.SampleDiscount(full, 0.7); price != want {
 		t.Fatalf("fallback bills the full rate-0.7 sample (%v), got %v", want, price)
 	}
-	if !c.noDelta.Load() {
+	c.probeMu.Lock()
+	cached := c.probeState == probeUnsupported
+	c.probeMu.Unlock()
+	if !cached {
 		t.Fatal("capability probe result not cached")
 	}
 

@@ -3,19 +3,26 @@ package marketplace
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/dance-db/dance/internal/fd"
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
+	"github.com/dance-db/dance/internal/safekey"
 	"github.com/dance-db/dance/internal/sampling"
 )
 
@@ -170,7 +177,11 @@ func Handler(m Market) http.Handler {
 		writeJSON(w, quoteResponse{Price: price})
 	})
 
-	mux.HandleFunc("POST /sample", func(w http.ResponseWriter, r *http.Request) {
+	// Billing endpoints honor Idempotency-Key: a retried purchase replays
+	// the recorded response instead of billing again (see idempotency.go).
+	idem := newIdempotencyCache()
+
+	mux.HandleFunc("POST /sample", idem.wrap(func(w http.ResponseWriter, r *http.Request) {
 		var req sampleRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -182,9 +193,9 @@ func Handler(m Market) http.Handler {
 			return
 		}
 		tableResponse(w, t, price)
-	})
+	}))
 
-	mux.HandleFunc("POST /sample_delta", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /sample_delta", idem.wrap(func(w http.ResponseWriter, r *http.Request) {
 		var req sampleDeltaRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -196,9 +207,9 @@ func Handler(m Market) http.Handler {
 			return
 		}
 		tableResponse(w, t, price)
-	})
+	}))
 
-	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /query", idem.wrap(func(w http.ResponseWriter, r *http.Request) {
 		var req quoteRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -210,7 +221,7 @@ func Handler(m Market) http.Handler {
 			return
 		}
 		tableResponse(w, t, price)
-	})
+	}))
 
 	return mux
 }
@@ -223,31 +234,76 @@ const DefaultClientTimeout = 2 * time.Minute
 
 // Client is a Market backed by a remote HTTP marketplace. Every call honors
 // its context: deadlines and cancellation abort the in-flight HTTP request.
+// Transient failures are retried per the Retry policy; billing calls carry
+// idempotency keys so retries never purchase twice (see RetryPolicy).
 type Client struct {
 	BaseURL string
 	// HTTP is the underlying client. Replace it to tune the transport.
 	HTTP *http.Client
-	// Timeout bounds one round trip when the caller's context carries no
-	// deadline; a caller deadline of any length takes precedence. NewClient
-	// sets DefaultClientTimeout; zero or negative disables the fallback.
+	// Timeout bounds one whole call — all retry attempts together — when
+	// the caller's context carries no deadline; a caller deadline of any
+	// length takes precedence. NewClient sets DefaultClientTimeout; zero or
+	// negative disables the fallback.
 	Timeout time.Duration
+	// Retry governs transparent retries. The zero value disables them (one
+	// attempt, no backoff); NewClient installs DefaultRetryPolicy.
+	Retry RetryPolicy
 
-	// noDelta caches the capability probe: once POST /sample_delta answers
-	// with a routing-layer 404/405 (a pre-delta server), later SampleDelta
-	// calls go straight to the full-Sample fallback instead of re-probing.
-	noDelta atomic.Bool
+	// rng drives backoff jitter, lazily seeded from Retry.Seed.
+	rngMu sync.Mutex // lockorder: leaf
+	rng   *rand.Rand // guarded by rngMu
+
+	// idemNonce and idemSeq mint per-logical-call idempotency keys: the
+	// nonce separates client instances, the sequence separates calls, and
+	// retries of one call share the key.
+	idemOnce  sync.Once
+	idemNonce string
+	idemSeq   atomic.Uint64
+
+	// The /sample_delta capability probe. Exactly one caller probes a
+	// not-yet-classified server; concurrent SampleDelta calls wait on
+	// probeDone instead of racing duplicate probes (each of which would
+	// fall back to a full-price Sample on an old server).
+	probeMu    sync.Mutex    // lockorder: leaf
+	probeState int           // guarded by probeMu
+	probeDone  chan struct{} // guarded by probeMu
 }
+
+// Probe states for Client.probeState.
+const (
+	probeUnknown     = iota // never probed (or last probe failed transiently)
+	probeInFlight           // one caller is probing now
+	probeSupported          // server answers /sample_delta
+	probeUnsupported        // routing-layer 404/405: pre-delta server
+)
 
 var _ Market = (*Client)(nil)
 
 // NewClient returns a client for the marketplace at baseURL with a sane
-// default timeout for deadline-less calls (DefaultClientTimeout).
+// default timeout for deadline-less calls (DefaultClientTimeout) and the
+// default retry policy.
 func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL: strings.TrimRight(baseURL, "/"),
 		HTTP:    &http.Client{},
 		Timeout: DefaultClientTimeout,
+		Retry:   DefaultRetryPolicy(),
 	}
+}
+
+// idemKey mints the idempotency key for one logical billing call. All retry
+// attempts of the call share it; distinct calls — even with identical
+// parameters — get distinct keys, so deliberate repeat purchases still bill.
+func (c *Client) idemKey(op string, params ...string) string {
+	c.idemOnce.Do(func() {
+		var b [16]byte
+		if _, err := cryptorand.Read(b[:]); err == nil {
+			c.idemNonce = hex.EncodeToString(b[:])
+		}
+	})
+	parts := append([]string{c.idemNonce, strconv.FormatUint(c.idemSeq.Add(1), 10), op}, params...)
+	sum := sha256.Sum256([]byte(safekey.Join(parts...)))
+	return hex.EncodeToString(sum[:16])
 }
 
 // callCtx applies the fallback timeout to contexts without a deadline.
@@ -259,38 +315,21 @@ func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFu
 }
 
 func (c *Client) get(ctx context.Context, path string, out interface{}) error {
-	ctx, cancel := c.callCtx(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return fmt.Errorf("marketplace client: GET %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	return c.do(ctx, http.MethodGet, path, "", nil, out)
 }
 
 func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
-	ctx, cancel := c.callCtx(ctx)
-	defer cancel()
+	return c.postIdem(ctx, path, "", in, out)
+}
+
+// postIdem posts with an idempotency key attached to every retry attempt.
+// Billing endpoints must use it; an empty key degrades to a plain post.
+func (c *Client) postIdem(ctx context.Context, path, idemKey string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return fmt.Errorf("marketplace client: POST %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	return c.do(ctx, http.MethodPost, path, idemKey, body, out)
 }
 
 // errEndpointUnsupported marks responses that came from the HTTP routing
@@ -302,13 +341,17 @@ var errEndpointUnsupported = errors.New("endpoint unsupported by server")
 func decodeResponse(resp *http.Response, out interface{}) error {
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		// Mid-body connection resets surface here; the response is lost but
+		// the round trip is repeatable.
+		return &transientError{fmt.Errorf("marketplace client: reading response: %w", err)}
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e errorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			// Restore the typed sentinels from the wire code so remote and
-			// in-memory marketplaces fail identically under errors.Is.
+			// in-memory marketplaces fail identically under errors.Is. A
+			// JSON error payload is the marketplace speaking — retrying
+			// would repeat the same answer — so none of these is transient.
 			switch e.Code {
 			case "unknown_dataset":
 				return fmt.Errorf("marketplace client: %s: %w", e.Error, ErrUnknownDataset)
@@ -320,9 +363,19 @@ func decodeResponse(resp *http.Response, out interface{}) error {
 		if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
 			return fmt.Errorf("marketplace client: status %d: %w", resp.StatusCode, errEndpointUnsupported)
 		}
-		return fmt.Errorf("marketplace client: status %d", resp.StatusCode)
+		err := fmt.Errorf("marketplace client: status %d", resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			// Payload-less 5xx/429: the infrastructure, not the
+			// marketplace, refused — retry.
+			return &transientError{err}
+		}
+		return err
 	}
-	return json.Unmarshal(data, out)
+	if err := json.Unmarshal(data, out); err != nil {
+		// A 200 with undecodable JSON is a truncated or garbled body.
+		return &transientError{fmt.Errorf("marketplace client: decoding response: %w", err)}
+	}
+	return nil
 }
 
 // Catalog implements Market.
@@ -391,8 +444,10 @@ func (c *Client) QuoteProjection(ctx context.Context, name string, attrs []strin
 
 // Sample implements Market.
 func (c *Client) Sample(ctx context.Context, name string, joinAttrs []string, rate float64, seed uint64) (*relation.Table, float64, error) {
+	key := c.idemKey("sample", append(append([]string{name},
+		joinAttrs...), formatRate(rate), strconv.FormatUint(seed, 10))...)
 	var resp wireTableResponse
-	if err := c.post(ctx, "/sample", sampleRequest{Name: name, JoinAttrs: joinAttrs, Rate: rate, Seed: seed}, &resp); err != nil {
+	if err := c.postIdem(ctx, "/sample", key, sampleRequest{Name: name, JoinAttrs: joinAttrs, Rate: rate, Seed: seed}, &resp); err != nil {
 		return nil, 0, err
 	}
 	t, err := relation.ReadCSV(name, strings.NewReader(resp.CSV))
@@ -402,30 +457,31 @@ func (c *Client) Sample(ctx context.Context, name string, joinAttrs []string, ra
 	return t, resp.Price, nil
 }
 
-// SampleDelta implements Market. Against a server that predates the
-// /sample_delta endpoint (detected by the routing-layer 404 and remembered
-// for the client's lifetime), it falls back to buying the full rate-toRate
-// sample and filtering it down to the delta rows locally — functionally
-// identical, but billed at the full sample price, since an old server has
-// no way to charge for a difference.
-func (c *Client) SampleDelta(ctx context.Context, name string, joinAttrs []string, fromRate, toRate float64, seed uint64) (*relation.Table, float64, error) {
-	if !c.noDelta.Load() {
-		var resp wireTableResponse
-		err := c.post(ctx, "/sample_delta", sampleDeltaRequest{
-			Name: name, JoinAttrs: joinAttrs, FromRate: fromRate, ToRate: toRate, Seed: seed,
-		}, &resp)
-		if err == nil {
-			t, err := relation.ReadCSV(name, strings.NewReader(resp.CSV))
-			if err != nil {
-				return nil, 0, err
-			}
-			return t, resp.Price, nil
-		}
-		if !errors.Is(err, errEndpointUnsupported) {
-			return nil, 0, err
-		}
-		c.noDelta.Store(true)
+func formatRate(r float64) string { return strconv.FormatFloat(r, 'g', -1, 64) }
+
+// sampleDeltaCall is one raw POST /sample_delta (idempotent across retries).
+func (c *Client) sampleDeltaCall(ctx context.Context, name string, joinAttrs []string, fromRate, toRate float64, seed uint64) (*relation.Table, float64, error) {
+	key := c.idemKey("sample_delta", append(append([]string{name},
+		joinAttrs...), formatRate(fromRate), formatRate(toRate), strconv.FormatUint(seed, 10))...)
+	var resp wireTableResponse
+	err := c.postIdem(ctx, "/sample_delta", key, sampleDeltaRequest{
+		Name: name, JoinAttrs: joinAttrs, FromRate: fromRate, ToRate: toRate, Seed: seed,
+	}, &resp)
+	if err != nil {
+		return nil, 0, err
 	}
+	t, err := relation.ReadCSV(name, strings.NewReader(resp.CSV))
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, resp.Price, nil
+}
+
+// sampleDeltaFallback serves SampleDelta against a pre-delta server: buy the
+// full toRate sample and filter it down to the delta rows locally —
+// functionally identical, but billed at the full sample price, since an old
+// server has no way to charge for a difference.
+func (c *Client) sampleDeltaFallback(ctx context.Context, name string, joinAttrs []string, fromRate, toRate float64, seed uint64) (*relation.Table, float64, error) {
 	if fromRate < 0 || fromRate >= toRate || toRate > 1 {
 		return nil, 0, fmt.Errorf("marketplace client: sample delta rates (%v, %v] not within 0 ≤ from < to ≤ 1: %w",
 			fromRate, toRate, ErrBadRate)
@@ -445,10 +501,75 @@ func (c *Client) SampleDelta(ctx context.Context, name string, joinAttrs []strin
 	return d, price, nil
 }
 
+// SampleDelta implements Market. The first call probes whether the server
+// has /sample_delta at all (pre-delta servers answer with a routing-layer
+// 404/405); the verdict is remembered for the client's lifetime, and
+// concurrent first calls share one probe instead of each paying for a
+// full-price fallback Sample. Against a pre-delta server every call takes
+// the local-filter fallback (see sampleDeltaFallback).
+func (c *Client) SampleDelta(ctx context.Context, name string, joinAttrs []string, fromRate, toRate float64, seed uint64) (*relation.Table, float64, error) {
+	for {
+		c.probeMu.Lock()
+		switch c.probeState {
+		case probeUnsupported:
+			c.probeMu.Unlock()
+			return c.sampleDeltaFallback(ctx, name, joinAttrs, fromRate, toRate, seed)
+
+		case probeSupported:
+			c.probeMu.Unlock()
+			t, price, err := c.sampleDeltaCall(ctx, name, joinAttrs, fromRate, toRate, seed)
+			if errors.Is(err, errEndpointUnsupported) {
+				// The server lost the endpoint (a rollback behind the same
+				// URL); downgrade once and fall back like everyone after us.
+				c.probeMu.Lock()
+				c.probeState = probeUnsupported
+				c.probeMu.Unlock()
+				return c.sampleDeltaFallback(ctx, name, joinAttrs, fromRate, toRate, seed)
+			}
+			return t, price, err
+
+		case probeInFlight:
+			done := c.probeDone
+			c.probeMu.Unlock()
+			select {
+			case <-done:
+				// Re-read the verdict; a transiently failed probe resets to
+				// unknown and this caller becomes the next prober.
+			case <-ctx.Done():
+				return nil, 0, ctx.Err()
+			}
+
+		default: // probeUnknown: become the prober
+			c.probeState = probeInFlight
+			done := make(chan struct{})
+			c.probeDone = done
+			c.probeMu.Unlock()
+			t, price, err := c.sampleDeltaCall(ctx, name, joinAttrs, fromRate, toRate, seed)
+			verdict := probeUnknown // transient failure: next caller re-probes
+			switch {
+			case err == nil:
+				verdict = probeSupported
+			case errors.Is(err, errEndpointUnsupported):
+				verdict = probeUnsupported
+			}
+			c.probeMu.Lock()
+			c.probeState = verdict
+			c.probeDone = nil
+			c.probeMu.Unlock()
+			close(done)
+			if verdict == probeUnsupported {
+				return c.sampleDeltaFallback(ctx, name, joinAttrs, fromRate, toRate, seed)
+			}
+			return t, price, err
+		}
+	}
+}
+
 // ExecuteProjection implements Market.
 func (c *Client) ExecuteProjection(ctx context.Context, q pricing.Query) (*relation.Table, float64, error) {
+	key := c.idemKey("query", append([]string{q.Instance}, q.Attrs...)...)
 	var resp wireTableResponse
-	if err := c.post(ctx, "/query", quoteRequest{Name: q.Instance, Attrs: q.Attrs}, &resp); err != nil {
+	if err := c.postIdem(ctx, "/query", key, quoteRequest{Name: q.Instance, Attrs: q.Attrs}, &resp); err != nil {
 		return nil, 0, err
 	}
 	t, err := relation.ReadCSV(q.Instance, strings.NewReader(resp.CSV))

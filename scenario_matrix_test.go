@@ -6,13 +6,17 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/dance-db/dance/internal/core"
 	"github.com/dance-db/dance/internal/experiments"
+	"github.com/dance-db/dance/internal/marketplace"
+	"github.com/dance-db/dance/internal/marketplace/chaos"
 	"github.com/dance-db/dance/internal/search"
 	"github.com/dance-db/dance/internal/workload"
 )
@@ -49,6 +53,35 @@ func envInt(name string, def int) int {
 		}
 	}
 	return def
+}
+
+// scenarioMarket returns the market the middleware shops at. With
+// SCENARIO_CHAOS set (the nightly chaos leg), the marketplace is served
+// over real HTTP behind seeded fault injection and consumed through the
+// retrying client — so every recovery and delta-only-billing bar below is
+// proven to hold across a lossy wire, not just in-process. Repricing stays
+// off: the cost bars compare against exact ground-truth prices.
+func scenarioMarket(t *testing.T, m marketplace.Market, seed int64) marketplace.Market {
+	t.Helper()
+	if os.Getenv("SCENARIO_CHAOS") == "" {
+		return m
+	}
+	in := chaos.NewInjector(chaos.Config{
+		Seed:    uint64(seed),
+		Probs:   chaos.Light(),
+		SlowFor: 5 * time.Millisecond,
+	})
+	srv := httptest.NewServer(chaos.Middleware(marketplace.Handler(m), in))
+	t.Cleanup(srv.Close)
+	c := marketplace.NewClient(srv.URL)
+	c.Retry = marketplace.RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		PerTry:      30 * time.Second,
+		Seed:        uint64(seed),
+	}
+	return c
 }
 
 // scenarioOutcome is one end-to-end run's verdict. err flags infrastructure
@@ -101,7 +134,7 @@ func runScenario(t *testing.T, w *workload.Workload, seed int64, owned bool) sce
 	// experiment so the CI gate and the nightly table measure one bar.
 	req.Budget = costBar * (1 + experiments.BudgetSlack)
 
-	mw := core.New(market, core.Config{SampleRate: 0.35, SampleSeed: uint64(seed) + 77})
+	mw := core.New(scenarioMarket(t, market, seed), core.Config{SampleRate: 0.35, SampleSeed: uint64(seed) + 77})
 	if owned {
 		mw.AddSource(w.Base(), nil)
 	}

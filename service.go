@@ -10,10 +10,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/dance-db/dance/internal/persist"
+	"github.com/dance-db/dance/internal/safekey"
 	"github.com/dance-db/dance/internal/search"
 )
 
@@ -161,34 +165,168 @@ type serviceError struct {
 	Error string `json:"error"`
 }
 
-// acquireServer is the state behind AcquireHandler: the middleware, the
-// plan store, and the service ledger.
-type acquireServer struct {
-	mw *Middleware
-
-	mu         sync.Mutex
-	plans      map[string]*Plan
-	planInfos  map[string]PlanInfo
-	ledger     []ServiceLedgerEntry
-	seenRounds int
+// StatsInfo is the v1 wire form of the service's concurrency counters.
+type StatsInfo struct {
+	// Searches counts searches actually executed (coalesced requests share
+	// one).
+	Searches int64 `json:"searches"`
+	// Coalesced counts requests served by joining another request's
+	// in-flight search instead of starting their own.
+	Coalesced int64 `json:"coalesced"`
+	// Shed counts requests rejected with 429 because every search slot was
+	// busy.
+	Shed int64 `json:"shed"`
+	// InFlight is the number of searches running right now.
+	InFlight int `json:"in_flight"`
 }
 
-// AcquireHandler serves a Middleware over the versioned JSON/HTTP v1 API
-// described above. The handler is safe for concurrent use; plans live in
-// memory for the life of the handler.
-func AcquireHandler(mw *Middleware) http.Handler {
-	s := &acquireServer{
-		mw:        mw,
-		plans:     make(map[string]*Plan),
-		planInfos: make(map[string]PlanInfo),
+// flight is one in-flight coalesced search. info and err are written before
+// done is closed and read only after it, so waiters never see a torn result.
+// refs counts the waiters still interested; it is touched only with the
+// server's flightMu held, and the last waiter to leave cancels the search.
+type flight struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	refs   int
+	info   PlanInfo
+	err    error
+}
+
+// acquireServer is the state behind a Service: the middleware, the plan
+// store, the service ledger, and the single-flight/admission machinery.
+type acquireServer struct {
+	mw         *Middleware
+	persist    persist.Store
+	retryAfter time.Duration
+	// sem bounds concurrent searches: a slot is held for the lifetime of
+	// each search (acquire or topk). Leaders that cannot take a slot
+	// without blocking are shed with 429 + Retry-After.
+	sem chan struct{}
+
+	mu         sync.Mutex             // lockorder: leaf
+	plans      map[string]*PlanRecord // guarded by mu
+	planInfos  map[string]PlanInfo    // guarded by mu
+	ledger     []ServiceLedgerEntry   // guarded by mu
+	seenRounds int                    // guarded by mu
+
+	flightMu  sync.Mutex         // lockorder: leaf
+	flights   map[string]*flight // guarded by flightMu
+	searches  int64              // guarded by flightMu
+	coalesced int64              // guarded by flightMu
+	shed      int64              // guarded by flightMu
+}
+
+// ServiceOptions configure NewService.
+type ServiceOptions struct {
+	// Persist journals plans and ledger entries durably and restores them
+	// on construction. Pass the same store to Config.Persist so the sample
+	// state is durable too. Nil keeps everything in memory.
+	Persist persist.Store
+	// MaxInFlightSearches bounds concurrently executing searches; further
+	// acquire/topk requests that cannot coalesce onto an in-flight search
+	// are rejected with 429 + Retry-After. 0 or negative means twice
+	// GOMAXPROCS.
+	MaxInFlightSearches int
+	// RetryAfter is the backoff hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// Service serves a Middleware over the versioned JSON/HTTP v1 API with
+// single-flight coalescing of identical acquisitions, bounded in-flight
+// searches, and (optionally) durable plans and ledger. Construct with
+// NewService, serve Handler(), and Close() on shutdown to flush the journal.
+type Service struct {
+	s *acquireServer
+}
+
+// NewService builds a service around mw. With opts.Persist it restores the
+// plans and ledger a previous process journaled, so a restarted danced
+// resumes with the same ledger total and can still execute old plan IDs.
+func NewService(mw *Middleware, opts ServiceOptions) (*Service, error) {
+	if opts.MaxInFlightSearches <= 0 {
+		opts.MaxInFlightSearches = 2 * runtime.GOMAXPROCS(0)
 	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	s := &acquireServer{
+		mw:         mw,
+		persist:    opts.Persist,
+		retryAfter: opts.RetryAfter,
+		sem:        make(chan struct{}, opts.MaxInFlightSearches),
+		plans:      make(map[string]*PlanRecord),
+		planInfos:  make(map[string]PlanInfo),
+		flights:    make(map[string]*flight),
+	}
+	if opts.Persist != nil {
+		st, err := opts.Persist.Load()
+		if err != nil {
+			return nil, fmt.Errorf("dance: restoring service state: %w", err)
+		}
+		for _, e := range st.Ledger {
+			s.ledger = append(s.ledger, ServiceLedgerEntry{
+				Kind: e.Kind, PlanID: e.PlanID, FromRate: e.FromRate, ToRate: e.ToRate, Amount: e.Amount,
+			})
+		}
+		for _, p := range st.Plans {
+			rec := fromPersistPlan(p)
+			s.plans[p.ID] = rec
+			s.planInfos[p.ID] = planInfoOf(p.ID, rec)
+		}
+	}
+	return &Service{s: s}, nil
+}
+
+// Handler returns the v1 API handler.
+func (svc *Service) Handler() http.Handler {
+	s := svc.s
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/acquire", s.handleAcquire)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/execute", s.handleExecute)
 	mux.HandleFunc("GET /v1/plans/{id}", s.handlePlan)
 	mux.HandleFunc("GET /v1/ledger", s.handleLedger)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
+}
+
+// Stats snapshots the coalescing/admission counters.
+func (svc *Service) Stats() StatsInfo {
+	s := svc.s
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	return StatsInfo{Searches: s.searches, Coalesced: s.coalesced, Shed: s.shed, InFlight: len(s.sem)}
+}
+
+// Close settles outstanding sample spend into the ledger and flushes and
+// closes the persist journal (a no-op without one). Call it after the HTTP
+// server has drained so every billed cent is on disk before exit.
+func (svc *Service) Close() error {
+	s := svc.s
+	s.mu.Lock()
+	err := s.recordSampleSpendLocked()
+	s.mu.Unlock()
+	if s.persist != nil {
+		if ferr := s.persist.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := s.persist.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// AcquireHandler serves a Middleware over the versioned JSON/HTTP v1 API
+// described above with default service options and no durability. The
+// handler is safe for concurrent use; plans live in memory for the life of
+// the handler. Use NewService to configure persistence and admission.
+func AcquireHandler(mw *Middleware) http.Handler {
+	svc, err := NewService(mw, ServiceOptions{})
+	if err != nil {
+		panic(err) // unreachable: no persist store, nothing to restore
+	}
+	return svc.Handler()
 }
 
 func writeServiceJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -226,40 +364,147 @@ func requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.Canc
 	return r.Context(), func() {}
 }
 
+// appendLedgerLocked records one charge in memory and in the journal.
+// Caller holds s.mu.
+func (s *acquireServer) appendLedgerLocked(e ServiceLedgerEntry) error {
+	s.ledger = append(s.ledger, e)
+	if s.persist == nil {
+		return nil
+	}
+	if err := s.persist.AppendLedger(persist.LedgerRecord{
+		Kind: e.Kind, PlanID: e.PlanID, FromRate: e.FromRate, ToRate: e.ToRate, Amount: e.Amount,
+	}); err != nil {
+		return fmt.Errorf("dance: journaling ledger entry: %w", err)
+	}
+	return nil
+}
+
 // recordSampleSpendLocked appends ledger entries for any offline sample
 // rounds since the last check, splitting complete-sample purchases from
 // delta top-ups so escalations are visibly billed at the difference.
 // Caller holds s.mu.
-func (s *acquireServer) recordSampleSpendLocked() {
+func (s *acquireServer) recordSampleSpendLocked() error {
 	rounds := s.mw.SampleRounds()
+	var err error
 	for _, r := range rounds[s.seenRounds:] {
 		if r.FullCost > 0 {
-			s.ledger = append(s.ledger, ServiceLedgerEntry{
+			if e := s.appendLedgerLocked(ServiceLedgerEntry{
 				Kind: "sample", FromRate: r.FromRate, ToRate: r.ToRate, Amount: r.FullCost,
-			})
+			}); err == nil {
+				err = e
+			}
 		}
 		if r.DeltaCost > 0 {
-			s.ledger = append(s.ledger, ServiceLedgerEntry{
+			if e := s.appendLedgerLocked(ServiceLedgerEntry{
 				Kind: "sample_delta", FromRate: r.FromRate, ToRate: r.ToRate, Amount: r.DeltaCost,
-			})
+			}); err == nil {
+				err = e
+			}
 		}
 	}
 	s.seenRounds = len(rounds)
+	return err
 }
 
-// storePlan registers a plan under a fresh opaque ID and returns its wire
-// form; it also settles sample spending into the ledger.
-func (s *acquireServer) storePlan(plan *Plan) PlanInfo {
-	info := PlanInfo{ID: newPlanID(), Est: metricsInfo(plan.Est)}
-	for _, q := range plan.Queries {
+// planInfoOf builds the wire form of a stored plan record.
+func planInfoOf(id string, rec *PlanRecord) PlanInfo {
+	info := PlanInfo{ID: id, Est: metricsInfo(rec.Est)}
+	for _, q := range rec.Queries {
 		info.Queries = append(info.Queries, PlanQuery{Instance: q.Instance, Attrs: q.Attrs, SQL: q.String()})
 	}
-	s.mu.Lock()
-	s.plans[info.ID] = plan
-	s.planInfos[info.ID] = info
-	s.recordSampleSpendLocked()
-	s.mu.Unlock()
 	return info
+}
+
+// toPersistPlan flattens a stored plan into its journal record.
+func toPersistPlan(id string, rec *PlanRecord) persist.PlanRecord {
+	p := persist.PlanRecord{
+		ID:     id,
+		Weight: rec.Weight,
+		FDs:    rec.FDs,
+		Est: persist.MetricsRecord{
+			Correlation: rec.Est.Correlation, Quality: rec.Est.Quality,
+			Weight: rec.Est.Weight, Price: rec.Est.Price,
+		},
+		Request: persist.RequestRecord{
+			SourceAttrs:  rec.Request.SourceAttrs,
+			TargetAttrs:  rec.Request.TargetAttrs,
+			Budget:       rec.Request.Budget,
+			Alpha:        rec.Request.Alpha,
+			Beta:         rec.Request.Beta,
+			Iterations:   rec.Request.Iterations,
+			Eta:          rec.Request.Eta,
+			ResampleRate: rec.Request.ResampleRate,
+			Landmarks:    rec.Request.Landmarks,
+			MaxCovers:    rec.Request.MaxCovers,
+			MaxIGraphs:   rec.Request.MaxIGraphs,
+			Seed:         rec.Request.Seed,
+			Greedy:       rec.Request.Greedy,
+		},
+	}
+	for _, q := range rec.Queries {
+		p.Queries = append(p.Queries, persist.QueryRecord{Instance: q.Instance, Attrs: q.Attrs})
+	}
+	for _, st := range rec.Steps {
+		p.Steps = append(p.Steps, persist.JoinStepRecord{Table: st.Table, On: st.On})
+	}
+	return p
+}
+
+// fromPersistPlan rebuilds a stored plan from its journal record.
+func fromPersistPlan(p persist.PlanRecord) *PlanRecord {
+	rec := &PlanRecord{
+		Weight: p.Weight,
+		FDs:    p.FDs,
+		Est: Metrics{
+			Correlation: p.Est.Correlation, Quality: p.Est.Quality,
+			Weight: p.Est.Weight, Price: p.Est.Price,
+		},
+		Request: Request{
+			SourceAttrs:  p.Request.SourceAttrs,
+			TargetAttrs:  p.Request.TargetAttrs,
+			Budget:       p.Request.Budget,
+			Alpha:        p.Request.Alpha,
+			Beta:         p.Request.Beta,
+			Iterations:   p.Request.Iterations,
+			Eta:          p.Request.Eta,
+			ResampleRate: p.Request.ResampleRate,
+			Landmarks:    p.Request.Landmarks,
+			MaxCovers:    p.Request.MaxCovers,
+			MaxIGraphs:   p.Request.MaxIGraphs,
+			Seed:         p.Request.Seed,
+			Greedy:       p.Request.Greedy,
+		},
+	}
+	for _, q := range p.Queries {
+		rec.Queries = append(rec.Queries, Query{Instance: q.Instance, Attrs: q.Attrs})
+	}
+	for _, st := range p.Steps {
+		rec.Steps = append(rec.Steps, JoinStep{Table: st.Table, On: st.On})
+	}
+	return rec
+}
+
+// storePlan flattens and registers a plan under a fresh opaque ID, returns
+// its wire form, journals it, and settles sample spending into the ledger.
+func (s *acquireServer) storePlan(plan *Plan) (PlanInfo, error) {
+	rec, err := plan.Record()
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	info := planInfoOf(newPlanID(), rec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.plans[info.ID] = rec
+	s.planInfos[info.ID] = info
+	if err := s.recordSampleSpendLocked(); err != nil {
+		return PlanInfo{}, err
+	}
+	if s.persist != nil {
+		if err := s.persist.SavePlan(toPersistPlan(info.ID, rec)); err != nil {
+			return PlanInfo{}, fmt.Errorf("dance: journaling plan: %w", err)
+		}
+	}
+	return info, nil
 }
 
 // statusFor distinguishes infeasible acquisitions (the request's
@@ -271,26 +516,131 @@ func statusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
+// acquireFingerprint identifies the search an acquire request will run.
+// Requests with equal fingerprints produce identical plans (the search is
+// seeded), so concurrent duplicates can share one in-flight search. Workers
+// and TimeoutMS are excluded: they change how a search runs, not what it
+// computes.
+func acquireFingerprint(req AcquireRequest) string {
+	parts := []string{"acquire", strconv.Itoa(len(req.SourceAttrs))}
+	parts = append(parts, req.SourceAttrs...)
+	parts = append(parts, strconv.Itoa(len(req.TargetAttrs)))
+	parts = append(parts, req.TargetAttrs...)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	parts = append(parts,
+		f(req.Budget), f(req.Alpha), f(req.Beta),
+		strconv.Itoa(req.Iterations), strconv.Itoa(req.Eta), f(req.ResampleRate),
+		strconv.Itoa(req.Landmarks), strconv.Itoa(req.MaxCovers), strconv.Itoa(req.MaxIGraphs),
+		strconv.FormatInt(req.Seed, 10), strconv.FormatBool(req.Greedy),
+	)
+	return safekey.Join(parts...)
+}
+
+// writeOverloaded sheds a request: 429 plus a Retry-After hint.
+func (s *acquireServer) writeOverloaded(w http.ResponseWriter) {
+	secs := int((s.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeServiceJSON(w, http.StatusTooManyRequests, serviceError{Error: ErrOverloaded.Error()})
+}
+
+// runSearch executes one coalesced search as its leader: it owns a
+// semaphore slot, publishes the result into the flight, and wakes every
+// waiter. The search context is detached from the leader's HTTP request —
+// the flight must survive its leader disconnecting while followers wait —
+// and is canceled by the last waiter to leave.
+func (s *acquireServer) runSearch(key string, f *flight, ctx context.Context, req AcquireRequest) {
+	defer func() { <-s.sem }()
+	plan, err := s.mw.Acquire(ctx, req.toRequest())
+	var info PlanInfo
+	if err == nil {
+		info, err = s.storePlan(plan)
+	}
+	f.info, f.err = info, err
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(f.done)
+}
+
+// awaitFlight parks one request on a flight until the search finishes or
+// the request's own deadline expires. Each waiter holds a reference; the
+// last to give up cancels the search so an abandoned flight does not burn
+// a slot.
+func (s *acquireServer) awaitFlight(w http.ResponseWriter, r *http.Request, timeoutMS int64, f *flight) {
+	ctx, cancel := requestCtx(r, timeoutMS)
+	defer cancel()
+	select {
+	case <-f.done:
+		if f.err != nil {
+			writeServiceErr(w, statusFor(f.err), f.err)
+			return
+		}
+		writeServiceJSON(w, http.StatusOK, f.info)
+	case <-ctx.Done():
+		s.flightMu.Lock()
+		f.refs--
+		abandoned := f.refs == 0
+		s.flightMu.Unlock()
+		if abandoned {
+			f.cancel()
+		}
+		writeServiceErr(w, http.StatusInternalServerError, ctx.Err())
+	}
+}
+
 func (s *acquireServer) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	var req AcquireRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeServiceErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ctx, cancel := requestCtx(r, req.TimeoutMS)
-	defer cancel()
-	plan, err := s.mw.Acquire(ctx, req.toRequest())
-	if err != nil {
-		writeServiceErr(w, statusFor(err), err)
+	key := acquireFingerprint(req)
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		f.refs++
+		s.coalesced++
+		s.flightMu.Unlock()
+		s.awaitFlight(w, r, req.TimeoutMS, f)
 		return
 	}
-	writeServiceJSON(w, http.StatusOK, s.storePlan(plan))
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.shed++
+		s.flightMu.Unlock()
+		s.writeOverloaded(w)
+		return
+	}
+	f := &flight{done: make(chan struct{}), refs: 1}
+	searchCtx, searchCancel := context.WithCancel(context.WithoutCancel(r.Context()))
+	f.cancel = searchCancel
+	s.flights[key] = f
+	s.searches++
+	s.flightMu.Unlock()
+	go s.runSearch(key, f, searchCtx, req)
+	s.awaitFlight(w, r, req.TimeoutMS, f)
 }
 
 func (s *acquireServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req topkWireRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeServiceErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Top-k searches are admission-controlled like acquires (they are at
+	// least as expensive) but not coalesced: k and weights multiply the
+	// variants too far to be worth fingerprinting.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.flightMu.Lock()
+		s.shed++
+		s.flightMu.Unlock()
+		s.writeOverloaded(w)
 		return
 	}
 	ctx, cancel := requestCtx(r, req.TimeoutMS)
@@ -306,9 +656,21 @@ func (s *acquireServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := topkWireResponse{Options: make([]RankedPlanInfo, len(options))}
 	for i, o := range options {
-		resp.Options[i] = RankedPlanInfo{Plan: s.storePlan(o.Plan), Score: o.Score}
+		info, err := s.storePlan(o.Plan)
+		if err != nil {
+			writeServiceErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Options[i] = RankedPlanInfo{Plan: info, Score: o.Score}
 	}
 	writeServiceJSON(w, http.StatusOK, resp)
+}
+
+func (s *acquireServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.flightMu.Lock()
+	st := StatsInfo{Searches: s.searches, Coalesced: s.coalesced, Shed: s.shed, InFlight: len(s.sem)}
+	s.flightMu.Unlock()
+	writeServiceJSON(w, http.StatusOK, st)
 }
 
 func (s *acquireServer) handleExecute(w http.ResponseWriter, r *http.Request) {
@@ -318,7 +680,7 @@ func (s *acquireServer) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	plan, ok := s.plans[req.PlanID]
+	rec, ok := s.plans[req.PlanID]
 	s.mu.Unlock()
 	if !ok {
 		writeServiceErr(w, http.StatusNotFound, fmt.Errorf("dance: no plan %q", req.PlanID))
@@ -326,13 +688,13 @@ func (s *acquireServer) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := requestCtx(r, req.TimeoutMS)
 	defer cancel()
-	purchase, err := s.mw.Execute(ctx, plan)
+	purchase, err := s.mw.ExecuteRecord(ctx, rec)
 	if err != nil {
 		// A failed execution may still have bought (and been charged for)
 		// some projections; the ledger must not lose that spend.
 		if purchase != nil && purchase.TotalPrice > 0 {
 			s.mu.Lock()
-			s.ledger = append(s.ledger, ServiceLedgerEntry{Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice})
+			s.appendLedgerLocked(ServiceLedgerEntry{Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice})
 			s.mu.Unlock()
 		}
 		writeServiceErr(w, statusFor(err), err)
@@ -348,7 +710,10 @@ func (s *acquireServer) handleExecute(w http.ResponseWriter, r *http.Request) {
 		info.Tables = append(info.Tables, PurchaseTableInfo{Name: t.Name, Rows: t.NumRows()})
 	}
 	s.mu.Lock()
-	s.ledger = append(s.ledger, ServiceLedgerEntry{Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice})
+	// Journal failures do not fail the response: the purchase already
+	// happened and the shopper has the data. The error resurfaces on the
+	// next /v1/ledger read instead.
+	s.appendLedgerLocked(ServiceLedgerEntry{Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice})
 	s.mu.Unlock()
 	writeServiceJSON(w, http.StatusOK, info)
 }
@@ -367,13 +732,48 @@ func (s *acquireServer) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 func (s *acquireServer) handleLedger(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	s.recordSampleSpendLocked()
+	err := s.recordSampleSpendLocked()
 	out := LedgerInfo{Entries: append([]ServiceLedgerEntry(nil), s.ledger...)}
 	s.mu.Unlock()
+	if err != nil {
+		writeServiceErr(w, http.StatusInternalServerError, err)
+		return
+	}
 	for _, e := range out.Entries {
 		out.Total += e.Amount
 	}
 	writeServiceJSON(w, http.StatusOK, out)
+}
+
+// ErrOverloaded marks acquisitions the service shed because every search
+// slot was busy and the request could not coalesce onto an in-flight
+// search. It is transient by construction: test with errors.Is, read the
+// server's backoff hint with RetryAfter, and retry.
+var ErrOverloaded = errors.New("dance: service overloaded; retry later")
+
+// overloadedError carries the server's Retry-After hint while remaining
+// errors.Is-matchable against ErrOverloaded via Unwrap.
+type overloadedError struct {
+	retryAfter time.Duration
+}
+
+func (e *overloadedError) Error() string {
+	if e.retryAfter > 0 {
+		return fmt.Sprintf("%v (retry after %v)", ErrOverloaded, e.retryAfter)
+	}
+	return ErrOverloaded.Error()
+}
+
+func (e *overloadedError) Unwrap() error { return ErrOverloaded }
+
+// RetryAfter extracts the service's backoff hint from an ErrOverloaded
+// error chain. ok is false when err carries no hint.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var oe *overloadedError
+	if errors.As(err, &oe) {
+		return oe.retryAfter, true
+	}
+	return 0, false
 }
 
 // DefaultAcquireClientTimeout caps one danced round trip when the caller
@@ -447,13 +847,22 @@ func (c *AcquireClient) do(ctx context.Context, method, path string, in, out int
 			sentinel = ErrInfeasible
 		case http.StatusGatewayTimeout:
 			sentinel = context.DeadlineExceeded
+		case http.StatusTooManyRequests:
+			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			sentinel = &overloadedError{retryAfter: time.Duration(secs) * time.Second}
 		}
 		var e serviceError
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			if sentinel != nil {
 				// The server message usually already ends with the sentinel
-				// text; don't print it twice.
-				msg := strings.TrimSuffix(strings.TrimSuffix(e.Error, sentinel.Error()), ": ")
+				// text; don't print it twice. Overloaded errors wrap
+				// ErrOverloaded with a local retry hint, so trim the base
+				// sentinel text the server actually sent.
+				base := sentinel.Error()
+				if errors.Is(sentinel, ErrOverloaded) {
+					base = ErrOverloaded.Error()
+				}
+				msg := strings.TrimSuffix(strings.TrimSuffix(e.Error, base), ": ")
 				if msg == "" {
 					return fmt.Errorf("dance client: %w", sentinel)
 				}
@@ -540,6 +949,15 @@ func (c *AcquireClient) Plan(ctx context.Context, planID string) (*PlanInfo, err
 func (c *AcquireClient) Ledger(ctx context.Context) (*LedgerInfo, error) {
 	var out LedgerInfo
 	if err := c.do(ctx, http.MethodGet, "/v1/ledger", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the service's coalescing and admission counters.
+func (c *AcquireClient) Stats(ctx context.Context) (*StatsInfo, error) {
+	var out StatsInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -76,6 +76,8 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression vs the baseline")
 	calibrate := flag.String("calibrate", "", "benchmark used as a machine-speed anchor: gated ns/op are divided by this benchmark's ns/op in both the current run and the baseline, so a baseline measured on different hardware still gates relative regressions")
 	requireFaster := flag.String("require-faster", "", "comma-separated 'A<B' pairs asserting benchmark A's ns/op is below B's in the current input — ordering invariants (e.g. the incremental escalation beating the full rebuild) that must hold on any machine")
+	requireRatio := flag.String("require-ratio", "", "comma-separated 'A/B>=R' specs asserting benchmark A's ns/op is at least R times B's in the current input — speedup floors (e.g. the serial 1M search costing ≥ 2× the parallel one), discounted by -ratio-slack")
+	ratioSlack := flag.Float64("ratio-slack", 0, "fractional discount on every -require-ratio floor: a spec 'A/B>=R' passes when A/B ≥ R×(1−slack). Smoke runs with -benchtime=1x are noisy, so CI gates them with slack while the nightly full-size run gates strict (slack 0)")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -102,6 +104,12 @@ func main() {
 
 	if *requireFaster != "" {
 		if err := checkFaster(results, *requireFaster); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *requireRatio != "" {
+		if err := checkRatio(results, *requireRatio, *ratioSlack); err != nil {
 			fatal(err)
 		}
 	}
@@ -197,6 +205,57 @@ func checkFaster(results map[string]Result, spec string) error {
 				a, ra.NsPerOp, b, rb.NsPerOp)
 		}
 		fmt.Printf("benchjson: ok %s (%.4g ns/op) < %s (%.4g ns/op)\n", a, ra.NsPerOp, b, rb.NsPerOp)
+	}
+	return nil
+}
+
+// checkRatio enforces 'A/B>=R' speedup floors on the parsed results,
+// discounted by slack: A/B must be at least R×(1−slack). Specs are
+// validated strictly — a malformed spec is a CI configuration bug and must
+// fail loudly, not silently gate nothing.
+func checkRatio(results map[string]Result, spec string, slack float64) error {
+	if slack < 0 || slack >= 1 {
+		return fmt.Errorf("benchjson: -ratio-slack %g out of range [0, 1)", slack)
+	}
+	for _, one := range strings.Split(spec, ",") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		sides := strings.Split(one, ">=")
+		if len(sides) != 2 {
+			return fmt.Errorf("benchjson: malformed -require-ratio spec %q (want exactly one 'A/B>=R')", one)
+		}
+		names := strings.Split(sides[0], "/")
+		if len(names) != 2 {
+			return fmt.Errorf("benchjson: malformed -require-ratio spec %q (want exactly one 'A/B' on the left)", one)
+		}
+		a, b := strings.TrimSpace(names[0]), strings.TrimSpace(names[1])
+		if a == "" || b == "" {
+			return fmt.Errorf("benchjson: malformed -require-ratio spec %q (empty benchmark name)", one)
+		}
+		want, err := strconv.ParseFloat(strings.TrimSpace(sides[1]), 64)
+		if err != nil || want <= 0 {
+			return fmt.Errorf("benchjson: malformed -require-ratio spec %q (ratio must be a positive number)", one)
+		}
+		ra, ok := results[a]
+		if !ok {
+			return fmt.Errorf("benchjson: -require-ratio benchmark %s missing from input", a)
+		}
+		rb, ok := results[b]
+		if !ok {
+			return fmt.Errorf("benchjson: -require-ratio benchmark %s missing from input", b)
+		}
+		if rb.NsPerOp <= 0 {
+			return fmt.Errorf("benchjson: -require-ratio benchmark %s has non-positive ns/op", b)
+		}
+		got := ra.NsPerOp / rb.NsPerOp
+		floor := want * (1 - slack)
+		if got < floor {
+			return fmt.Errorf("benchjson: FAIL %s/%s = %.3f, below the required %.3g (%.3g after %.0f%% slack)",
+				a, b, got, want, floor, slack*100)
+		}
+		fmt.Printf("benchjson: ok %s/%s = %.3f ≥ %.3g (floor %.3g after slack)\n", a, b, got, want, floor)
 	}
 	return nil
 }

@@ -85,6 +85,66 @@ func TestCheckFasterMalformed(t *testing.T) {
 	}
 }
 
+func TestCheckRatio(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkSerial":   {NsPerOp: 1000},
+		"BenchmarkParallel": {NsPerOp: 400},
+		"BenchmarkZero":     {NsPerOp: 0},
+	}
+	if err := checkRatio(results, "BenchmarkSerial/BenchmarkParallel>=2.0", 0); err != nil {
+		t.Fatalf("2.5× speedup rejected against a 2.0 floor: %v", err)
+	}
+	if err := checkRatio(results, "BenchmarkSerial/BenchmarkParallel>=3.0", 0); err == nil {
+		t.Fatal("2.5× speedup must fail a strict 3.0 floor")
+	}
+	// Slack discounts the floor: 3.0×(1−0.25) = 2.25 ≤ 2.5 passes.
+	if err := checkRatio(results, "BenchmarkSerial/BenchmarkParallel>=3.0", 0.25); err != nil {
+		t.Fatalf("2.5× speedup rejected against a 3.0 floor with 25%% slack: %v", err)
+	}
+	if err := checkRatio(results, "BenchmarkSerial/BenchmarkMissing>=2.0", 0); err == nil {
+		t.Fatal("missing benchmark must fail")
+	}
+	if err := checkRatio(results, "BenchmarkSerial/BenchmarkZero>=2.0", 0); err == nil {
+		t.Fatal("zero-ns/op denominator must fail")
+	}
+	if err := checkRatio(results, " BenchmarkSerial / BenchmarkParallel >= 2.0 , ", 0); err != nil {
+		t.Fatalf("whitespace/trailing comma should be tolerated: %v", err)
+	}
+	if err := checkRatio(results, "BenchmarkSerial/BenchmarkParallel>=2.0", 1.5); err == nil {
+		t.Fatal("slack outside [0, 1) must fail")
+	}
+}
+
+// Malformed ratio specs are CI configuration bugs: they must be rejected
+// loudly, never half-parsed into a gate that silently checks nothing.
+func TestCheckRatioMalformed(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkA": {NsPerOp: 10},
+		"BenchmarkB": {NsPerOp: 5},
+	}
+	for _, spec := range []string{
+		"BenchmarkA/BenchmarkB",               // no floor
+		"BenchmarkA>=2.0",                     // no ratio pair
+		"BenchmarkA/BenchmarkB/BenchmarkC>=2", // chained division
+		"BenchmarkA/BenchmarkB>=2>=3",         // chained floors
+		"/BenchmarkB>=2.0",                    // empty numerator
+		"BenchmarkA/>=2.0",                    // empty denominator
+		"BenchmarkA/BenchmarkB>=fast",         // non-numeric floor
+		"BenchmarkA/BenchmarkB>=-1",           // non-positive floor
+		"BenchmarkA/BenchmarkB>=0",            // zero floor
+		"BenchmarkA/BenchmarkB>=2.0,garbage",  // valid spec then malformed
+	} {
+		err := checkRatio(results, spec, 0)
+		if err == nil {
+			t.Errorf("checkRatio(%q) accepted a malformed spec", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "malformed") {
+			t.Errorf("checkRatio(%q) = %v, want a malformed-spec error", spec, err)
+		}
+	}
+}
+
 func TestMarshalStable(t *testing.T) {
 	m := map[string]Result{
 		"BenchmarkB": {NsPerOp: 2},

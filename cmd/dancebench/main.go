@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,11 +41,42 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent MCMC chains per search (0 = one per CPU, 1 = serial)")
 		seeds   = flag.Int("seeds", 0, "seeds per spec for the recovery sweep (0 = experiment default)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	)
 	flag.Parse()
 	ctx, stop := cli.RootContext()
 	defer stop()
 	experiments.DefaultWorkers = *workers
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 	if *list {
 		fmt.Println(strings.Join(experimentNames, "\n"))
 		return

@@ -33,6 +33,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"time"
 
 	"github.com/dance-db/dance/internal/cli"
@@ -53,8 +54,27 @@ func main() {
 		discoverFDs = flag.Bool("discover-fds", true, "mine approximate FDs on samples for datasets that publish none (danceacq does the same; without it the quality floor β is vacuous on FD-less datasets)")
 		persistDir  = flag.String("persist", "", "journal directory for durable state (plans, ledger, offline samples); empty keeps everything in memory")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing searches; non-coalescable excess is shed with 429 (0 = twice GOMAXPROCS)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A separate listener keeps the profiling surface off the public
+		// API address: bind it to localhost (or a firewalled port) — the
+		// pprof handlers expose heap contents and must never face shoppers.
+		// The handlers register on http.DefaultServeMux via the pprof
+		// import; the v1 API below uses its own mux and is unaffected.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listener: %v", err)
+		}
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var market dance.Market
 	switch {

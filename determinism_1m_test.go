@@ -1,0 +1,62 @@
+package dance_test
+
+import (
+	"testing"
+
+	"github.com/dance-db/dance/internal/core"
+	"github.com/dance-db/dance/internal/search"
+	"github.com/dance-db/dance/internal/workload"
+)
+
+// The million-row path must keep the engine's tentpole guarantee: for a
+// fixed seed, Workers changes wall-clock time only. Intra-chain MCMC
+// segmentation, the parallel columnar join/grouping kernels, and the
+// offline sampling fan-out are all worker-independent by construction;
+// this test pins that end to end — same plan queries, same estimated
+// metrics, bit for bit — at Workers ∈ {1, 2, 8} on the 1M-row chain spec
+// the benchmarks use. Short mode downscales to 60k rows (same topology) so
+// `go test -short ./...` stays quick; the full size runs in CI.
+func TestMillionRowDeterministicAcrossWorkers(t *testing.T) {
+	specStr := "chain:3,rows=1000000,keys=512,decoys=2,attrs=1"
+	if testing.Short() {
+		specStr = "chain:3,rows=60000,keys=512,decoys=2,attrs=1"
+	}
+	spec, err := workload.ParseSpec(specStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(spec, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := w.Marketplace()
+
+	run := func(workers int) (string, search.Metrics) {
+		mw := core.New(market, core.Config{SampleRate: 0.2, SampleSeed: 1, Workers: workers})
+		plan, err := mw.Acquire(bg, search.Request{
+			TargetAttrs: []string{w.Truth.X, w.Truth.Y},
+			Iterations:  30,
+			Seed:        7,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var queries string
+		for _, q := range plan.Queries {
+			queries += q.String() + "\n"
+		}
+		return queries, plan.Est
+	}
+
+	qSerial, estSerial := run(1)
+	for _, workers := range []int{2, 8} {
+		q, est := run(workers)
+		if q != qSerial {
+			t.Fatalf("workers=%d: plan differs from serial:\n%s\nvs\n%s", workers, q, qSerial)
+		}
+		if est != estSerial {
+			t.Fatalf("workers=%d: estimates differ: %+v vs %+v", workers, est, estSerial)
+		}
+	}
+}

@@ -104,3 +104,37 @@ func suppressedAccum(m map[int]float64) float64 {
 	}
 	return s
 }
+
+// segmentSeed mirrors the search engine's per-(candidate, segment) RNG
+// stream derivation: two composed splitmix-style mixes of the request seed.
+// Every level is a pure function of (seed, cand, seg), so the derived
+// streams are deterministic per seed and independent of worker count.
+func segmentSeed(seed int64, cand, seg int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(cand+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) + 0x94d049bb133111eb*uint64(seg+1)
+	return int64(z ^ (z >> 31))
+}
+
+// segmentStream is the accepted pattern: each segment constructs its own
+// *Rand from a derived seed and accumulates in counted-loop order.
+func segmentStream(seed int64, cand, seg, iters int) float64 {
+	rng := rand.New(rand.NewSource(segmentSeed(seed, cand, seg)))
+	s := 0.0
+	for i := 0; i < iters; i++ {
+		s += rng.Float64()
+	}
+	return s
+}
+
+// globalSeedDerivation defeats the point of stream derivation: the "seed"
+// itself is drawn from the process-global source, so every run derives
+// different streams even though the construction looks seeded.
+func globalSeedDerivation() float64 {
+	rng := rand.New(rand.NewSource(rand.Int63())) // want "process-global random source"
+	return rng.Float64()
+}
+
+func globalProposalOrder(n int) []int {
+	return rand.Perm(n) // want "process-global random source"
+}

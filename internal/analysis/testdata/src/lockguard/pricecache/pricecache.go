@@ -117,3 +117,53 @@ func (c *Memo) Install(key string, v float64) {
 	defer c.mu.Unlock()
 	c.installLocked(key, v)
 }
+
+// scratchPool reproduces the columnar gather-buffer pool shape: a
+// hand-rolled free list guarded by a mutex, plus reuse statistics.
+type scratchPool struct {
+	mu   sync.Mutex
+	free [][]float64 // guarded by mu
+	hits int         // guarded by mu
+}
+
+func (p *scratchPool) Get(n int) []float64 {
+	p.mu.Lock()
+	if k := len(p.free); k > 0 {
+		buf := p.free[k-1]
+		p.free = p.free[:k-1]
+		p.hits++
+		p.mu.Unlock()
+		return buf[:0]
+	}
+	p.mu.Unlock()
+	return make([]float64, 0, n)
+}
+
+func (p *scratchPool) Put(buf []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, buf)
+}
+
+// PutRacy is the pooled-buffer hazard: returning a buffer to the free list
+// without the lock tears the slice header under concurrent Gets.
+func (p *scratchPool) PutRacy(buf []float64) {
+	p.free = append(p.free, buf) // want `write to p\.free, guarded by mu, without holding it exclusively` `read of p\.free, guarded by mu, without holding it`
+}
+
+func (p *scratchPool) HitsRacy() int {
+	return p.hits // want `read of p\.hits, guarded by mu, without holding it`
+}
+
+// withScratch needs no annotations: sync.Pool synchronizes internally and
+// the buffer is owned by exactly one goroutine between Get and Put.
+var scratch = sync.Pool{New: func() any { return make([]float64, 0, 64) }}
+
+func withScratch(n int, f func([]float64)) {
+	buf := scratch.Get().([]float64)
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	f(buf[:n])
+	scratch.Put(buf[:0])
+}

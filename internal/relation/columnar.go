@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // This file implements the columnar, dictionary-encoded fast path for the
@@ -406,7 +407,17 @@ const maxFlatFuse = 1 << 20
 // GroupBy fuses the given columns into a Grouping. All columns must be
 // dictionary-coded. An empty column list yields a single group holding every
 // row (mirroring the row path's empty grouping key).
-func (c *Columnar) GroupBy(cols []int) (*Grouping, error) {
+func (c *Columnar) GroupBy(cols []int) (*Grouping, error) { return c.groupBy(cols, 1) }
+
+// GroupByWorkers is GroupBy with up to workers goroutines on the fuse passes
+// of large relations. The Grouping — codes, counts, first rows, and the
+// first-appearance id order — is bit-identical to GroupBy's for every worker
+// count (pinned by the parallel-equivalence tests).
+func (c *Columnar) GroupByWorkers(cols []int, workers int) (*Grouping, error) {
+	return c.groupBy(cols, workers)
+}
+
+func (c *Columnar) groupBy(cols []int, workers int) (*Grouping, error) {
 	g := &Grouping{Cols: cols}
 	if len(cols) == 0 {
 		g.Codes = make([]uint32, c.n)
@@ -424,16 +435,23 @@ func (c *Columnar) GroupBy(cols []int) (*Grouping, error) {
 	// Fuse left to right. Intermediate stages assign dense pair codes; the
 	// final stage additionally records counts and first rows. The fused ids
 	// of the final stage are in first-appearance row order regardless of
-	// fuse order, because the row scan order is fixed.
+	// fuse order, because the row scan order is fixed. Intermediate code
+	// slices and flat fuse tables are scratch and come from the pools; only
+	// the final stage's codes (g.Codes) are freshly allocated.
 	var cur []uint32
 	curN := 1
 	for s, ci := range cols {
 		col := &c.cols[ci]
 		last := s == len(cols)-1
-		next := make([]uint32, c.n)
+		var next []uint32
+		if last {
+			next = make([]uint32, c.n) // escapes as g.Codes
+		} else {
+			next = poolUint32.get(c.n)
+		}
 		nextN := uint32(0)
 		dictN := col.Dict.Len()
-		assign := func(row int, fused uint64, id int32) int32 {
+		assign := func(row int, id int32) int32 {
 			if id < 0 {
 				id = int32(nextN)
 				nextN++
@@ -448,22 +466,28 @@ func (c *Columnar) GroupBy(cols []int) (*Grouping, error) {
 			}
 			return id
 		}
-		if span := uint64(curN) * uint64(dictN); span <= maxFlatFuse || span <= uint64(4*c.n+16) {
-			flat := make([]int32, span)
+		span := uint64(curN) * uint64(dictN)
+		flatOK := span <= maxFlatFuse || span <= uint64(4*c.n+16)
+		switch {
+		case flatOK && workers > 1 && c.n >= parallelMinRows && span <= 1<<30:
+			nextN = c.fuseStageParallel(g, col.Codes, cur, int(span), dictN, next, last, workers)
+		case flatOK:
+			flat := poolInt32.get(int(span))
 			for i := range flat {
 				flat[i] = -1
 			}
 			if cur == nil {
 				for row, code := range col.Codes {
-					flat[code] = assign(row, uint64(code), flat[code])
+					flat[code] = assign(row, flat[code])
 				}
 			} else {
 				for row, code := range col.Codes {
 					k := uint64(cur[row])*uint64(dictN) + uint64(code)
-					flat[k] = assign(row, k, flat[k])
+					flat[k] = assign(row, flat[k])
 				}
 			}
-		} else {
+			poolInt32.put(flat)
+		default:
 			m := make(map[uint64]int32, c.n/4+16)
 			for row, code := range col.Codes {
 				var k uint64
@@ -476,15 +500,86 @@ func (c *Columnar) GroupBy(cols []int) (*Grouping, error) {
 				if !ok {
 					id = -1
 				}
-				id = assign(row, k, id)
+				id = assign(row, id)
 				m[k] = id
 			}
+		}
+		if cur != nil {
+			poolUint32.put(cur)
 		}
 		cur = next
 		curN = int(nextN)
 	}
 	g.Codes = cur
 	return g, nil
+}
+
+// fuseStageParallel runs one flat fuse stage with the chunked two-pass
+// scheme: pass 1 records each fused key's minimum row via atomic min — a pure
+// minimum, so the result is scheduling-independent — then keys sorted by
+// first row reproduce exactly the first-appearance id order the serial scan
+// assigns, and pass 2 maps every row to its group id. Counts are summed in a
+// final serial sweep. Bit-identical to the serial stage for every worker
+// count.
+func (c *Columnar) fuseStageParallel(g *Grouping, codes, cur []uint32, span, dictN int, next []uint32, last bool, workers int) uint32 {
+	minRow := poolInt32.get(span)
+	for i := range minRow {
+		minRow[i] = -1
+	}
+	runChunks(workers, c.n, func(_, lo, hi int) {
+		if cur == nil {
+			for row := lo; row < hi; row++ {
+				atomicMinInt32(&minRow[codes[row]], int32(row))
+			}
+		} else {
+			for row := lo; row < hi; row++ {
+				k := uint64(cur[row])*uint64(dictN) + uint64(codes[row])
+				atomicMinInt32(&minRow[k], int32(row))
+			}
+		}
+	})
+	ks := poolInt32.get(span)
+	ng := 0
+	for k := 0; k < span; k++ {
+		if minRow[k] >= 0 {
+			ks[ng] = int32(k)
+			ng++
+		}
+	}
+	keys := ks[:ng]
+	sort.Slice(keys, func(i, j int) bool { return minRow[keys[i]] < minRow[keys[j]] })
+	ids := poolInt32.get(span)
+	for rank, k := range keys {
+		ids[k] = int32(rank)
+	}
+	if last {
+		g.Counts = make([]int64, ng)
+		g.First = make([]int32, ng)
+		for rank, k := range keys {
+			g.First[rank] = minRow[k]
+		}
+	}
+	runChunks(workers, c.n, func(_, lo, hi int) {
+		if cur == nil {
+			for row := lo; row < hi; row++ {
+				next[row] = uint32(ids[codes[row]])
+			}
+		} else {
+			for row := lo; row < hi; row++ {
+				k := uint64(cur[row])*uint64(dictN) + uint64(codes[row])
+				next[row] = uint32(ids[k])
+			}
+		}
+	})
+	if last {
+		for _, id := range next {
+			g.Counts[id]++
+		}
+	}
+	poolInt32.put(minRow)
+	poolInt32.put(ks)
+	poolInt32.put(ids)
+	return uint32(ng)
 }
 
 // GroupCounts returns the group sizes of the named columns in
@@ -517,6 +612,14 @@ type JoinIndex struct {
 
 // BuildJoinIndex indexes c on the named join attributes.
 func (c *Columnar) BuildJoinIndex(on ...string) (*JoinIndex, error) {
+	return c.BuildJoinIndexWorkers(1, on...)
+}
+
+// BuildJoinIndexWorkers indexes c on the named join attributes, using up to
+// workers goroutines for the grouping passes when c is large — the build side
+// of a million-row join is the expensive half of a cold evaluation. The index
+// is bit-identical to BuildJoinIndex's for every worker count.
+func (c *Columnar) BuildJoinIndexWorkers(workers int, on ...string) (*JoinIndex, error) {
 	if len(on) == 0 {
 		return nil, fmt.Errorf("relation: join index on %s with no join attributes", c.Name)
 	}
@@ -524,7 +627,7 @@ func (c *Columnar) BuildJoinIndex(on ...string) (*JoinIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := c.GroupBy(cols)
+	g, err := c.groupBy(cols, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -539,22 +642,68 @@ func (c *Columnar) BuildJoinIndex(on ...string) (*JoinIndex, error) {
 	return idx, nil
 }
 
-// gatherCol gathers src at the given rows; codes share the source dictionary.
-func gatherCol(src *CCol, rows []int32) CCol {
-	if src.Codes != nil {
-		out := make([]uint32, len(rows))
-		for i, r := range rows {
-			out[i] = src.Codes[r]
+// gatherGroup gathers the source columns srcIdx (nil: all of src, in order)
+// at the pick rows into dst. Output codes share the source dictionaries. All
+// coded output columns share one backing codes allocation and all numeric
+// ones share one nums and one null backing — one allocation per storage mode
+// per gather instead of one per column, which is what keeps a steady-state
+// join down to a handful of allocations. workers > 1 parallelizes the row
+// sweep of each column; gathers are element-wise, so the output is trivially
+// identical for every worker count.
+func gatherGroup(dst []CCol, src []CCol, srcIdx []int, rows []int32, workers int) {
+	n := len(rows)
+	nCoded, nNum := 0, 0
+	coded := func(j int) bool { return src[j].Codes != nil }
+	col := func(k int) int {
+		if srcIdx == nil {
+			return k
 		}
-		return CCol{Codes: out, Dict: src.Dict}
+		return srcIdx[k]
 	}
-	nums := make([]float64, len(rows))
-	null := make([]bool, len(rows))
-	for i, r := range rows {
-		nums[i] = src.Nums[r]
-		null[i] = src.Null[r]
+	for k := range dst {
+		if coded(col(k)) {
+			nCoded++
+		} else {
+			nNum++
+		}
 	}
-	return CCol{Nums: nums, Null: null}
+	var codesBack []uint32
+	var numsBack []float64
+	var nullBack []bool
+	if nCoded > 0 {
+		codesBack = make([]uint32, nCoded*n)
+	}
+	if nNum > 0 {
+		numsBack = make([]float64, nNum*n)
+		nullBack = make([]bool, nNum*n)
+	}
+	ci, ni := 0, 0
+	for k := range dst {
+		s := &src[col(k)]
+		if s.Codes != nil {
+			dc := codesBack[ci*n : (ci+1)*n : (ci+1)*n]
+			ci++
+			sc := s.Codes
+			runChunks(workers, n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dc[i] = sc[rows[i]]
+				}
+			})
+			dst[k] = CCol{Codes: dc, Dict: s.Dict}
+		} else {
+			dn := numsBack[ni*n : (ni+1)*n : (ni+1)*n]
+			du := nullBack[ni*n : (ni+1)*n : (ni+1)*n]
+			ni++
+			sn, su := s.Nums, s.Null
+			runChunks(workers, n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dn[i] = sn[rows[i]]
+					du[i] = su[rows[i]]
+				}
+			})
+			dst[k] = CCol{Nums: dn, Null: du}
+		}
+	}
 }
 
 // FilterRows returns a new Columnar containing the given rows, in order.
@@ -562,10 +711,19 @@ func gatherCol(src *CCol, rows []int32) CCol {
 func (c *Columnar) FilterRows(rows []int32) *Columnar {
 	out := &Columnar{Name: c.Name, schema: c.schema, n: len(rows)}
 	out.cols = make([]CCol, len(c.cols))
-	for j := range c.cols {
-		out.cols[j] = gatherCol(&c.cols[j], rows)
-	}
+	gatherGroup(out.cols, c.cols, nil, rows, 1)
 	return out
+}
+
+// JoinOptions tunes EquiJoinColumnarOpts.
+type JoinOptions struct {
+	// Workers bounds the goroutines used for the probe, pairing and gather
+	// sweeps (and the index build when none is supplied) on large probe
+	// sides; ≤ 1, or inputs under the parallel threshold, run serially. The
+	// output is bit-identical for every worker count: chunk boundaries
+	// depend only on the row count, and per-chunk output offsets preserve
+	// probe row order exactly.
+	Workers int
 }
 
 // EquiJoinColumnar computes the inner equi-join of a and b on the named
@@ -575,12 +733,17 @@ func (c *Columnar) FilterRows(rows []int32) *Columnar {
 // carry a prebuilt index of b on exactly the same attributes; pass nil to
 // build one in place.
 func EquiJoinColumnar(a, b *Columnar, on []string, idx *JoinIndex) (*Columnar, error) {
+	return EquiJoinColumnarOpts(a, b, on, idx, JoinOptions{})
+}
+
+// EquiJoinColumnarOpts is EquiJoinColumnar with tuning options.
+func EquiJoinColumnarOpts(a, b *Columnar, on []string, idx *JoinIndex, opt JoinOptions) (*Columnar, error) {
 	if len(on) == 0 {
 		return nil, fmt.Errorf("relation: equi-join of %s and %s with no join attributes", a.Name, b.Name)
 	}
 	var err error
 	if idx == nil {
-		if idx, err = b.BuildJoinIndex(on...); err != nil {
+		if idx, err = b.BuildJoinIndexWorkers(opt.Workers, on...); err != nil {
 			return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
 		}
 	}
@@ -592,16 +755,21 @@ func EquiJoinColumnar(a, b *Columnar, on []string, idx *JoinIndex) (*Columnar, e
 	if err != nil {
 		return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
 	}
+	workers := opt.Workers
+	if workers < 1 || a.n < parallelMinRows {
+		workers = 1
+	}
 
 	// Map every probe row to a build-side group (-1: no match). Single-column
 	// joins remap the probe dictionary directly — one canonical key per
 	// distinct value; multi-column joins group the probe rows first so each
-	// distinct tuple is encoded once.
-	pg := make([]int32, a.n)
+	// distinct tuple is encoded once. The probe-group and remap tables are
+	// scratch (pooled).
+	pg := poolInt32.get(a.n)
 	if len(aCols) == 1 && a.cols[aCols[0]].Codes != nil {
 		dict := a.cols[aCols[0]].Dict
-		remap := make([]int32, dict.Len())
-		var buf []byte
+		remap := poolInt32.get(dict.Len())
+		buf := poolBytes.get(0)
 		for code := range remap {
 			buf = dict.vals[code].AppendKey(buf[:0])
 			if g, ok := idx.byKey[string(buf)]; ok {
@@ -610,16 +778,22 @@ func EquiJoinColumnar(a, b *Columnar, on []string, idx *JoinIndex) (*Columnar, e
 				remap[code] = -1
 			}
 		}
-		for row, code := range a.cols[aCols[0]].Codes {
-			pg[row] = remap[code]
-		}
+		poolBytes.put(buf)
+		codes := a.cols[aCols[0]].Codes
+		runChunks(workers, a.n, func(_, lo, hi int) {
+			for row := lo; row < hi; row++ {
+				pg[row] = remap[codes[row]]
+			}
+		})
+		poolInt32.put(remap)
 	} else {
-		ag, err := a.GroupBy(aCols)
+		ag, err := a.groupBy(aCols, workers)
 		if err != nil {
+			poolInt32.put(pg)
 			return nil, fmt.Errorf("join %s ⋈ %s: %w", a.Name, b.Name, err)
 		}
-		remap := make([]int32, ag.N())
-		var buf []byte
+		remap := poolInt32.get(ag.N())
+		buf := poolBytes.get(0)
 		for gid := 0; gid < ag.N(); gid++ {
 			buf = a.AppendRowKey(buf[:0], int(ag.First[gid]), aCols)
 			if g, ok := idx.byKey[string(buf)]; ok {
@@ -628,38 +802,58 @@ func EquiJoinColumnar(a, b *Columnar, on []string, idx *JoinIndex) (*Columnar, e
 				remap[gid] = -1
 			}
 		}
-		for row, gc := range ag.Codes {
-			pg[row] = remap[gc]
-		}
+		poolBytes.put(buf)
+		agCodes := ag.Codes
+		runChunks(workers, a.n, func(_, lo, hi int) {
+			for row := lo; row < hi; row++ {
+				pg[row] = remap[agCodes[row]]
+			}
+		})
+		poolInt32.put(remap)
 	}
 
-	// Size the output exactly from the build-side match counts, then emit
-	// the row-index pairing.
-	total := 0
-	for _, g := range pg {
-		if g >= 0 {
-			total += int(idx.starts[g+1] - idx.starts[g])
+	// Size the output exactly from the build-side match counts — per chunk,
+	// so the pairing sweep can run chunks in parallel while writing every
+	// probe row's pairings at the same offsets a serial scan would.
+	chunks := (a.n + parallelChunkRows - 1) / parallelChunkRows
+	chunkOff := make([]int, chunks+1)
+	runChunks(workers, a.n, func(ch, lo, hi int) {
+		t := 0
+		for row := lo; row < hi; row++ {
+			if g := pg[row]; g >= 0 {
+				t += int(idx.starts[g+1] - idx.starts[g])
+			}
 		}
+		chunkOff[ch+1] = t
+	})
+	for ch := 0; ch < chunks; ch++ {
+		chunkOff[ch+1] += chunkOff[ch]
 	}
-	left := make([]int32, 0, total)
-	right := make([]int32, 0, total)
-	for row, g := range pg {
-		if g < 0 {
-			continue
+	total := chunkOff[chunks]
+
+	left := poolInt32.get(total)
+	right := poolInt32.get(total)
+	runChunks(workers, a.n, func(ch, lo, hi int) {
+		o := chunkOff[ch]
+		for row := lo; row < hi; row++ {
+			g := pg[row]
+			if g < 0 {
+				continue
+			}
+			for _, bi := range idx.rows[idx.starts[g]:idx.starts[g+1]] {
+				left[o] = int32(row)
+				right[o] = bi
+				o++
+			}
 		}
-		for _, bi := range idx.rows[idx.starts[g]:idx.starts[g+1]] {
-			left = append(left, int32(row))
-			right = append(right, bi)
-		}
-	}
+	})
+	poolInt32.put(pg)
 
 	out := &Columnar{Name: a.Name + "⋈" + b.Name, schema: schema, n: total}
 	out.cols = make([]CCol, schema.Len())
-	for j := 0; j < a.schema.Len(); j++ {
-		out.cols[j] = gatherCol(&a.cols[j], left)
-	}
-	for k, j := range rightKeep {
-		out.cols[a.schema.Len()+k] = gatherCol(&b.cols[j], right)
-	}
+	gatherGroup(out.cols[:a.schema.Len()], a.cols, nil, left, workers)
+	gatherGroup(out.cols[a.schema.Len():], b.cols, rightKeep, right, workers)
+	poolInt32.put(left)
+	poolInt32.put(right)
 	return out, nil
 }

@@ -20,6 +20,13 @@ import (
 // immutable, so no clone is needed); rate ≤ 0 returns an empty relation.
 // NULL join values are never sampled (they cannot join).
 func CorrelatedSampleColumnar(c *relation.Columnar, joinAttrs []string, rate float64, h Hasher) (*relation.Columnar, error) {
+	return correlatedSampleColumnar(c, joinAttrs, rate, h, 1)
+}
+
+// correlatedSampleColumnar is CorrelatedSampleColumnar with a worker bound
+// for the grouping pass on large intermediates; kept rows are identical for
+// every worker count.
+func correlatedSampleColumnar(c *relation.Columnar, joinAttrs []string, rate float64, h Hasher, workers int) (*relation.Columnar, error) {
 	if rate >= 1 {
 		return c, nil
 	}
@@ -30,7 +37,7 @@ func CorrelatedSampleColumnar(c *relation.Columnar, joinAttrs []string, rate flo
 	if err != nil {
 		return nil, fmt.Errorf("correlated sample of %s: %w", c.Name, err)
 	}
-	g, err := c.GroupBy(cols)
+	g, err := c.GroupByWorkers(cols, workers)
 	if err != nil {
 		return nil, fmt.Errorf("correlated sample of %s: %w", c.Name, err)
 	}
@@ -152,7 +159,8 @@ func ResampledJoinPathColumnar(steps []ColumnarStep, opts PathJoinOptions, cache
 		}
 	}
 	for i := start + 1; i < len(steps); i++ {
-		j, err := relation.EquiJoinColumnar(acc, steps[i].C, steps[i].On, steps[i].Index)
+		j, err := relation.EquiJoinColumnarOpts(acc, steps[i].C, steps[i].On, steps[i].Index,
+			relation.JoinOptions{Workers: opts.Workers})
 		if err != nil {
 			return nil, stats, err
 		}
@@ -160,7 +168,7 @@ func ResampledJoinPathColumnar(steps []ColumnarStep, opts PathJoinOptions, cache
 		resampled := false
 		// Only re-sample when another join follows and the threshold trips.
 		if opts.Eta > 0 && i < len(steps)-1 && j.NumRows() > opts.Eta {
-			j2, err := CorrelatedSampleColumnar(j, steps[i+1].On, opts.ResampleRate, opts.Hasher)
+			j2, err := correlatedSampleColumnar(j, steps[i+1].On, opts.ResampleRate, opts.Hasher, opts.Workers)
 			if err != nil {
 				return nil, stats, err
 			}

@@ -210,6 +210,11 @@ type PathJoinOptions struct {
 	// Hasher drives the correlated re-sampling (hash of the next join
 	// attribute value), so downstream joins stay correlated.
 	Hasher Hasher
+	// Workers bounds the goroutines the columnar join/grouping kernels may
+	// use per evaluation (≤ 1: serial). Pure execution tuning: results are
+	// bit-identical for every value, so it is deliberately NOT part of
+	// CacheKey — two runs differing only in Workers share cache entries.
+	Workers int
 }
 
 // CacheKey identifies the options up to join-output equivalence: two

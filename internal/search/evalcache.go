@@ -2,31 +2,43 @@ package search
 
 import (
 	"hash/fnv"
+	"runtime"
 	"sync"
 )
 
-// evalCacheShards keeps lock contention low when many MCMC chains evaluate
-// concurrently: keys spread across shards by FNV-1a hash, so two chains
-// only contend when they hash to the same shard.
-const evalCacheShards = 32
+// cacheShardCount sizes a sharded cache off the machine: the next power of
+// two ≥ 4×GOMAXPROCS, clamped to [minShards, 256]. Intra-chain segmentation
+// means up to GOMAXPROCS goroutines hammer the caches at once even for a
+// single candidate; 4× that head-room keeps the collision probability of two
+// hot keys landing on one shard low, the power of two keeps the shard pick a
+// mask, and the floor preserves the pre-sizing behavior on small machines so
+// a 1-CPU box never regresses below the old fixed counts.
+func cacheShardCount(minShards int) int {
+	want := 4 * runtime.GOMAXPROCS(0)
+	n := minShards
+	for n < want && n < 256 {
+		n <<= 1
+	}
+	return n
+}
 
-// evalCacheShardCap bounds one shard's entries. The cache now outlives a
-// single Searcher (it is shared across offline rebuilds, keyed by dataset
-// version), so without a bound a long-lived escalating session would
-// accumulate one generation of dead entries per round. On overflow the
-// shard resets — losing memoized metrics only costs a re-evaluation.
+// evalCacheShardCap bounds one shard's entries. The cache outlives a single
+// Searcher (it is shared across offline rebuilds, keyed by dataset version),
+// so without a bound a long-lived escalating session would accumulate one
+// generation of dead entries per round. On overflow the shard resets —
+// losing memoized metrics only costs a re-evaluation.
 const evalCacheShardCap = 1 << 12
 
 // evalCache memoizes target-graph metric evaluations. It is safe for
 // concurrent use — the worker pool of Heuristic/TopK hits it from every
-// chain — and is keyed by the *full* evaluation identity: the target-graph
-// fingerprint, the request's X/Y attribute split (CORR is asymmetric),
-// and the sampling options (η, ρ, hasher seed). The seed-era predecessor
-// keyed on the fingerprint alone and silently served stale metrics when
-// one Searcher was reused across requests with different sampling options
-// or attribute roles.
+// chain segment — and is keyed by the *full* evaluation identity: the
+// target-graph fingerprint, the request's X/Y attribute split (CORR is
+// asymmetric), and the sampling options (η, ρ, hasher seed). The seed-era
+// predecessor keyed on the fingerprint alone and silently served stale
+// metrics when one Searcher was reused across requests with different
+// sampling options or attribute roles.
 type evalCache struct {
-	shards [evalCacheShards]evalCacheShard
+	shards []evalCacheShard // len is a power of two, fixed at construction
 }
 
 type evalCacheShard struct {
@@ -34,8 +46,17 @@ type evalCacheShard struct {
 	m  map[string]Metrics // guarded by mu
 }
 
-func newEvalCache() *evalCache {
-	c := &evalCache{}
+func newEvalCache() *evalCache { return newEvalCacheShards(cacheShardCount(32)) }
+
+// newEvalCacheShards builds an evalCache with a fixed shard count (rounded
+// up to a power of two); exported sizing goes through newEvalCache, the
+// parameter exists for the contention benchmark's before/after comparison.
+func newEvalCacheShards(n int) *evalCache {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	c := &evalCache{shards: make([]evalCacheShard, p)}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]Metrics)
 	}
@@ -45,7 +66,7 @@ func newEvalCache() *evalCache {
 func (c *evalCache) shard(key string) *evalCacheShard {
 	h := fnv.New32a()
 	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%evalCacheShards]
+	return &c.shards[h.Sum32()&uint32(len(c.shards)-1)]
 }
 
 func (c *evalCache) get(key string) (Metrics, bool) {

@@ -1,0 +1,53 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Contention benchmarks for the GOMAXPROCS-sized cache sharding: eight
+// goroutines — the intra-chain segment pool of one 8-worker search —
+// hammering get/put with a mixed hit/miss key stream, against a
+// single-shard cache (the degenerate pre-sizing layout under maximum
+// contention) and the GOMAXPROCS-sized default. Run with -cpu 8 on a
+// multicore box to see the spread; on one CPU the two converge because
+// nothing contends.
+//
+//	go test ./internal/search/ -run - -bench EvalCacheContention -cpu 8
+
+func benchmarkEvalCacheContention(b *testing.B, c *evalCache) {
+	const keys = 1 << 10
+	ks := make([]string, keys)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("tg-%d|inst-%d|corr", i, i%7)
+		if i%2 == 0 {
+			c.put(ks[i], Metrics{Correlation: float64(i)})
+		}
+	}
+	const workers = 8
+	b.ResetTimer()
+	perWorker := b.N/workers + 1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := ks[(i*workers+w)%keys]
+				if _, ok := c.get(k); !ok {
+					c.put(k, Metrics{Correlation: float64(i)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkEvalCacheContentionSingleShard(b *testing.B) {
+	benchmarkEvalCacheContention(b, newEvalCacheShards(1))
+}
+
+func BenchmarkEvalCacheContentionSharded(b *testing.B) {
+	benchmarkEvalCacheContention(b, newEvalCache())
+}

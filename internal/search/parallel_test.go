@@ -6,39 +6,67 @@ import (
 )
 
 // The tentpole guarantee of the concurrent engine: for a fixed seed the
-// worker count changes wall-clock time only. Every chain owns an RNG
-// derived from (Seed, candidate index) and the reduction is in candidate
-// order, so workers=N must reproduce workers=1 bit for bit.
+// worker count changes wall-clock time only. Segmentation and RNG streams
+// are derived from (Seed, candidate, segment) — never from Workers — and
+// the reduction is in (candidate, segment) order, so every worker count
+// must reproduce workers=1 bit for bit.
 func TestHeuristicParallelMatchesSerial(t *testing.T) {
 	for _, seed := range []int64{1, 3, 9} {
 		req := baseRequest()
 		req.Seed = seed
-
-		serial, parallelRes := req, req
-		serial.Workers = 1
-		parallelRes.Workers = 8
+		req.Workers = 1
 
 		s1, _ := buildSearcher(t, 1)
-		r1, err := s1.Heuristic(bg, serial)
+		r1, err := s1.Heuristic(bg, req)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s2, _ := buildSearcher(t, 1)
-		r2, err := s2.Heuristic(bg, parallelRes)
-		if err != nil {
-			t.Fatal(err)
+		for _, workers := range []int{2, 3, 8} {
+			par := req
+			par.Workers = workers
+			s2, _ := buildSearcher(t, 1)
+			r2, err := s2.Heuristic(bg, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fingerprint(r1.TG) != fingerprint(r2.TG) {
+				t.Fatalf("seed %d workers %d: parallel best TG differs from serial:\n%s\nvs\n%s",
+					seed, workers, fingerprint(r1.TG), fingerprint(r2.TG))
+			}
+			if r1.Est != r2.Est {
+				t.Fatalf("seed %d workers %d: metrics differ: %+v vs %+v", seed, workers, r1.Est, r2.Est)
+			}
+			if r1.Evals != r2.Evals || r1.Considered != r2.Considered {
+				t.Fatalf("seed %d workers %d: counters differ: evals %d/%d considered %d/%d",
+					seed, workers, r1.Evals, r2.Evals, r1.Considered, r2.Considered)
+			}
 		}
-		if fingerprint(r1.TG) != fingerprint(r2.TG) {
-			t.Fatalf("seed %d: parallel best TG differs from serial:\n%s\nvs\n%s",
-				seed, fingerprint(r1.TG), fingerprint(r2.TG))
+	}
+}
+
+// segmentUnits must flatten candidate-major with per-candidate iteration
+// counts summing to exactly ℓ — the reduction and the Evals/Considered
+// accounting both lean on that shape.
+func TestSegmentUnitsPartition(t *testing.T) {
+	plans := []chainPlan{{segs: 7}, {}, {segs: 3}}
+	units := segmentUnits(plans, 100)
+	if len(units) != 10 {
+		t.Fatalf("len(units) = %d, want 10", len(units))
+	}
+	sums := map[int]int{}
+	prevCand, prevSeg := -1, -1
+	for _, u := range units {
+		if u.cand < prevCand || (u.cand == prevCand && u.seg != prevSeg+1) {
+			t.Fatalf("units out of (candidate, segment) order: %+v", units)
 		}
-		if r1.Est != r2.Est {
-			t.Fatalf("seed %d: metrics differ: %+v vs %+v", seed, r1.Est, r2.Est)
+		if u.cand != prevCand {
+			prevSeg = -1
 		}
-		if r1.Evals != r2.Evals || r1.Considered != r2.Considered {
-			t.Fatalf("seed %d: counters differ: evals %d/%d considered %d/%d",
-				seed, r1.Evals, r2.Evals, r1.Considered, r2.Considered)
-		}
+		prevCand, prevSeg = u.cand, u.seg
+		sums[u.cand] += u.iters
+	}
+	if sums[0] != 100 || sums[2] != 100 || sums[1] != 0 {
+		t.Fatalf("per-candidate iteration sums = %v, want 100 for candidates 0 and 2", sums)
 	}
 }
 

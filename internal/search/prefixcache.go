@@ -22,7 +22,6 @@ import (
 // at all. Evicting or skipping an entry only costs a re-join, never
 // correctness.
 const (
-	prefixCacheShards   = 16
 	prefixCacheShardCap = 48
 	// prefixCacheShardRowBudget bounds the summed NumRows of a shard's
 	// entries (~16 MB of codes per shard at 4 typical uint32 columns).
@@ -33,7 +32,7 @@ const (
 )
 
 type prefixCache struct {
-	shards [prefixCacheShards]prefixShard
+	shards []prefixShard // len is a power of two (cacheShardCount), fixed at construction
 }
 
 type prefixShard struct {
@@ -44,7 +43,7 @@ type prefixShard struct {
 }
 
 func newPrefixCache() *prefixCache {
-	c := &prefixCache{}
+	c := &prefixCache{shards: make([]prefixShard, cacheShardCount(16))}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]*relation.Columnar)
 	}
@@ -58,7 +57,7 @@ func (c *prefixCache) shard(key string) *prefixShard {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return &c.shards[h%prefixCacheShards]
+	return &c.shards[h&uint32(len(c.shards)-1)]
 }
 
 // Get returns the cached intermediate for key, if present.

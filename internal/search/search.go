@@ -59,11 +59,15 @@ type Request struct {
 	MaxIGraphs int
 	// Seed drives the MCMC and landmark selection.
 	Seed int64
-	// Workers bounds the number of concurrent MCMC chains in Step 2 (one
-	// chain per Step 1 candidate, each with its own RNG derived from Seed
-	// and the candidate index). 0 or negative means one worker per CPU;
-	// 1 forces the serial engine. The best result is identical for every
-	// worker count.
+	// Workers bounds Step 2's concurrency. Work is split *inside* each
+	// chain: a candidate's ℓ iterations partition into fixed segments (a
+	// function of ℓ alone, never of Workers), each restarting from the
+	// candidate's initial target graph with an RNG stream derived from
+	// (Seed, candidate, segment) — so eight workers help even when Step 1
+	// yields two candidates. 0 or negative means one worker per CPU; 1
+	// forces the serial engine. The best result is bit-identical for every
+	// worker count: segmentation and RNG streams are worker-independent and
+	// the reduction scans (candidate, segment) results in input order.
 	Workers int
 	// Greedy switches Algorithm 1's Metropolis acceptance
 	// min(1, CORR'/CORR) to strict hill-climbing (accept only
@@ -197,11 +201,12 @@ func (s *Searcher) columnarOf(v int) *relation.Columnar {
 }
 
 // joinIndexOf returns the shared build-side join index of instance v on the
-// given attributes, building it on first use. The build — O(sample size) —
-// runs outside the store lock so concurrent workers warming up different
-// (instance, attrs) pairs don't serialize; a racing duplicate build is
-// harmless (indexes are immutable, first store wins).
-func (s *Searcher) joinIndexOf(v int, on []string) (*relation.JoinIndex, error) {
+// given attributes, building it on first use (with up to workers goroutines
+// — indexes are bit-identical for every worker count). The build — O(sample
+// size) — runs outside the store lock so concurrent workers warming up
+// different (instance, attrs) pairs don't serialize; a racing duplicate
+// build is harmless (indexes are immutable, first store wins).
+func (s *Searcher) joinIndexOf(v int, on []string, workers int) (*relation.JoinIndex, error) {
 	key := joinIndexKey(s.instKey[v], on)
 	s.caches.joinIdx.mu.RLock()
 	idx := s.caches.joinIdx.m[key]
@@ -209,7 +214,7 @@ func (s *Searcher) joinIndexOf(v int, on []string) (*relation.JoinIndex, error) 
 	if idx != nil {
 		return idx, nil
 	}
-	built, err := s.columnarOf(v).BuildJoinIndex(on...)
+	built, err := s.columnarOf(v).BuildJoinIndexWorkers(workers, on...)
 	if err != nil {
 		return nil, err
 	}
@@ -295,11 +300,19 @@ func (s *Searcher) evalKey(tg *joingraph.TargetGraph, req Request) string {
 // different attribute splits, Eta/ResampleRate/Seed, or offline state
 // versions without cross-contamination, from any number of goroutines.
 func (s *Searcher) Evaluate(ctx context.Context, tg *joingraph.TargetGraph, req Request) (Metrics, error) {
+	return s.evaluate(ctx, tg, req, 1)
+}
+
+// evaluate is Evaluate with a worker bound for the columnar join/grouping
+// kernels of a cache miss. Metrics are bit-identical for every worker count
+// (the kernels pin that), so cached entries are shared freely across calls
+// with different worker bounds.
+func (s *Searcher) evaluate(ctx context.Context, tg *joingraph.TargetGraph, req Request, workers int) (Metrics, error) {
 	key := s.evalKey(tg, req)
 	if m, ok := s.caches.eval.get(key); ok {
 		return m, nil
 	}
-	m, err := s.evaluateUncached(ctx, tg, req)
+	m, err := s.evaluateUncached(ctx, tg, req, workers)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -314,7 +327,7 @@ func (s *Searcher) Evaluate(ctx context.Context, tg *joingraph.TargetGraph, req 
 // are bit-identical to joining the row samples with
 // sampling.ResampledJoinPath and calling infotheory.CorrelationOnRows and
 // fd.QualitySet (pinned by the columnar equivalence tests).
-func (s *Searcher) evaluateUncached(ctx context.Context, tg *joingraph.TargetGraph, req Request) (Metrics, error) {
+func (s *Searcher) evaluateUncached(ctx context.Context, tg *joingraph.TargetGraph, req Request, workers int) (Metrics, error) {
 	x, y, err := req.corrAttrs()
 	if err != nil {
 		return Metrics{}, err
@@ -327,13 +340,15 @@ func (s *Searcher) evaluateUncached(ctx context.Context, tg *joingraph.TargetGra
 	for i, hp := range hops {
 		st := sampling.ColumnarStep{C: s.columnarOf(hp.Vertex), On: hp.On, ID: s.instKey[hp.Vertex]}
 		if i > 0 {
-			if st.Index, err = s.joinIndexOf(hp.Vertex, hp.On); err != nil {
+			if st.Index, err = s.joinIndexOf(hp.Vertex, hp.On, workers); err != nil {
 				return Metrics{}, err
 			}
 		}
 		steps[i] = st
 	}
-	j, _, err := sampling.ResampledJoinPathColumnar(steps, req.samplingOptions(), s.caches.prefixes)
+	opts := req.samplingOptions()
+	opts.Workers = workers
+	j, _, err := sampling.ResampledJoinPathColumnar(steps, opts, s.caches.prefixes)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -610,54 +625,180 @@ func chainSeed(seed int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// mcmcSegmentIters is the target segment length of a chain's walk: a
+// candidate's ℓ iterations split into ceil(ℓ/mcmcSegmentIters) segments —
+// a function of ℓ alone, never of Workers, so the unit list (and with it
+// every RNG stream) is identical for every worker count. Segments restart
+// from the candidate's initial target graph, trading some walk depth for
+// parallelism; 16 keeps enough consecutive steps for the Metropolis chain
+// to escape the initial state while giving 8 workers ~7 units per candidate
+// at the default ℓ=100. mcmcMaxSegments bounds the unit list for huge ℓ
+// (segments grow past mcmcSegmentIters instead): 64 units per candidate
+// saturate any realistic pool, and an unbounded count would materialize
+// ℓ/16 structs for a cancellation-bounded ℓ=2³⁰ request.
+const (
+	mcmcSegmentIters = 16
+	mcmcMaxSegments  = 64
+)
+
+// segmentSeed derives the RNG stream of one (candidate, segment) pair by
+// composing the splitmix64 chain derivation twice. Streams depend only on
+// (request seed, candidate index, segment index) — never on scheduling.
+func segmentSeed(seed int64, cand, seg int) int64 {
+	return chainSeed(chainSeed(seed, cand), seg)
+}
+
+// chainPlan is one Step 1 candidate prepared for segmented MCMC.
+type chainPlan struct {
+	tg        *joingraph.TargetGraph // nil when the candidate was unconvertible (skipped)
+	swappable []int                  // edge indexes with ≥ 2 variants
+	segs      int                    // 0 when nothing is swappable: initial evaluation only
+}
+
+// chainPlans converts Step 1 candidates into target graphs and fixes each
+// one's segmentation. viable counts the convertible candidates.
+func (s *Searcher) chainPlans(cands []*graphalg.SteinerTree, req Request) (plans []chainPlan, viable int) {
+	plans = make([]chainPlan, len(cands))
+	for i, tr := range cands {
+		tg, err := s.treeToTargetGraph(tr, req)
+		if err != nil {
+			continue // unconvertible candidate: skip, as the serial loop did
+		}
+		p := chainPlan{tg: tg}
+		for ei, e := range tg.Edges {
+			if len(s.G.EdgeBetween(e.I, e.J).Variants) > 1 {
+				p.swappable = append(p.swappable, ei)
+			}
+		}
+		if len(p.swappable) > 0 {
+			p.segs = (req.Iterations + mcmcSegmentIters - 1) / mcmcSegmentIters
+			if p.segs > mcmcMaxSegments {
+				p.segs = mcmcMaxSegments
+			}
+		}
+		plans[i] = p
+		viable++
+	}
+	return plans, viable
+}
+
+// segUnit is one independently runnable MCMC segment.
+type segUnit struct {
+	cand, seg, iters int
+}
+
+// segmentUnits flattens the plans' segments into one candidate-major work
+// list; segment s of a candidate gets iters/segs iterations plus one of the
+// remainder, so per-candidate proposal counts sum to exactly ℓ.
+func segmentUnits(plans []chainPlan, iterations int) []segUnit {
+	var units []segUnit
+	for ci, p := range plans {
+		if p.segs == 0 {
+			continue
+		}
+		base, extra := iterations/p.segs, iterations%p.segs
+		for sg := 0; sg < p.segs; sg++ {
+			it := base
+			if sg < extra {
+				it++
+			}
+			units = append(units, segUnit{cand: ci, seg: sg, iters: it})
+		}
+	}
+	return units
+}
+
+// initWorkers splits the pool across phase 0's per-candidate initial
+// evaluations: leftover workers fan into each evaluation's columnar join and
+// grouping kernels (which are bit-identical for every worker count).
+func initWorkers(workers, viable int) int {
+	if viable > 0 && workers/viable > 1 {
+		return workers / viable
+	}
+	return 1
+}
+
 // Heuristic runs the full two-step search: Step 1 minimal-weight I-graphs,
 // then Algorithm 1's MCMC over join-attribute variants on each candidate,
 // keeping the feasible target graph with the highest estimated correlation.
 //
-// Candidates run as a worker pool of req.Workers concurrent chains; each
-// chain owns an RNG derived from (Seed, candidate index) and the reduction
-// scans chain results in candidate order, so the outcome is bit-identical
-// for every worker count. Cancelling ctx stops every chain mid-walk and
-// returns ctx.Err().
+// Step 2 parallelism is intra-chain: each candidate's walk splits into
+// fixed-length segments (chainPlans/segmentUnits), every segment restarting
+// from the candidate's initial target graph with an RNG stream derived from
+// (Seed, candidate, segment), and a pool of req.Workers goroutines drains
+// the flattened unit list — so eight workers help even when Step 1 yields
+// two candidates. The reduction scans results in (candidate, segment) input
+// order, so the outcome is bit-identical for every worker count. Cancelling
+// ctx stops every segment mid-walk and returns ctx.Err().
 func (s *Searcher) Heuristic(ctx context.Context, req Request) (*Result, error) {
 	req = req.withDefaults()
 	cands, err := s.step1Candidates(req)
 	if err != nil {
 		return nil, err
 	}
-	type chainOut struct {
-		res *Result
-		m   Metrics
-		ok  bool
-	}
-	outs, err := parallel.Map(ctx, len(cands), req.Workers, func(i int) (chainOut, error) {
-		tg, err := s.treeToTargetGraph(cands[i], req)
-		if err != nil {
-			return chainOut{}, nil // unconvertible candidate: skip, as the serial loop did
+	plans, viable := s.chainPlans(cands, req)
+	workers := parallel.DefaultWorkers(req.Workers)
+
+	// Phase 0: evaluate every candidate's initial target graph once. The
+	// segments of a candidate all restart from this state, so evaluating it
+	// up front (a) avoids re-deriving it per segment and (b) warms the
+	// prefix/join-index caches before the segment fan-out.
+	perInit := initWorkers(workers, viable)
+	initM, err := parallel.Map(ctx, len(plans), workers, func(i int) (Metrics, error) {
+		if plans[i].tg == nil {
+			return Metrics{}, nil
 		}
-		rng := rand.New(rand.NewSource(chainSeed(req.Seed, i)))
-		res, m, ok, err := s.mcmc(ctx, tg, req, rng)
-		if err != nil {
-			return chainOut{}, err
-		}
-		return chainOut{res: res, m: m, ok: ok}, nil
+		return s.evaluate(ctx, plans[i].tg, req, perInit)
 	})
 	if err != nil {
 		return nil, err
 	}
+
+	units := segmentUnits(plans, req.Iterations)
+	type segOut struct {
+		tg *joingraph.TargetGraph
+		m  Metrics
+		ok bool
+	}
+	outs, err := parallel.Map(ctx, len(units), workers, func(u int) (segOut, error) {
+		un := units[u]
+		p := plans[un.cand]
+		rng := rand.New(rand.NewSource(segmentSeed(req.Seed, un.cand, un.seg)))
+		tg, m, ok, err := s.mcmcSegment(ctx, p.tg, initM[un.cand], p.swappable, un.iters, req, rng)
+		if err != nil {
+			return segOut{}, err
+		}
+		return segOut{tg: tg, m: m, ok: ok}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce in candidate-major, then segment, order: worker-count
+	// independent, and per-candidate totals (1 initial + ℓ proposals when
+	// swappable) match the unsegmented walk exactly.
 	best := &Result{}
 	var bestM Metrics
 	found := false
-	for _, o := range outs {
-		if o.res == nil {
+	consider := func(tg *joingraph.TargetGraph, m Metrics, ok bool) {
+		if ok && (!found || m.Correlation > bestM.Correlation) {
+			found = true
+			best.TG = tg
+			bestM = m
+		}
+	}
+	ui := 0
+	for ci, p := range plans {
+		if p.tg == nil {
 			continue
 		}
-		best.Evals += o.res.Evals
-		best.Considered += o.res.Considered
-		if o.ok && (!found || o.m.Correlation > bestM.Correlation) {
-			found = true
-			best.TG = o.res.TG
-			bestM = o.m
+		best.Evals++
+		best.Considered++
+		consider(p.tg, initM[ci], initM[ci].Feasible(req))
+		for ; ui < len(units) && units[ui].cand == ci; ui++ {
+			best.Evals += units[ui].iters
+			best.Considered += units[ui].iters
+			consider(outs[ui].tg, outs[ui].m, outs[ui].ok)
 		}
 	}
 	if !found {
@@ -667,37 +808,22 @@ func (s *Searcher) Heuristic(ctx context.Context, req Request) (*Result, error) 
 	return best, nil
 }
 
-// mcmc is Algorithm 1 (FindJoinTree_AttSet): ℓ iterations of variant swaps
-// with Metropolis acceptance min(1, CORR'/CORR), tracking the best feasible
-// sample. The context is checked every iteration, so a cancelled request
-// stops mid-chain rather than draining all ℓ iterations.
-func (s *Searcher) mcmc(ctx context.Context, tg *joingraph.TargetGraph, req Request, rng *rand.Rand) (*Result, Metrics, bool, error) {
-	res := &Result{}
-	var bestM, curM Metrics
+// mcmcSegment runs one segment of Algorithm 1 (FindJoinTree_AttSet): iters
+// variant-swap proposals with Metropolis acceptance min(1, CORR'/CORR),
+// walking from the candidate's initial target graph (whose metrics, initM,
+// phase 0 already evaluated — segments count only proposal evaluations) and
+// tracking the best feasible state seen, the initial one included. The
+// context is checked every iteration, so a cancelled request stops mid-walk.
+func (s *Searcher) mcmcSegment(ctx context.Context, tg *joingraph.TargetGraph, initM Metrics, swappable []int, iters int, req Request, rng *rand.Rand) (*joingraph.TargetGraph, Metrics, bool, error) {
+	cur, curM := tg, initM
 	var bestTG *joingraph.TargetGraph
+	var bestM Metrics
 	found := false
-
-	cur := tg
-	curM, err := s.Evaluate(ctx, cur, req)
-	if err != nil {
-		return nil, Metrics{}, false, err
-	}
-	res.Evals++
-	res.Considered++
 	if curM.Feasible(req) {
 		found = true
 		bestTG, bestM = cur, curM
 	}
-
-	// Edges with at least one alternative variant.
-	swappable := make([]int, 0, len(cur.Edges))
-	for i, e := range cur.Edges {
-		if len(s.G.EdgeBetween(e.I, e.J).Variants) > 1 {
-			swappable = append(swappable, i)
-		}
-	}
-
-	for it := 0; it < req.Iterations && len(swappable) > 0; it++ {
+	for it := 0; it < iters; it++ {
 		if err := ctx.Err(); err != nil {
 			return nil, Metrics{}, false, err
 		}
@@ -711,12 +837,10 @@ func (s *Searcher) mcmc(ctx context.Context, tg *joingraph.TargetGraph, req Requ
 		cand := cur.Clone()
 		cand.Edges[ei].Variant = nv
 
-		candM, err := s.Evaluate(ctx, cand, req)
+		candM, err := s.evaluate(ctx, cand, req, 1)
 		if err != nil {
 			return nil, Metrics{}, false, err
 		}
-		res.Evals++
-		res.Considered++
 		// Line 8 of Algorithm 1: constraint check first.
 		if !candM.Feasible(req) {
 			continue
@@ -739,6 +863,5 @@ func (s *Searcher) mcmc(ctx context.Context, tg *joingraph.TargetGraph, req Requ
 			}
 		}
 	}
-	res.TG = bestTG
-	return res, bestM, found, nil
+	return bestTG, bestM, found, nil
 }

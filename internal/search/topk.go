@@ -94,27 +94,47 @@ func (s *Searcher) TopK(ctx context.Context, req Request, k int, weights ScoreWe
 		}
 	}
 
-	// One walk per Step 1 candidate, pooled exactly like Heuristic: a
-	// chain-local RNG keyed by candidate index keeps every walk — and so
-	// the collected option set — identical across worker counts.
-	walks, err := parallel.Map(ctx, len(cands), req.Workers, func(i int) (*Result, error) {
-		tg, err := s.treeToTargetGraph(cands[i], req)
-		if err != nil {
-			return nil, nil // unconvertible candidate: skip
+	// Walks are segmented exactly like Heuristic: phase 0 evaluates (and,
+	// when feasible, records) every candidate's initial target graph, then a
+	// pool of req.Workers goroutines drains the flattened (candidate,
+	// segment) unit list, each segment restarting from the initial state
+	// with its (Seed, candidate, segment)-derived RNG. Re-recording a
+	// fingerprint another segment already visited is harmless — equal
+	// fingerprints imply equal metrics, hence equal scores — so the option
+	// set stays identical across worker counts.
+	plans, viable := s.chainPlans(cands, req)
+	workers := parallel.DefaultWorkers(req.Workers)
+	perInit := initWorkers(workers, viable)
+	initM, err := parallel.Map(ctx, len(plans), workers, func(i int) (Metrics, error) {
+		if plans[i].tg == nil {
+			return Metrics{}, nil
 		}
-		rng := rand.New(rand.NewSource(chainSeed(req.Seed, i)))
-		return s.mcmcCollect(ctx, tg, req, rng, record)
+		m, err := s.evaluate(ctx, plans[i].tg, req, perInit)
+		if err != nil {
+			return Metrics{}, err
+		}
+		if m.Feasible(req) {
+			record(&Result{TG: plans[i].tg}, m)
+		}
+		return m, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	totalEvals, totalConsidered := 0, 0
-	for _, walk := range walks {
-		if walk == nil {
-			continue
-		}
-		totalEvals += walk.Evals
-		totalConsidered += walk.Considered
+	units := segmentUnits(plans, req.Iterations)
+	err = parallel.ForEach(ctx, len(units), workers, func(u int) error {
+		un := units[u]
+		p := plans[un.cand]
+		rng := rand.New(rand.NewSource(segmentSeed(req.Seed, un.cand, un.seg)))
+		return s.mcmcCollectSegment(ctx, p.tg, initM[un.cand], p.swappable, un.iters, req, rng, record)
+	})
+	if err != nil {
+		return nil, err
+	}
+	totalEvals, totalConsidered := viable, viable
+	for _, un := range units {
+		totalEvals += un.iters
+		totalConsidered += un.iters
 	}
 	if len(best) == 0 {
 		return nil, fmt.Errorf("search: no feasible acquisition options (budget %v, α %v, β %v): %w",
@@ -141,31 +161,17 @@ func (s *Searcher) TopK(ctx context.Context, req Request, k int, weights ScoreWe
 	return options, nil
 }
 
-// mcmcCollect is Algorithm 1 with a visitor: every *feasible* sample the
-// walk evaluates is reported, so callers can rank with arbitrary scores.
-func (s *Searcher) mcmcCollect(ctx context.Context, tg *joingraph.TargetGraph, req Request, rng *rand.Rand,
-	visit func(*Result, Metrics)) (*Result, error) {
+// mcmcCollectSegment is mcmcSegment with a visitor: every *feasible*
+// proposal the segment evaluates is reported, so callers can rank with
+// arbitrary scores. (The initial state is phase 0's to visit — segments
+// evaluate and report only their own proposals.)
+func (s *Searcher) mcmcCollectSegment(ctx context.Context, tg *joingraph.TargetGraph, initM Metrics, swappable []int, iters int, req Request, rng *rand.Rand,
+	visit func(*Result, Metrics)) error {
 
-	res := &Result{}
-	cur := tg
-	curM, err := s.Evaluate(ctx, cur, req)
-	if err != nil {
-		return nil, err
-	}
-	res.Evals++
-	res.Considered++
-	if curM.Feasible(req) {
-		visit(&Result{TG: cur}, curM)
-	}
-	swappable := make([]int, 0, len(cur.Edges))
-	for i, e := range cur.Edges {
-		if len(s.G.EdgeBetween(e.I, e.J).Variants) > 1 {
-			swappable = append(swappable, i)
-		}
-	}
-	for it := 0; it < req.Iterations && len(swappable) > 0; it++ {
+	cur, curM := tg, initM
+	for it := 0; it < iters; it++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		ei := swappable[rng.Intn(len(swappable))]
 		edge := cur.Edges[ei]
@@ -176,12 +182,10 @@ func (s *Searcher) mcmcCollect(ctx context.Context, tg *joingraph.TargetGraph, r
 		}
 		cand := cur.Clone()
 		cand.Edges[ei].Variant = nv
-		candM, err := s.Evaluate(ctx, cand, req)
+		candM, err := s.evaluate(ctx, cand, req, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Evals++
-		res.Considered++
 		if !candM.Feasible(req) {
 			continue
 		}
@@ -198,7 +202,7 @@ func (s *Searcher) mcmcCollect(ctx context.Context, tg *joingraph.TargetGraph, r
 			cur, curM = cand, candM
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // SpreadScore measures how diverse a slice of options is: the mean pairwise

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"github.com/dance-db/dance/internal/fd"
@@ -633,12 +634,22 @@ func (b *builder) groundTruth() error {
 		steps[i] = relation.PathStep{Table: cur, On: on}
 		prev = cur
 	}
-	joined, err := relation.JoinPath(steps)
-	if err != nil {
-		return fmt.Errorf("workload: planted join: %w", err)
+	// The planted join runs on the columnar kernels with one worker per CPU:
+	// the million-row specs make the row path (which materializes every
+	// joined row) prohibitively slow, and the columnar result is pinned
+	// bit-identical to it for every worker count.
+	workers := runtime.GOMAXPROCS(0)
+	acc := relation.ToColumnar(steps[0].Table)
+	for i := 1; i < len(steps); i++ {
+		next, err := relation.EquiJoinColumnarOpts(acc, relation.ToColumnar(steps[i].Table), steps[i].On, nil,
+			relation.JoinOptions{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("workload: planted join: %w", err)
+		}
+		acc = next
 	}
 	w.Truth.X, w.Truth.Y = "x", "y"
-	rho, err := infotheory.Correlation(joined, []string{"x"}, []string{"y"})
+	rho, err := infotheory.CorrelationColumnar(acc, []string{"x"}, []string{"y"})
 	if err != nil {
 		return fmt.Errorf("workload: planted correlation: %w", err)
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/dance-db/dance/internal/cli"
@@ -66,6 +67,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		topk      = fs.Int("topk", 0, "recommend the k best-scored options instead of one plan")
 		workers   = fs.Int("workers", 0, "concurrent sample fetches and MCMC chains (0 = one per CPU, 1 = serial)")
 		timeout   = fs.Duration("timeout", 0, "overall deadline for the acquisition (e.g. 90s; 0 = none)")
+		policyFl  = fs.String("policy", "", "acquisition policy (empty = dance; see core.Policies: "+strings.Join(core.Policies(), ", ")+")")
+		params    = fs.String("policy-params", "", "comma-separated policy tunables, e.g. pilot_rate=0.1,rounds=3")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -117,16 +120,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		defer cancel()
 	}
 
+	policyParams, err := parseParams(*params)
+	if err != nil {
+		return err
+	}
 	mw := core.New(market, core.Config{SampleRate: *rate, SampleSeed: uint64(*seed), DiscoverFDs: true, Workers: *workers})
 	req := search.Request{
-		SourceAttrs: splitList(*source),
-		TargetAttrs: splitList(*target),
-		Budget:      *budget,
-		Alpha:       *alpha,
-		Beta:        *beta,
-		Iterations:  *iters,
-		Seed:        *seed,
-		Workers:     *workers,
+		SourceAttrs:  splitList(*source),
+		TargetAttrs:  splitList(*target),
+		Budget:       *budget,
+		Alpha:        *alpha,
+		Beta:         *beta,
+		Iterations:   *iters,
+		Seed:         *seed,
+		Workers:      *workers,
+		Policy:       *policyFl,
+		PolicyParams: policyParams,
 	}
 	if *topk > 0 {
 		options, err := mw.AcquireTopK(ctx, req, *topk, search.DefaultScoreWeights())
@@ -168,6 +177,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "realized: correlation=%.4f quality=%.4f\n",
 		purchase.Realized.Correlation, purchase.Realized.Quality)
 	return nil
+}
+
+// parseParams parses "k=v,k=v" policy tunables.
+func parseParams(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("-policy-params: %q is not key=value", kv)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-policy-params %s: %w", k, err)
+		}
+		out[k] = f
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {

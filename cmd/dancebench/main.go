@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,21 +29,23 @@ var experimentNames = []string{
 	"table5", "fdcount", "fig4", "fig5a", "fig5b", "fig5c",
 	"fig6", "fig7", "fig8", "table6", "figx-tpch-budget-time",
 	"ablation-steiner", "ablation-mcmc", "ablation-pricing", "ablation-eta",
-	"recovery",
+	"recovery", "bakeoff",
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all' (see -list)")
-		scale   = flag.Int("scale", 2, "dataset scale factor")
-		seed    = flag.Int64("seed", 42, "PRNG seed")
-		rate    = flag.Float64("rate", 0.5, "offline correlated-sampling rate")
-		iters   = flag.Int("iters", 80, "MCMC iterations ℓ")
-		workers = flag.Int("workers", 0, "concurrent MCMC chains per search (0 = one per CPU, 1 = serial)")
-		seeds   = flag.Int("seeds", 0, "seeds per spec for the recovery sweep (0 = experiment default)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
-		memProf = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
+		exp      = flag.String("exp", "all", "experiment id or 'all' (see -list)")
+		scale    = flag.Int("scale", 2, "dataset scale factor")
+		seed     = flag.Int64("seed", 42, "PRNG seed")
+		rate     = flag.Float64("rate", 0.5, "offline correlated-sampling rate")
+		iters    = flag.Int("iters", 80, "MCMC iterations ℓ")
+		workers  = flag.Int("workers", 0, "concurrent MCMC chains per search (0 = one per CPU, 1 = serial)")
+		seeds    = flag.Int("seeds", 0, "seeds per spec for the recovery/bakeoff sweeps (0 = experiment default)")
+		policies = flag.String("policies", "", "comma-separated acquisition policies for the bakeoff sweep (empty = all registered)")
+		jsonOut  = flag.String("json", "", "also write the bakeoff results as JSON to this file")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	)
 	flag.Parse()
 	ctx, stop := cli.RootContext()
@@ -162,6 +165,30 @@ func main() {
 		_, tab, err := experiments.Recovery(ctx, experiments.RecoveryOptions{
 			Seeds: *seeds, BaseSeed: *seed, Rate: *rate, Iterations: *iters, Workers: *workers,
 		})
+		return tab, err
+	}))
+	run("bakeoff", one(func() (experiments.Table, error) {
+		var names []string
+		if *policies != "" {
+			for _, n := range strings.Split(*policies, ",") {
+				names = append(names, strings.TrimSpace(n))
+			}
+		}
+		results, tab, err := experiments.Bakeoff(ctx, experiments.BakeoffOptions{
+			RecoveryOptions: experiments.RecoveryOptions{
+				Seeds: *seeds, BaseSeed: *seed, Rate: *rate, Iterations: *iters, Workers: *workers,
+			},
+			Policies: names,
+		})
+		if err == nil && *jsonOut != "" {
+			buf, merr := json.MarshalIndent(results, "", "  ")
+			if merr == nil {
+				merr = os.WriteFile(*jsonOut, append(buf, '\n'), 0o644)
+			}
+			if merr != nil {
+				err = fmt.Errorf("writing %s: %w", *jsonOut, merr)
+			}
+		}
 		return tab, err
 	}))
 	abl := experiments.AblationOptions{Scale: *scale, Seed: *seed, Rate: *rate, Iterations: *iters}

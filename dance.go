@@ -34,14 +34,9 @@
 // the middleware itself can be served to remote shoppers with
 // AcquireHandler / AcquireClient (see cmd/danced) — the versioned v1 JSON
 // API with plan storage, deadlines and a charge ledger.
-//
-// Context-free wrappers (Offline, Acquire, AcquireTopK, Execute as
-// package-level functions) remain for incremental migration; they are
-// deprecated and run under context.Background().
 package dance
 
 import (
-	"context"
 	"net/http"
 
 	"github.com/dance-db/dance/internal/core"
@@ -206,39 +201,6 @@ func NewMarketClient(baseURL string) *MarketClient { return marketplace.NewClien
 
 // New creates the DANCE middleware bound to a marketplace.
 func New(market Market, cfg Config) *Middleware { return core.New(market, cfg) }
-
-// Offline runs the middleware's offline phase without a caller context.
-//
-// Deprecated: use (*Middleware).Offline with a context so a hung
-// marketplace can be cancelled.
-//
-//dancevet:ignore ctxflow deprecated context-free facade kept for v0 callers
-func Offline(mw *Middleware) error { return mw.Offline(context.Background()) }
-
-// Acquire runs an acquisition without a caller context.
-//
-// Deprecated: use (*Middleware).Acquire with a context so long searches
-// honor deadlines and cancellation.
-func Acquire(mw *Middleware, req Request) (*Plan, error) {
-	//dancevet:ignore ctxflow deprecated context-free facade kept for v0 callers
-	return mw.Acquire(context.Background(), req)
-}
-
-// AcquireTopK runs a top-k acquisition without a caller context.
-//
-// Deprecated: use (*Middleware).AcquireTopK with a context.
-func AcquireTopK(mw *Middleware, req Request, k int, weights ScoreWeights) ([]RankedPlan, error) {
-	//dancevet:ignore ctxflow deprecated context-free facade kept for v0 callers
-	return mw.AcquireTopK(context.Background(), req, k, weights)
-}
-
-// Execute buys a plan without a caller context.
-//
-// Deprecated: use (*Middleware).Execute with a context.
-func Execute(mw *Middleware, plan *Plan) (*Purchase, error) {
-	//dancevet:ignore ctxflow deprecated context-free facade kept for v0 callers
-	return mw.Execute(context.Background(), plan)
-}
 
 // DefaultEntropyPricing returns the experiments' pricing configuration.
 func DefaultEntropyPricing() EntropyPricing { return pricing.DefaultEntropyModel() }

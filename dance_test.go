@@ -171,13 +171,15 @@ func TestFacadeGeneratorsAndHelpers(t *testing.T) {
 	}
 }
 
-// The deprecated context-free wrappers must keep the pre-v1 call shape
-// working so examples and downstreams migrate incrementally.
-func TestDeprecatedContextFreeWrappers(t *testing.T) {
+// The context-first methods cover the full offline → acquire → execute →
+// top-k round trip through the root package (the deprecated context-free
+// package functions are gone as of the policy API redesign).
+func TestMiddlewareRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	market, own := marketFixture(5)
 	mw := dance.New(market, dance.Config{SampleRate: 0.9, SampleSeed: 4})
 	mw.AddSource(own, nil)
-	if err := dance.Offline(mw); err != nil {
+	if err := mw.Offline(ctx); err != nil {
 		t.Fatal(err)
 	}
 	req := dance.Request{
@@ -187,14 +189,14 @@ func TestDeprecatedContextFreeWrappers(t *testing.T) {
 		Iterations:  30,
 		Seed:        2,
 	}
-	plan, err := dance.Acquire(mw, req)
+	plan, err := mw.Acquire(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dance.Execute(mw, plan); err != nil {
+	if _, err := mw.Execute(ctx, plan); err != nil {
 		t.Fatal(err)
 	}
-	options, err := dance.AcquireTopK(mw, req, 2, dance.DefaultScoreWeights())
+	options, err := mw.AcquireTopK(ctx, req, 2, dance.DefaultScoreWeights())
 	if err != nil || len(options) == 0 {
 		t.Fatalf("AcquireTopK = %v, %v", options, err)
 	}

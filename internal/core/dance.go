@@ -25,6 +25,7 @@ import (
 	"github.com/dance-db/dance/internal/offline"
 	"github.com/dance-db/dance/internal/parallel"
 	"github.com/dance-db/dance/internal/persist"
+	"github.com/dance-db/dance/internal/policy"
 	"github.com/dance-db/dance/internal/pricing"
 	"github.com/dance-db/dance/internal/relation"
 	"github.com/dance-db/dance/internal/search"
@@ -64,6 +65,13 @@ type Config struct {
 	// saves the datasets whose state changed. Samples cost money; nil
 	// keeps the pre-durability in-memory-only behavior.
 	Persist persist.Store
+	// Policy names the acquisition policy requests run under when they
+	// name none themselves ("" = the paper's own "dance" search). See
+	// internal/policy for the registry.
+	Policy string
+	// PolicyParams are default policy tunables; per-request
+	// search.Request.PolicyParams override them key by key.
+	PolicyParams map[string]float64
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +157,10 @@ type SampleRound struct {
 	FullCost float64
 	// DeltaCost sums the delta purchases of the round.
 	DeltaCost float64
+	// Policy names the acquisition policy whose request triggered the
+	// round ("" for explicit Offline/Escalate calls), so service ledgers
+	// can attribute sample spend per policy.
+	Policy string
 }
 
 // Cost returns the round's total spend.
@@ -333,12 +345,13 @@ func (d *Dance) Offline(ctx context.Context) error {
 	if err := d.restore(); err != nil {
 		return err
 	}
-	return d.rebuild(ctx, d.SampleRate())
+	return d.rebuild(ctx, d.SampleRate(), "")
 }
 
 // ensure returns the current offline snapshot, running the offline phase
-// first if it has never completed.
-func (d *Dance) ensure(ctx context.Context) (snapshot, error) {
+// first if it has never completed. Rounds bought here are attributed to
+// policyName in the sample ledger ("" for explicit refreshes).
+func (d *Dance) ensure(ctx context.Context, policyName string) (snapshot, error) {
 	d.mu.Lock()
 	if d.graph != nil {
 		snap := snapshot{rate: d.rate, graph: d.graph, searcher: d.searcher}
@@ -364,7 +377,7 @@ func (d *Dance) ensure(ctx context.Context) (snapshot, error) {
 	d.mu.Lock()
 	rate := d.rate
 	d.mu.Unlock()
-	if err := d.rebuild(ctx, rate); err != nil {
+	if err := d.rebuild(ctx, rate, policyName); err != nil {
 		return snapshot{}, err
 	}
 	d.mu.Lock()
@@ -378,7 +391,7 @@ func (d *Dance) ensure(ctx context.Context) (snapshot, error) {
 // the rate was already at 1 (nothing more to buy). When a concurrent
 // request already escalated past seenRate, escalate skips the duplicate
 // rebuild and the caller retries against the fresher graph.
-func (d *Dance) escalate(ctx context.Context, seenRate float64) (retry bool, err error) {
+func (d *Dance) escalate(ctx context.Context, seenRate float64, policyName string) (retry bool, err error) {
 	d.offlineMu.Lock()
 	defer d.offlineMu.Unlock()
 	d.mu.Lock()
@@ -394,7 +407,7 @@ func (d *Dance) escalate(ctx context.Context, seenRate float64) (retry bool, err
 	if next > 1 {
 		next = 1
 	}
-	if err := d.rebuild(ctx, next); err != nil {
+	if err := d.rebuild(ctx, next, policyName); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -418,8 +431,8 @@ type fetchOutcome struct {
 // into the versioned store; the join graph and searcher are then rebuilt
 // from the merged state, with version-keyed caches preserving evaluation
 // state derived from unchanged datasets. The caller must hold offlineMu
-// (not mu).
-func (d *Dance) rebuild(ctx context.Context, rate float64) error {
+// (not mu). Rounds that spend money are stamped with policyName.
+func (d *Dance) rebuild(ctx context.Context, rate float64, policyName string) error {
 	d.mu.Lock()
 	srcs := append([]source(nil), d.sources...)
 	d.mu.Unlock()
@@ -493,6 +506,7 @@ func (d *Dance) rebuild(ctx context.Context, rate float64) error {
 			d.rounds = append(d.rounds, SampleRound{
 				FromRate: prev.Rate, ToRate: rate,
 				FullCost: fullSpent, DeltaCost: spent - fullSpent,
+				Policy: policyName,
 			})
 		}
 		d.mu.Unlock()
@@ -617,10 +631,10 @@ func (d *Dance) rebuild(ctx context.Context, rate float64) error {
 // reached 1. Long-lived sessions use it to cheapen future acquisitions
 // without waiting for an infeasible search to trigger the refresh loop.
 func (d *Dance) Escalate(ctx context.Context) (bool, error) {
-	if _, err := d.ensure(ctx); err != nil {
+	if _, err := d.ensure(ctx, ""); err != nil {
 		return false, err
 	}
-	return d.escalate(ctx, d.SampleRate())
+	return d.escalate(ctx, d.SampleRate(), "")
 }
 
 // Plan is DANCE's recommendation: the projection queries to purchase, the
@@ -629,46 +643,119 @@ type Plan struct {
 	Queries []pricing.Query
 	TG      *joingraph.TargetGraph
 	Est     search.Metrics
-	// Request echoes the acquisition request the plan answers.
+	// Evals counts the full metric evaluations the producing search spent.
+	Evals int
+	// Request echoes the acquisition request the plan answers, with
+	// Request.Policy normalized to the policy that produced the plan.
 	Request search.Request
 }
 
-// Acquire runs the online phase: search the join graph for the optimal
-// target graph under the request's constraints. When no feasible plan is
-// found it iteratively buys more samples (up to MaxSampleRounds) before
-// giving up — the refresh loop of Sec 2.1. Cancelling ctx stops the search
-// mid-chain and aborts in-flight marketplace calls.
+// policyHost adapts the middleware into the policy.Host capability
+// surface: policies get consistent snapshots, serialized delta-billed
+// escalation, and a single spend ledger, with every round they trigger
+// attributed to their name.
+type policyHost struct {
+	d    *Dance
+	name string
+}
+
+func (h policyHost) Snapshot(ctx context.Context) (policy.Snapshot, error) {
+	snap, err := h.d.ensure(ctx, h.name)
+	if err != nil {
+		return policy.Snapshot{}, err
+	}
+	return policy.Snapshot{Rate: snap.rate, Searcher: snap.searcher}, nil
+}
+
+func (h policyHost) Escalate(ctx context.Context, seenRate float64) (bool, error) {
+	return h.d.escalate(ctx, seenRate, h.name)
+}
+
+func (h policyHost) Market() marketplace.Market { return h.d.market }
+
+func (h policyHost) Sources() []policy.Source {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	out := make([]policy.Source, len(h.d.sources))
+	for i, s := range h.d.sources {
+		out[i] = policy.Source{Table: s.table, FDs: s.fds}
+	}
+	return out
+}
+
+func (h policyHost) Limits() policy.Limits {
+	return policy.Limits{
+		MaxSampleRounds: h.d.cfg.MaxSampleRounds,
+		RateGrowth:      h.d.cfg.RateGrowth,
+		SampleRate:      h.d.cfg.SampleRate,
+		SampleSeed:      h.d.cfg.SampleSeed,
+		Workers:         h.d.cfg.Workers,
+		MaxJoinAttrs:    h.d.cfg.MaxJoinAttrs,
+	}
+}
+
+func (h policyHost) RecordSpend(r policy.SpendRound) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	h.d.sampleCost += r.FullCost + r.DeltaCost
+	h.d.rounds = append(h.d.rounds, SampleRound{
+		FromRate: r.FromRate, ToRate: r.ToRate,
+		FullCost: r.FullCost, DeltaCost: r.DeltaCost,
+		Policy: h.name,
+	})
+}
+
+// resolvePolicy picks the request's policy (request name wins over the
+// configured default) and merges the parameter maps, request keys last.
+func (d *Dance) resolvePolicy(req search.Request) (policy.Policy, map[string]float64, error) {
+	name := req.Policy
+	if name == "" {
+		name = d.cfg.Policy
+	}
+	p, err := policy.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var params map[string]float64
+	if len(d.cfg.PolicyParams) > 0 || len(req.PolicyParams) > 0 {
+		params = make(map[string]float64, len(d.cfg.PolicyParams)+len(req.PolicyParams))
+		for k, v := range d.cfg.PolicyParams {
+			params[k] = v
+		}
+		for k, v := range req.PolicyParams {
+			params[k] = v
+		}
+	}
+	return p, params, nil
+}
+
+// Policies lists the registered acquisition policies (sorted names).
+func Policies() []string { return policy.Names() }
+
+// Acquire runs the online phase under the request's acquisition policy
+// (Request.Policy, falling back to Config.Policy, falling back to the
+// paper's own "dance" search): the policy searches the offline state,
+// decides sample-rate escalation (up to MaxSampleRounds) and may buy its
+// own pilot samples, every purchase landing in the middleware ledger.
+// Cancelling ctx stops the search mid-chain and aborts in-flight
+// marketplace calls.
 func (d *Dance) Acquire(ctx context.Context, req search.Request) (*Plan, error) {
 	if req.Workers == 0 {
 		req.Workers = d.cfg.Workers
 	}
-	var lastErr error
-	for round := 0; round < d.cfg.MaxSampleRounds; round++ {
-		snap, err := d.ensure(ctx)
-		if err != nil {
-			return nil, err
-		}
-		res, err := snap.searcher.Heuristic(ctx, req)
-		if err == nil {
-			return planFromResult(res, req), nil
-		}
-		if ctx.Err() != nil {
-			return nil, err
-		}
-		lastErr = err
-		if round == d.cfg.MaxSampleRounds-1 {
-			break // out of rounds: don't buy samples nothing will search
-		}
-		retry, err := d.escalate(ctx, snap.rate)
-		if err != nil {
-			return nil, err
-		}
-		if !retry {
-			break
-		}
+	p, params, err := d.resolvePolicy(req)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("dance: no feasible acquisition after %d sample rounds: %w",
-		d.cfg.MaxSampleRounds, lastErr)
+	req.Policy = p.Name()
+	ranked, err := p.Acquire(ctx, policyHost{d: d, name: p.Name()}, policy.Request{Request: req, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	if len(ranked) == 0 || ranked[0].Result == nil {
+		return nil, fmt.Errorf("dance: policy %s returned no plan: %w", p.Name(), search.ErrInfeasible)
+	}
+	return planFromResult(ranked[0].Result, req), nil
 }
 
 // RankedPlan is one of several scored acquisition options (the paper's
@@ -680,43 +767,30 @@ type RankedPlan struct {
 
 // AcquireTopK returns up to k scored acquisition options instead of the
 // single correlation-best plan, ranked by the combined score of
-// correlation, quality, join informativeness and price. Sample-rate
-// escalation and cancellation apply as in Acquire.
+// correlation, quality, join informativeness and price. Policy selection,
+// sample-rate escalation and cancellation apply as in Acquire.
 func (d *Dance) AcquireTopK(ctx context.Context, req search.Request, k int, weights search.ScoreWeights) ([]RankedPlan, error) {
 	if req.Workers == 0 {
 		req.Workers = d.cfg.Workers
 	}
-	var lastErr error
-	for round := 0; round < d.cfg.MaxSampleRounds; round++ {
-		snap, err := d.ensure(ctx)
-		if err != nil {
-			return nil, err
-		}
-		options, err := snap.searcher.TopK(ctx, req, k, weights)
-		if err == nil {
-			out := make([]RankedPlan, len(options))
-			for i, o := range options {
-				out[i] = RankedPlan{Plan: planFromResult(o.Result, req), Score: o.Score}
-			}
-			return out, nil
-		}
-		if ctx.Err() != nil {
-			return nil, err
-		}
-		lastErr = err
-		if round == d.cfg.MaxSampleRounds-1 {
-			break
-		}
-		retry, err := d.escalate(ctx, snap.rate)
-		if err != nil {
-			return nil, err
-		}
-		if !retry {
-			break
-		}
+	if k <= 0 {
+		k = 3
 	}
-	return nil, fmt.Errorf("dance: no feasible acquisition options after %d sample rounds: %w",
-		d.cfg.MaxSampleRounds, lastErr)
+	p, params, err := d.resolvePolicy(req)
+	if err != nil {
+		return nil, err
+	}
+	req.Policy = p.Name()
+	ranked, err := p.Acquire(ctx, policyHost{d: d, name: p.Name()},
+		policy.Request{Request: req, K: k, Weights: weights, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RankedPlan, len(ranked))
+	for i, r := range ranked {
+		out[i] = RankedPlan{Plan: planFromResult(r.Result, req), Score: r.Score}
+	}
+	return out, nil
 }
 
 // planFromResult materializes the purchase queries of a search result. It
@@ -730,7 +804,7 @@ func planFromResult(res *search.Result, req search.Request) *Plan {
 		idxs = append(idxs, v)
 	}
 	sort.Ints(idxs)
-	plan := &Plan{TG: res.TG, Est: res.Est, Request: req}
+	plan := &Plan{TG: res.TG, Est: res.Est, Evals: res.Evals, Request: req}
 	for _, v := range idxs {
 		plan.Queries = append(plan.Queries, pricing.Query{
 			Instance: res.TG.G.Instances[v].Name,
@@ -772,6 +846,8 @@ type PlanRecord struct {
 	Weight  float64
 	FDs     []fd.FD
 	Est     search.Metrics
+	// Evals counts the producing search's metric evaluations.
+	Evals   int
 	Request search.Request
 }
 
@@ -789,6 +865,7 @@ func (p *Plan) Record() (*PlanRecord, error) {
 		Weight:  p.TG.Weight(),
 		FDs:     p.TG.FDs(),
 		Est:     p.Est,
+		Evals:   p.Evals,
 		Request: p.Request,
 	}
 	for _, st := range steps {

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/dance-db/dance/internal/policy"
+	"github.com/dance-db/dance/internal/workload"
+)
+
+// BakeoffOptions parameterize the policy bake-off: every policy runs the
+// same recovery panel (specs × seeds), and the report compares recovery
+// rate against dollars spent — samples and plans billed separately, so a
+// policy that abandons early (try-before-you-buy) shows its pilot-prefix
+// bill next to the full-sample bill of the paper's own search.
+type BakeoffOptions struct {
+	RecoveryOptions
+	// Policies compared; nil = every registered policy.
+	Policies []string
+}
+
+// BakeoffPolicyResult aggregates one policy's sweep over the whole panel.
+type BakeoffPolicyResult struct {
+	Policy string `json:"policy"`
+	// Runs is specs × seeds.
+	Runs int `json:"runs"`
+	// CorrRecovered / CostOptimal / Recovered count runs passing the
+	// correlation bar, the cost bar, and both.
+	CorrRecovered int `json:"corr_recovered"`
+	CostOptimal   int `json:"cost_optimal"`
+	Recovered     int `json:"recovered"`
+	// Infeasible counts runs the policy legitimately ended without a plan
+	// (no feasible option within the optimum budget, or an early abandon).
+	Infeasible int `json:"infeasible"`
+	// SampleSpend and PlanSpend sum the panel's bills: sample purchases
+	// (full rounds, escalation deltas, pilot prefixes) and winning-plan
+	// prices.
+	SampleSpend float64 `json:"sample_spend"`
+	PlanSpend   float64 `json:"plan_spend"`
+	// PerSpec breaks the sweep down by workload spec.
+	PerSpec []RecoveryResult `json:"per_spec,omitempty"`
+}
+
+// Rate returns the policy's panel-wide recovery fraction.
+func (r BakeoffPolicyResult) Rate() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Recovered) / float64(r.Runs)
+}
+
+// TotalSpend returns samples plus plans.
+func (r BakeoffPolicyResult) TotalSpend() float64 { return r.SampleSpend + r.PlanSpend }
+
+// Bakeoff sweeps the recovery panel once per policy and renders the
+// recovery-rate-vs-spend comparison (the nightly's bake-off artifact).
+func Bakeoff(ctx context.Context, o BakeoffOptions) ([]BakeoffPolicyResult, Table, error) {
+	o.RecoveryOptions = o.RecoveryOptions.withDefaults()
+	names := o.Policies
+	if len(names) == 0 {
+		names = policy.Names()
+	}
+	tab := Table{
+		ID:      "bakeoff",
+		Title:   "acquisition-policy bake-off: recovery rate vs spend over the synthetic panel",
+		Headers: []string{"policy", "runs", "corr ok", "cost ok", "recovered", "rate", "infeasible", "sample $", "plan $", "total $"},
+	}
+	var results []BakeoffPolicyResult
+	for _, name := range names {
+		if _, err := policy.Get(name); err != nil {
+			return nil, tab, err
+		}
+		po := o.RecoveryOptions
+		po.Policy = name
+		res := BakeoffPolicyResult{Policy: name}
+		for _, specStr := range po.Specs {
+			spec, err := workload.ParseSpec(specStr)
+			if err != nil {
+				return nil, tab, err
+			}
+			sr := RecoveryResult{Spec: specStr, Seeds: po.Seeds}
+			for i := 0; i < po.Seeds; i++ {
+				out, err := RecoverOne(ctx, spec, po.BaseSeed+int64(i), po)
+				if err != nil {
+					return nil, tab, fmt.Errorf("bakeoff %s %s seed %d: %w", name, specStr, po.BaseSeed+int64(i), err)
+				}
+				res.Runs++
+				if out.CorrOK {
+					res.CorrRecovered++
+					sr.CorrRecovered++
+				}
+				if out.CostOK {
+					res.CostOptimal++
+					sr.CostOptimal++
+				}
+				if out.Recovered() {
+					res.Recovered++
+					sr.Recovered++
+				}
+				if out.Infeasible {
+					res.Infeasible++
+				}
+				res.SampleSpend += out.SampleSpend
+				res.PlanSpend += out.PlanSpend
+				sr.MeanRho += out.Rho / float64(po.Seeds)
+				sr.MeanRealized += out.Realized / float64(po.Seeds)
+			}
+			res.PerSpec = append(res.PerSpec, sr)
+		}
+		results = append(results, res)
+		tab.Rows = append(tab.Rows, []string{
+			name,
+			fmt.Sprintf("%d", res.Runs),
+			fmt.Sprintf("%d", res.CorrRecovered),
+			fmt.Sprintf("%d", res.CostOptimal),
+			fmt.Sprintf("%d", res.Recovered),
+			fmt.Sprintf("%.2f", res.Rate()),
+			fmt.Sprintf("%d", res.Infeasible),
+			fmtF(res.SampleSpend),
+			fmtF(res.PlanSpend),
+			fmtF(res.TotalSpend()),
+		})
+	}
+	return results, tab, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// The bake-off must sweep every registered policy over one panel and show
+// try-before-you-buy billing strictly less sample spend than the dance
+// policy on a decoy-laden workload: abandoned candidates pay only their
+// pilot prefix, while dance samples the whole catalog at the full offline
+// rate.
+func TestBakeoffPolicySpend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy end-to-end sweep")
+	}
+	results, tab, err := Bakeoff(context.Background(), BakeoffOptions{
+		RecoveryOptions: RecoveryOptions{
+			Specs:    []string{"chain:3,decoys=3"},
+			Seeds:    2,
+			BaseSeed: 21,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 3 {
+		t.Fatalf("bake-off ran %d policies, want ≥ 3:\n%s", len(results), tab.Render())
+	}
+	byName := map[string]BakeoffPolicyResult{}
+	for _, r := range results {
+		byName[r.Policy] = r
+		if r.Runs != 2 {
+			t.Errorf("%s: %d runs, want 2", r.Policy, r.Runs)
+		}
+		if r.SampleSpend <= 0 {
+			t.Errorf("%s: no sample spend accounted", r.Policy)
+		}
+	}
+	dance, ok := byName["dance"]
+	if !ok {
+		t.Fatalf("dance policy missing from bake-off:\n%s", tab.Render())
+	}
+	tbyb, ok := byName["try-before-you-buy"]
+	if !ok {
+		t.Fatalf("try-before-you-buy policy missing from bake-off:\n%s", tab.Render())
+	}
+	if tbyb.SampleSpend >= dance.SampleSpend {
+		t.Errorf("try-before-you-buy sample spend %v not below dance's %v:\n%s",
+			tbyb.SampleSpend, dance.SampleSpend, tab.Render())
+	}
+	if dance.Recovered == 0 {
+		t.Errorf("dance policy recovered nothing:\n%s", tab.Render())
+	}
+}

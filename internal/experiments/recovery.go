@@ -32,6 +32,11 @@ type RecoveryOptions struct {
 	Epsilon float64
 	// Workers bounds middleware and search concurrency (0 = per CPU).
 	Workers int
+	// Policy names the acquisition policy runs execute under ("" = the
+	// registry default, the paper's own "dance" search); PolicyParams are
+	// its tunables. The Bakeoff experiment sweeps several policies.
+	Policy       string
+	PolicyParams map[string]float64
 }
 
 func (o RecoveryOptions) withDefaults() RecoveryOptions {
@@ -104,18 +109,44 @@ const (
 	BudgetSlack = 1e-6
 )
 
-// RecoverOne runs a single (spec, seed) acquisition end to end and reports
-// the recovery verdict. The Recovery experiment sweeps it; the
-// scenario-matrix e2e applies the same tolerances (RecoveryEpsilon,
-// BudgetSlack) around its own escalation-exercising drive.
-func RecoverOne(ctx context.Context, spec workload.Spec, seed int64, o RecoveryOptions) (corrOK, costOK bool, rho, realized float64, err error) {
+// RecoverOutcome is the verdict of one (spec, seed, policy) acquisition.
+type RecoverOutcome struct {
+	// CorrOK reports the realized correlation within Epsilon of planted ρ;
+	// CostOK reports the plan priced at or below the full-data optimum.
+	CorrOK, CostOK bool
+	// Rho and Realized are the planted and realized correlations.
+	Rho, Realized float64
+	// SampleSpend is what the run paid the marketplace for samples (full
+	// offline rounds, escalation deltas, or a policy's own pilots);
+	// PlanSpend is the winning plan's purchase price. Both are the axes of
+	// the bake-off's recovery-vs-spend comparison.
+	SampleSpend, PlanSpend float64
+	// Infeasible marks a request-infeasible non-recovery: the policy found
+	// no plan within the optimum budget, or legitimately abandoned the
+	// acquisition (try-before-you-buy's weak-pilot exit). The run still
+	// reports its SampleSpend — abandoning is not free, just cheap.
+	Infeasible bool
+}
+
+// Recovered reports the full verdict: correlation and cost both met.
+func (r RecoverOutcome) Recovered() bool { return r.CorrOK && r.CostOK }
+
+// RecoverOne runs a single (spec, seed) acquisition end to end under the
+// options' acquisition policy and reports the recovery verdict. The Recovery
+// and Bakeoff experiments sweep it; the scenario-matrix e2e applies the same
+// tolerances (RecoveryEpsilon, BudgetSlack) around its own
+// escalation-exercising drive.
+func RecoverOne(ctx context.Context, spec workload.Spec, seed int64, o RecoveryOptions) (RecoverOutcome, error) {
 	o = o.withDefaults()
 	w, err := workload.Generate(spec, seed)
 	if err != nil {
-		return false, false, 0, 0, err
+		return RecoverOutcome{}, err
 	}
 	market := w.Marketplace()
-	mw := core.New(market, core.Config{SampleRate: o.Rate, SampleSeed: uint64(seed) + 77, Workers: o.Workers})
+	mw := core.New(market, core.Config{
+		SampleRate: o.Rate, SampleSeed: uint64(seed) + 77, Workers: o.Workers,
+		Policy: o.Policy, PolicyParams: o.PolicyParams,
+	})
 	// The budget is the ground-truth cheapest correct cost: the paper's
 	// objective maximizes correlation *subject to* budget, so an unbounded
 	// request is free to route through decoys at a higher price. Pinning B
@@ -128,24 +159,29 @@ func RecoverOne(ctx context.Context, spec workload.Spec, seed int64, o RecoveryO
 		Seed:        seed + 13,
 		Workers:     o.Workers,
 	}
+	out := RecoverOutcome{Rho: w.Truth.Rho}
 	plan, err := mw.Acquire(ctx, req)
+	out.SampleSpend = mw.SampleCost()
 	if err != nil {
-		// A request-infeasible outcome is a legitimate non-recovery (the
-		// search could not find a plan within the optimum budget); any
-		// other failure is an infrastructure error that must surface —
-		// counting it as non-recovery would let an engine regression read
-		// as a slightly lower recovery rate.
+		// A request-infeasible outcome is a legitimate non-recovery — the
+		// policy found no plan within the optimum budget, or abandoned the
+		// acquisition on weak pilots; any other failure is an
+		// infrastructure error that must surface — counting it as
+		// non-recovery would let an engine regression read as a slightly
+		// lower recovery rate.
 		if errors.Is(err, search.ErrInfeasible) {
-			return false, false, w.Truth.Rho, 0, nil
+			out.Infeasible = true
+			return out, nil
 		}
-		return false, false, w.Truth.Rho, 0, err
+		return out, err
 	}
+	out.PlanSpend = plan.Est.Price
 	purchase, err := mw.Execute(ctx, plan)
 	if err != nil {
-		return false, false, w.Truth.Rho, 0, err
+		return out, err
 	}
-	rho, realized = w.Truth.Rho, purchase.Realized.Correlation
-	corrOK = math.Abs(realized-rho) <= o.Epsilon*math.Max(1, rho)
+	out.Realized = purchase.Realized.Correlation
+	out.CorrOK = math.Abs(out.Realized-out.Rho) <= o.Epsilon*math.Max(1, out.Rho)
 
 	// Cost bar: the brute-force optimum over the full data (the paper's GP
 	// baseline), with the ground-truth cheapest plan as a second witness —
@@ -156,10 +192,10 @@ func RecoverOne(ctx context.Context, spec workload.Spec, seed int64, o RecoveryO
 	bfReq.Budget = 0
 	bfPrice, err := fullDataOptimumPrice(ctx, w, bfReq)
 	if err != nil {
-		return corrOK, false, rho, realized, err
+		return out, err
 	}
-	costOK = plan.Est.Price <= math.Max(bfPrice, w.Truth.PlanCost)*(1+1e-9)
-	return corrOK, costOK, rho, realized, nil
+	out.CostOK = plan.Est.Price <= math.Max(bfPrice, w.Truth.PlanCost)*(1+1e-9)
+	return out, nil
 }
 
 // fullDataOptimumPrice runs the GP brute force on a full-data join graph of
@@ -203,21 +239,21 @@ func Recovery(ctx context.Context, o RecoveryOptions) ([]RecoveryResult, Table, 
 		}
 		r := RecoveryResult{Spec: specStr, Seeds: o.Seeds}
 		for i := 0; i < o.Seeds; i++ {
-			corrOK, costOK, rho, realized, err := RecoverOne(ctx, spec, o.BaseSeed+int64(i), o)
+			out, err := RecoverOne(ctx, spec, o.BaseSeed+int64(i), o)
 			if err != nil {
 				return nil, tab, fmt.Errorf("recovery %s seed %d: %w", specStr, o.BaseSeed+int64(i), err)
 			}
-			if corrOK {
+			if out.CorrOK {
 				r.CorrRecovered++
 			}
-			if costOK {
+			if out.CostOK {
 				r.CostOptimal++
 			}
-			if corrOK && costOK {
+			if out.Recovered() {
 				r.Recovered++
 			}
-			r.MeanRho += rho / float64(o.Seeds)
-			r.MeanRealized += realized / float64(o.Seeds)
+			r.MeanRho += out.Rho / float64(o.Seeds)
+			r.MeanRealized += out.Realized / float64(o.Seeds)
 		}
 		results = append(results, r)
 		tab.Rows = append(tab.Rows, []string{

@@ -37,14 +37,17 @@ func TestRecoverOneVerdicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	corrOK, costOK, rho, realized, err := RecoverOne(context.Background(), spec, 5, RecoveryOptions{})
+	out, err := RecoverOne(context.Background(), spec, 5, RecoveryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !corrOK || !costOK {
-		t.Fatalf("clean chain:2 not recovered: corr=%v cost=%v rho=%v realized=%v", corrOK, costOK, rho, realized)
+	if !out.Recovered() {
+		t.Fatalf("clean chain:2 not recovered: %+v", out)
 	}
-	if rho <= 0 || realized <= 0 {
-		t.Fatalf("degenerate correlations: rho=%v realized=%v", rho, realized)
+	if out.Rho <= 0 || out.Realized <= 0 {
+		t.Fatalf("degenerate correlations: rho=%v realized=%v", out.Rho, out.Realized)
+	}
+	if out.SampleSpend <= 0 || out.PlanSpend <= 0 {
+		t.Fatalf("spend not accounted: %+v", out)
 	}
 }

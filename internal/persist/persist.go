@@ -48,6 +48,9 @@ type LedgerRecord struct {
 	FromRate float64 `json:"from_rate,omitempty"`
 	ToRate   float64 `json:"to_rate,omitempty"`
 	Amount   float64 `json:"amount"`
+	// Policy attributes the charge to the acquisition policy that incurred
+	// it ("" for explicit offline refreshes and pre-policy journals).
+	Policy string `json:"policy,omitempty"`
 }
 
 // QueryRecord is one projection purchase of a stored plan.
@@ -86,6 +89,11 @@ type RequestRecord struct {
 	MaxIGraphs   int      `json:"max_igraphs,omitempty"`
 	Seed         int64    `json:"seed,omitempty"`
 	Greedy       bool     `json:"greedy,omitempty"`
+	// Policy names the acquisition policy that produced the plan;
+	// PolicyParams are its merged tunables. Both empty for plans journaled
+	// before policies existed (they replay under the default policy).
+	Policy       string             `json:"policy,omitempty"`
+	PolicyParams map[string]float64 `json:"policy_params,omitempty"`
 }
 
 // PlanRecord is the serializable form of a stored acquisition plan: the
@@ -99,6 +107,7 @@ type PlanRecord struct {
 	Weight  float64          `json:"weight"`
 	FDs     []fd.FD          `json:"fds,omitempty"`
 	Est     MetricsRecord    `json:"est"`
+	Evals   int              `json:"evals,omitempty"`
 	Request RequestRecord    `json:"request"`
 }
 

@@ -1,0 +1,78 @@
+package policy
+
+import (
+	"context"
+	"fmt"
+)
+
+func init() { Register(dancePolicy{}) }
+
+// dancePolicy is the paper's own strategy, extracted verbatim from the
+// pre-policy middleware loop: search the current join graph; on an
+// infeasible result buy more samples (rate × RateGrowth, delta-billed) and
+// retry, up to MaxSampleRounds. Its plans, metrics, eval counts and ledger
+// are pinned bit-identical to the pre-refactor output at every Workers
+// count (internal/core's pinned-equivalence goldens).
+type dancePolicy struct{}
+
+func (dancePolicy) Name() string { return DefaultName }
+
+func (dancePolicy) Doc() string {
+	return "the paper's two-step heuristic: Steiner-tree candidates + MCMC over join variants, escalating the sample rate when infeasible"
+}
+
+func (dancePolicy) Params() []ParamSpec { return nil }
+
+func (dancePolicy) Acquire(ctx context.Context, h Host, req Request) ([]Ranked, error) {
+	lim := h.Limits()
+	var lastErr error
+	for round := 0; round < lim.MaxSampleRounds; round++ {
+		snap, err := h.Snapshot(ctx)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			out     []Ranked
+			searchE error
+		)
+		if req.K > 0 {
+			options, err := snap.Searcher.TopK(ctx, req.Request, req.K, req.Weights)
+			if err == nil {
+				out = make([]Ranked, len(options))
+				for i, o := range options {
+					out[i] = Ranked{Result: o.Result, Score: o.Score}
+				}
+			}
+			searchE = err
+		} else {
+			res, err := snap.Searcher.Heuristic(ctx, req.Request)
+			if err == nil {
+				out = []Ranked{{Result: res}}
+			}
+			searchE = err
+		}
+		if searchE == nil {
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, searchE
+		}
+		lastErr = searchE
+		if round == lim.MaxSampleRounds-1 {
+			break // out of rounds: don't buy samples nothing will search
+		}
+		retry, err := h.Escalate(ctx, snap.Rate)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			break
+		}
+	}
+	if req.K > 0 {
+		return nil, fmt.Errorf("dance: no feasible acquisition options after %d sample rounds: %w",
+			lim.MaxSampleRounds, lastErr)
+	}
+	return nil, fmt.Errorf("dance: no feasible acquisition after %d sample rounds: %w",
+		lim.MaxSampleRounds, lastErr)
+}

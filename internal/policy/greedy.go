@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"context"
+	"fmt"
+)
+
+func init() { Register(greedyPolicy{}) }
+
+// greedyPolicy is the marginal-gain-per-dollar baseline: the same Step 1
+// candidates and escalation loop as dance, but Step 2 is a deterministic
+// hill-climb that always buys the variant swap with the best correlation
+// gain per extra dollar (search.GreedyAcquire) instead of a Metropolis
+// walk. It is the control arm of the bake-off: any spread between it and
+// dance isolates what the MCMC exploration is worth.
+type greedyPolicy struct{}
+
+func (greedyPolicy) Name() string { return "greedy" }
+
+func (greedyPolicy) Doc() string {
+	return "marginal-gain-per-dollar baseline: deterministic hill-climb over join variants, escalating the sample rate when infeasible"
+}
+
+func (greedyPolicy) Params() []ParamSpec { return nil }
+
+func (greedyPolicy) Acquire(ctx context.Context, h Host, req Request) ([]Ranked, error) {
+	lim := h.Limits()
+	var lastErr error
+	for round := 0; round < lim.MaxSampleRounds; round++ {
+		snap, err := h.Snapshot(ctx)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			out     []Ranked
+			searchE error
+		)
+		if req.K > 0 {
+			options, err := snap.Searcher.GreedyTopK(ctx, req.Request, req.K, req.Weights)
+			if err == nil {
+				out = make([]Ranked, len(options))
+				for i, o := range options {
+					out[i] = Ranked{Result: o.Result, Score: o.Score}
+				}
+			}
+			searchE = err
+		} else {
+			res, err := snap.Searcher.GreedyAcquire(ctx, req.Request)
+			if err == nil {
+				out = []Ranked{{Result: res}}
+			}
+			searchE = err
+		}
+		if searchE == nil {
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, searchE
+		}
+		lastErr = searchE
+		if round == lim.MaxSampleRounds-1 {
+			break
+		}
+		retry, err := h.Escalate(ctx, snap.Rate)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			break
+		}
+	}
+	return nil, fmt.Errorf("policy greedy: no feasible acquisition after %d sample rounds: %w",
+		lim.MaxSampleRounds, lastErr)
+}

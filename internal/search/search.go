@@ -73,6 +73,14 @@ type Request struct {
 	// min(1, CORR'/CORR) to strict hill-climbing (accept only
 	// improvements). Used by the acceptance-rule ablation.
 	Greedy bool
+	// Policy names the acquisition policy that plans the request ("" =
+	// the default "dance" search). The search engine itself ignores it;
+	// the core middleware resolves it against the policy registry and
+	// normalizes it to the policy that produced the plan.
+	Policy string
+	// PolicyParams are policy-specific tunables (see GET /v1/policies for
+	// each policy's schema); ignored by the search engine.
+	PolicyParams map[string]float64
 }
 
 func (r Request) withDefaults() Request {

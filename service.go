@@ -11,12 +11,14 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/dance-db/dance/internal/persist"
+	"github.com/dance-db/dance/internal/policy"
 	"github.com/dance-db/dance/internal/safekey"
 	"github.com/dance-db/dance/internal/search"
 )
@@ -30,6 +32,7 @@ import (
 //	POST /v1/execute        {plan_id}             → {purchase summary}
 //	GET  /v1/plans/{id}                           → {plan}
 //	GET  /v1/ledger                               → {entries, total}
+//	GET  /v1/policies                             → {policies: [{name, doc, params}]}
 //
 // Plans are stored server-side under opaque IDs so Execute can buy exactly
 // what Acquire recommended. Request deadlines map onto contexts: the HTTP
@@ -53,6 +56,12 @@ type AcquireRequest struct {
 	Seed         int64    `json:"seed,omitempty"`
 	Workers      int      `json:"workers,omitempty"`
 	Greedy       bool     `json:"greedy,omitempty"`
+	// Policy names the acquisition policy to plan under; omitted or empty
+	// selects the server's default (the paper's own "dance" search, unless
+	// the server was configured otherwise). GET /v1/policies lists the
+	// choices. PolicyParams tune the chosen policy per request.
+	Policy       string             `json:"policy,omitempty"`
+	PolicyParams map[string]float64 `json:"policy_params,omitempty"`
 	// TimeoutMS bounds the server-side search; 0 means no extra deadline
 	// beyond the HTTP request context.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -74,6 +83,8 @@ func (r AcquireRequest) toRequest() Request {
 		Seed:         r.Seed,
 		Workers:      r.Workers,
 		Greedy:       r.Greedy,
+		Policy:       r.Policy,
+		PolicyParams: r.PolicyParams,
 	}
 }
 
@@ -101,6 +112,10 @@ type PlanInfo struct {
 	ID      string      `json:"id"`
 	Queries []PlanQuery `json:"queries"`
 	Est     MetricsInfo `json:"est"`
+	// Policy echoes the acquisition policy that produced the plan.
+	Policy string `json:"policy,omitempty"`
+	// Evals counts the metric evaluations the producing search spent.
+	Evals int `json:"evals,omitempty"`
 }
 
 // RankedPlanInfo is one scored top-k option.
@@ -138,12 +153,38 @@ type ServiceLedgerEntry struct {
 	FromRate float64 `json:"from_rate,omitempty"`
 	ToRate   float64 `json:"to_rate,omitempty"`
 	Amount   float64 `json:"amount"`
+	// Policy attributes the charge to the acquisition policy that incurred
+	// it: sample entries carry the policy whose request triggered the round
+	// ("" for explicit offline refreshes), purchase entries the policy that
+	// produced the executed plan.
+	Policy string `json:"policy,omitempty"`
 }
 
 // LedgerInfo is the v1 wire form of the service ledger.
 type LedgerInfo struct {
 	Entries []ServiceLedgerEntry `json:"entries"`
 	Total   float64              `json:"total"`
+}
+
+// PolicyParamInfo describes one tunable of an acquisition policy.
+type PolicyParamInfo struct {
+	Name    string  `json:"name"`
+	Default float64 `json:"default"`
+	Doc     string  `json:"doc,omitempty"`
+}
+
+// PolicyInfo is the v1 wire form of one registered acquisition policy.
+type PolicyInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc,omitempty"`
+	// Default marks the policy requests run under when they name none.
+	Default bool              `json:"default,omitempty"`
+	Params  []PolicyParamInfo `json:"params,omitempty"`
+}
+
+// PoliciesInfo is the v1 wire form of GET /v1/policies.
+type PoliciesInfo struct {
+	Policies []PolicyInfo `json:"policies"`
 }
 
 type topkWireRequest struct {
@@ -265,7 +306,8 @@ func NewService(mw *Middleware, opts ServiceOptions) (*Service, error) {
 		}
 		for _, e := range st.Ledger {
 			s.ledger = append(s.ledger, ServiceLedgerEntry{
-				Kind: e.Kind, PlanID: e.PlanID, FromRate: e.FromRate, ToRate: e.ToRate, Amount: e.Amount,
+				Kind: e.Kind, PlanID: e.PlanID, FromRate: e.FromRate, ToRate: e.ToRate,
+				Amount: e.Amount, Policy: e.Policy,
 			})
 		}
 		for _, p := range st.Plans {
@@ -286,6 +328,7 @@ func (svc *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/execute", s.handleExecute)
 	mux.HandleFunc("GET /v1/plans/{id}", s.handlePlan)
 	mux.HandleFunc("GET /v1/ledger", s.handleLedger)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -372,7 +415,8 @@ func (s *acquireServer) appendLedgerLocked(e ServiceLedgerEntry) error {
 		return nil
 	}
 	if err := s.persist.AppendLedger(persist.LedgerRecord{
-		Kind: e.Kind, PlanID: e.PlanID, FromRate: e.FromRate, ToRate: e.ToRate, Amount: e.Amount,
+		Kind: e.Kind, PlanID: e.PlanID, FromRate: e.FromRate, ToRate: e.ToRate,
+		Amount: e.Amount, Policy: e.Policy,
 	}); err != nil {
 		return fmt.Errorf("dance: journaling ledger entry: %w", err)
 	}
@@ -389,14 +433,14 @@ func (s *acquireServer) recordSampleSpendLocked() error {
 	for _, r := range rounds[s.seenRounds:] {
 		if r.FullCost > 0 {
 			if e := s.appendLedgerLocked(ServiceLedgerEntry{
-				Kind: "sample", FromRate: r.FromRate, ToRate: r.ToRate, Amount: r.FullCost,
+				Kind: "sample", FromRate: r.FromRate, ToRate: r.ToRate, Amount: r.FullCost, Policy: r.Policy,
 			}); err == nil {
 				err = e
 			}
 		}
 		if r.DeltaCost > 0 {
 			if e := s.appendLedgerLocked(ServiceLedgerEntry{
-				Kind: "sample_delta", FromRate: r.FromRate, ToRate: r.ToRate, Amount: r.DeltaCost,
+				Kind: "sample_delta", FromRate: r.FromRate, ToRate: r.ToRate, Amount: r.DeltaCost, Policy: r.Policy,
 			}); err == nil {
 				err = e
 			}
@@ -408,7 +452,7 @@ func (s *acquireServer) recordSampleSpendLocked() error {
 
 // planInfoOf builds the wire form of a stored plan record.
 func planInfoOf(id string, rec *PlanRecord) PlanInfo {
-	info := PlanInfo{ID: id, Est: metricsInfo(rec.Est)}
+	info := PlanInfo{ID: id, Est: metricsInfo(rec.Est), Policy: rec.Request.Policy, Evals: rec.Evals}
 	for _, q := range rec.Queries {
 		info.Queries = append(info.Queries, PlanQuery{Instance: q.Instance, Attrs: q.Attrs, SQL: q.String()})
 	}
@@ -421,6 +465,7 @@ func toPersistPlan(id string, rec *PlanRecord) persist.PlanRecord {
 		ID:     id,
 		Weight: rec.Weight,
 		FDs:    rec.FDs,
+		Evals:  rec.Evals,
 		Est: persist.MetricsRecord{
 			Correlation: rec.Est.Correlation, Quality: rec.Est.Quality,
 			Weight: rec.Est.Weight, Price: rec.Est.Price,
@@ -439,6 +484,8 @@ func toPersistPlan(id string, rec *PlanRecord) persist.PlanRecord {
 			MaxIGraphs:   rec.Request.MaxIGraphs,
 			Seed:         rec.Request.Seed,
 			Greedy:       rec.Request.Greedy,
+			Policy:       rec.Request.Policy,
+			PolicyParams: rec.Request.PolicyParams,
 		},
 	}
 	for _, q := range rec.Queries {
@@ -455,6 +502,7 @@ func fromPersistPlan(p persist.PlanRecord) *PlanRecord {
 	rec := &PlanRecord{
 		Weight: p.Weight,
 		FDs:    p.FDs,
+		Evals:  p.Evals,
 		Est: Metrics{
 			Correlation: p.Est.Correlation, Quality: p.Est.Quality,
 			Weight: p.Est.Weight, Price: p.Est.Price,
@@ -473,6 +521,8 @@ func fromPersistPlan(p persist.PlanRecord) *PlanRecord {
 			MaxIGraphs:   p.Request.MaxIGraphs,
 			Seed:         p.Request.Seed,
 			Greedy:       p.Request.Greedy,
+			Policy:       p.Request.Policy,
+			PolicyParams: p.Request.PolicyParams,
 		},
 	}
 	for _, q := range p.Queries {
@@ -533,6 +583,17 @@ func acquireFingerprint(req AcquireRequest) string {
 		strconv.Itoa(req.Landmarks), strconv.Itoa(req.MaxCovers), strconv.Itoa(req.MaxIGraphs),
 		strconv.FormatInt(req.Seed, 10), strconv.FormatBool(req.Greedy),
 	)
+	// Policy selection changes what a search computes, so it is part of the
+	// identity; params are keyed in sorted order for a canonical form.
+	parts = append(parts, req.Policy, strconv.Itoa(len(req.PolicyParams)))
+	keys := make([]string, 0, len(req.PolicyParams))
+	for k := range req.PolicyParams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, k, f(req.PolicyParams[k]))
+	}
 	return safekey.Join(parts...)
 }
 
@@ -666,6 +727,27 @@ func (s *acquireServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeServiceJSON(w, http.StatusOK, resp)
 }
 
+// policiesInfo flattens the policy registry into its wire form.
+func policiesInfo() PoliciesInfo {
+	var out PoliciesInfo
+	for _, name := range policy.Names() {
+		p, err := policy.Get(name)
+		if err != nil {
+			continue // unreachable: Names() only lists registered policies
+		}
+		info := PolicyInfo{Name: name, Doc: p.Doc(), Default: name == policy.DefaultName}
+		for _, ps := range p.Params() {
+			info.Params = append(info.Params, PolicyParamInfo{Name: ps.Name, Default: ps.Default, Doc: ps.Doc})
+		}
+		out.Policies = append(out.Policies, info)
+	}
+	return out
+}
+
+func (s *acquireServer) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeServiceJSON(w, http.StatusOK, policiesInfo())
+}
+
 func (s *acquireServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.flightMu.Lock()
 	st := StatsInfo{Searches: s.searches, Coalesced: s.coalesced, Shed: s.shed, InFlight: len(s.sem)}
@@ -694,7 +776,9 @@ func (s *acquireServer) handleExecute(w http.ResponseWriter, r *http.Request) {
 		// some projections; the ledger must not lose that spend.
 		if purchase != nil && purchase.TotalPrice > 0 {
 			s.mu.Lock()
-			s.appendLedgerLocked(ServiceLedgerEntry{Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice})
+			s.appendLedgerLocked(ServiceLedgerEntry{
+				Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice, Policy: rec.Request.Policy,
+			})
 			s.mu.Unlock()
 		}
 		writeServiceErr(w, statusFor(err), err)
@@ -713,7 +797,9 @@ func (s *acquireServer) handleExecute(w http.ResponseWriter, r *http.Request) {
 	// Journal failures do not fail the response: the purchase already
 	// happened and the shopper has the data. The error resurfaces on the
 	// next /v1/ledger read instead.
-	s.appendLedgerLocked(ServiceLedgerEntry{Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice})
+	s.appendLedgerLocked(ServiceLedgerEntry{
+		Kind: "purchase", PlanID: req.PlanID, Amount: purchase.TotalPrice, Policy: rec.Request.Policy,
+	})
 	s.mu.Unlock()
 	writeServiceJSON(w, http.StatusOK, info)
 }
@@ -949,6 +1035,16 @@ func (c *AcquireClient) Plan(ctx context.Context, planID string) (*PlanInfo, err
 func (c *AcquireClient) Ledger(ctx context.Context) (*LedgerInfo, error) {
 	var out LedgerInfo
 	if err := c.do(ctx, http.MethodGet, "/v1/ledger", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Policies fetches the service's registered acquisition policies and their
+// tunable parameters. Pass a listed name as AcquireRequest.Policy.
+func (c *AcquireClient) Policies(ctx context.Context) (*PoliciesInfo, error) {
+	var out PoliciesInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/policies", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

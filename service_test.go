@@ -344,3 +344,93 @@ func TestDancedServerTimeoutMS(t *testing.T) {
 		t.Fatalf("err = %v, want a deadline error from the service", err)
 	}
 }
+
+// The policy redesign on the wire: GET /v1/policies lists the registry with
+// param schemas, a request naming a policy gets its plan stamped with it,
+// and every ledger entry the run incurs is attributed to that policy.
+func TestDancedPoliciesAndLedgerAttribution(t *testing.T) {
+	client, _ := serviceFixture(t, 6)
+	ctx := context.Background()
+
+	pols, err := client.Policies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pols.Policies) < 3 {
+		t.Fatalf("GET /v1/policies listed %d policies, want ≥ 3: %+v", len(pols.Policies), pols)
+	}
+	byName := map[string]dance.PolicyInfo{}
+	for _, p := range pols.Policies {
+		if p.Name == "" {
+			t.Fatalf("unnamed policy in %+v", pols)
+		}
+		byName[p.Name] = p
+	}
+	if !byName["dance"].Default {
+		t.Fatalf("dance not marked the default policy: %+v", pols)
+	}
+	tbyb, ok := byName["try-before-you-buy"]
+	if !ok || len(tbyb.Params) == 0 {
+		t.Fatalf("try-before-you-buy missing or paramless: %+v", tbyb)
+	}
+
+	plan, err := client.Acquire(ctx, dance.AcquireRequest{
+		SourceAttrs:  []string{"income"},
+		TargetAttrs:  []string{"riskband"},
+		Budget:       1e9,
+		Iterations:   40,
+		Seed:         2,
+		Policy:       "try-before-you-buy",
+		PolicyParams: map[string]float64{"pilot_rate": 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Policy != "try-before-you-buy" {
+		t.Fatalf("plan policy = %q, want try-before-you-buy", plan.Policy)
+	}
+	if _, err := client.Execute(ctx, plan.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	ledger, err := client.Ledger(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sampleAttr, purchaseAttr bool
+	for _, e := range ledger.Entries {
+		switch e.Kind {
+		case "sample", "sample_delta":
+			if e.Policy == "try-before-you-buy" {
+				sampleAttr = true
+			}
+		case "purchase":
+			if e.PlanID == plan.ID && e.Policy == "try-before-you-buy" {
+				purchaseAttr = true
+			}
+		}
+	}
+	if !sampleAttr || !purchaseAttr {
+		t.Fatalf("ledger entries not attributed to the policy (sample=%v purchase=%v): %+v",
+			sampleAttr, purchaseAttr, ledger.Entries)
+	}
+}
+
+// Omitting the policy field keeps the pre-redesign wire behavior: the
+// default dance policy plans the request, and the plan echoes it.
+func TestDancedDefaultPolicyOmitted(t *testing.T) {
+	client, _ := serviceFixture(t, 7)
+	plan, err := client.Acquire(context.Background(), dance.AcquireRequest{
+		SourceAttrs: []string{"income"},
+		TargetAttrs: []string{"riskband"},
+		Budget:      1e9,
+		Iterations:  30,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Policy != "dance" {
+		t.Fatalf("omitted policy resolved to %q, want dance", plan.Policy)
+	}
+}
